@@ -1,0 +1,83 @@
+"""Ablation: kernel-value sharing and support-vector sharing on/off.
+
+Isolates the two MP-SVM-level techniques of Sections 3.3.2 and 3.3.3 on a
+many-class workload (News20, 190 binary SVMs), where sharing has the most
+to offer.  Shape expectations: training-side kernel sharing cuts computed
+FLOPs; prediction-side SV sharing cuts prediction time by a large factor;
+neither changes the classifier.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import GMPSVC
+from repro.data import load_dataset
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+DATASET = "news20"
+
+
+def run_variant(share_kernel: bool, share_sv: bool):
+    dataset = load_dataset(DATASET)
+    clf = GMPSVC(
+        C=dataset.spec.penalty,
+        gamma=dataset.spec.gamma,
+        working_set_size=64,
+        share_kernel_values=share_kernel,
+        share_support_vectors=share_sv,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf.fit(dataset.x_train, dataset.y_train)
+        clf.predict_proba(dataset.x_test)
+    return clf
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for share_kernel, share_sv, label in [
+        (True, True, "both shared"),
+        (True, False, "kernel only"),
+        (False, True, "SV only"),
+        (False, False, "none shared"),
+    ]:
+        clf = run_variant(share_kernel, share_sv)
+        rows[label] = {
+            "train(s)": clf.training_report_.simulated_seconds,
+            "predict(s)": clf.prediction_report_.simulated_seconds,
+            "GFLOPs": clf.training_report_.counters.flops / 1e9,
+            "bias": clf.model_.bias_of_last_svm,
+        }
+    return rows
+
+
+def test_ablation_sharing(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    text = format_table(
+        rows,
+        ["train(s)", "predict(s)", "GFLOPs", "bias"],
+        title=f"Ablation — kernel/SV sharing on {DATASET}",
+        row_label="variant",
+    )
+    common.record_table("ablation sharing", text)
+    # Kernel sharing reduces training FLOPs.
+    assert rows["both shared"]["GFLOPs"] < rows["none shared"]["GFLOPs"]
+    # SV sharing reduces prediction time substantially on 20 classes.
+    assert rows["both shared"]["predict(s)"] < 0.7 * rows["kernel only"]["predict(s)"]
+    # The classifier itself is unchanged.
+    biases = [row["bias"] for row in rows.values()]
+    assert max(biases) - min(biases) < 5e-3
+
+
+if __name__ == "__main__":
+    print(
+        format_table(
+            build_rows(),
+            ["train(s)", "predict(s)", "GFLOPs", "bias"],
+            title=f"Ablation — kernel/SV sharing on {DATASET}",
+            row_label="variant",
+        )
+    )

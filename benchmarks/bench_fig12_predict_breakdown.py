@@ -1,0 +1,53 @@
+"""Figure 12: percentage of GMP-SVM prediction time per component.
+
+Paper shape: "computing the decision values dominates the whole
+prediction process.  In comparison, the cost of solving the optimization
+problem (14) ... for obtaining the multi-class probability is
+negligible."
+"""
+
+from __future__ import annotations
+
+from repro.perf import PREDICT_GROUPS
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+COMPONENTS = ["decision values", "sigmoid", "multi-class probability"]
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for dataset in common.BREAKDOWN_DATASETS:
+        run = common.run_system("gmp-svm", dataset)
+        fractions = run.classifier.prediction_report_.fraction_breakdown(
+            PREDICT_GROUPS
+        )
+        rows[dataset] = {c: 100.0 * fractions.get(c, 0.0) for c in COMPONENTS}
+    return rows
+
+
+def test_fig12_predict_breakdown(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    text = format_table(
+        rows,
+        COMPONENTS,
+        title="Figure 12 — GMP-SVM prediction time breakdown (%)",
+        row_label="dataset",
+    )
+    common.record_table("fig12 prediction breakdown", text)
+    for dataset, fractions in rows.items():
+        dominant = max(fractions, key=fractions.get)
+        assert dominant == "decision values"
+        assert fractions["decision values"] > 50.0
+
+
+if __name__ == "__main__":
+    print(
+        format_table(
+            build_rows(),
+            COMPONENTS,
+            title="Figure 12 — GMP-SVM prediction time breakdown (%)",
+            row_label="dataset",
+        )
+    )

@@ -1,0 +1,51 @@
+"""Figure 4: training speedup of GMP-SVM over the other implementations.
+
+Paper shape: one to two orders of magnitude over LibSVM without OpenMP,
+~10x over LibSVM with OpenMP, two to five times over the GPU baseline,
+and three to ten times over CMP-SVM.
+"""
+
+from __future__ import annotations
+
+from repro.perf import speedup_table
+
+from benchmarks import common
+
+COMPARED = ["libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm"]
+
+
+def build_table() -> str:
+    reference = {
+        d: common.run_system("gmp-svm", d).train_seconds
+        for d in common.ALL_DATASETS
+    }
+    others = {
+        system: {
+            d: common.run_system(system, d).train_seconds
+            for d in common.ALL_DATASETS
+        }
+        for system in COMPARED
+    }
+    table = speedup_table(reference, others)
+    from repro.perf.speedup import format_table
+
+    return format_table(
+        table,
+        common.ALL_DATASETS,
+        title="Figure 4 — training speedup of GMP-SVM over other systems (x)",
+    )
+
+
+def test_fig4_train_speedup(benchmark):
+    text = common.run_benchmark_once(benchmark, build_table)
+    common.record_table("fig4 training speedup", text)
+    for dataset in common.ALL_DATASETS:
+        gmp = common.run_system("gmp-svm", dataset).train_seconds
+        assert common.run_system("libsvm", dataset).train_seconds / gmp > 10
+        assert common.run_system("libsvm-openmp", dataset).train_seconds / gmp > 3
+        assert common.run_system("gpu-baseline", dataset).train_seconds / gmp > 1.3
+        assert common.run_system("cmp-svm", dataset).train_seconds / gmp > 1.5
+
+
+if __name__ == "__main__":
+    print(build_table())

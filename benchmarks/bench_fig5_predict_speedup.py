@@ -1,0 +1,57 @@
+"""Figure 5: prediction speedup of GMP-SVM over the other implementations.
+
+Paper shape: two orders of magnitude over LibSVM without OpenMP, >10x
+over LibSVM with OpenMP; *no* speedup over the GPU baseline on the four
+binary datasets (with one pair there is nothing to share — "GMP-SVM is in
+fact the same as the GPU baseline when handling binary problems"), and
+3-30x over the baseline on the multi-class datasets.
+"""
+
+from __future__ import annotations
+
+from repro.perf import speedup_table
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+COMPARED = ["libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm"]
+
+
+def build_table() -> str:
+    reference = {
+        d: common.run_system("gmp-svm", d).predict_seconds
+        for d in common.ALL_DATASETS
+    }
+    others = {
+        system: {
+            d: common.run_system(system, d).predict_seconds
+            for d in common.ALL_DATASETS
+        }
+        for system in COMPARED
+    }
+    return format_table(
+        speedup_table(reference, others),
+        common.ALL_DATASETS,
+        title="Figure 5 — prediction speedup of GMP-SVM over other systems (x)",
+    )
+
+
+def test_fig5_predict_speedup(benchmark):
+    text = common.run_benchmark_once(benchmark, build_table)
+    common.record_table("fig5 prediction speedup", text)
+    for dataset in common.BINARY_DATASETS:
+        gmp = common.run_system("gmp-svm", dataset).predict_seconds
+        baseline = common.run_system("gpu-baseline", dataset).predict_seconds
+        # Binary problems: GMP-SVM == GPU baseline at prediction.
+        assert abs(baseline - gmp) / gmp < 0.05
+    for dataset in ("mnist", "news20", "cifar-10"):
+        gmp = common.run_system("gmp-svm", dataset).predict_seconds
+        baseline = common.run_system("gpu-baseline", dataset).predict_seconds
+        assert baseline / gmp > 1.4  # sharing pays off with many pairs
+    for dataset in common.ALL_DATASETS:
+        gmp = common.run_system("gmp-svm", dataset).predict_seconds
+        assert common.run_system("libsvm", dataset).predict_seconds / gmp > 10
+
+
+if __name__ == "__main__":
+    print(build_table())

@@ -1,0 +1,71 @@
+"""Figure 6: training time as the GPU buffer (working set) size varies.
+
+"Changing the GPU buffer size is effectively varying the size of the
+working set."  Paper shape: medium buffers are competitive; larger
+buffers generally help (more kernel-value reuse) until the working set
+starts to carry many useless instances.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import GMPSVC
+from repro.data import load_dataset
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+BUFFER_SIZES = [32, 64, 128, 256, 512]
+
+
+def train_time(dataset_name: str, buffer_rows: int) -> float:
+    dataset = load_dataset(dataset_name)
+    clf = GMPSVC(
+        C=dataset.spec.penalty,
+        gamma=dataset.spec.gamma,
+        working_set_size=buffer_rows,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf.fit(dataset.x_train, dataset.y_train)
+    return clf.training_report_.simulated_seconds
+
+
+def build_table() -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for dataset in common.SENSITIVITY_DATASETS:
+        rows[dataset] = {
+            f"bs={bs}": train_time(dataset, bs) for bs in BUFFER_SIZES
+        }
+    return rows
+
+
+def test_fig6_buffer_size(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_table)
+    text = format_table(
+        rows,
+        [f"bs={bs}" for bs in BUFFER_SIZES],
+        title="Figure 6 — training time vs GPU buffer size (simulated seconds)",
+        row_label="dataset",
+    )
+    common.record_table("fig6 buffer size", text)
+    for dataset, timings in rows.items():
+        best = min(timings.values())
+        # Medium buffers are competitive with the best configuration...
+        assert timings["bs=128"] <= 2.5 * best
+        assert timings["bs=256"] <= 2.5 * best
+        # ...and the smallest buffer is never the winner.
+        assert timings["bs=32"] > best
+
+
+if __name__ == "__main__":
+    rows = build_table()
+    print(
+        format_table(
+            rows,
+            [f"bs={bs}" for bs in BUFFER_SIZES],
+            title="Figure 6 — training time vs GPU buffer size (simulated seconds)",
+            row_label="dataset",
+        )
+    )

@@ -1,0 +1,73 @@
+"""Figure 7: training time as q (new violating instances per round) varies.
+
+Paper shape: "q should be about 1/2 of the GPU buffer size.  This is
+because large q results in flushing out all the kernel values in the GPU
+buffer, while small q leads to more expensive cost per kernel value."
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import GMPSVC
+from repro.data import load_dataset
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+BUFFER_ROWS = 256
+Q_VALUES = [16, 32, 64, 128, 256]  # up to full replacement
+
+
+def train_time(dataset_name: str, q: int) -> float:
+    dataset = load_dataset(dataset_name)
+    clf = GMPSVC(
+        C=dataset.spec.penalty,
+        gamma=dataset.spec.gamma,
+        working_set_size=BUFFER_ROWS,
+        new_per_round=q,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf.fit(dataset.x_train, dataset.y_train)
+    return clf.training_report_.simulated_seconds
+
+
+def build_table() -> dict[str, dict[str, float]]:
+    return {
+        dataset: {f"q={q}": train_time(dataset, q) for q in Q_VALUES}
+        for dataset in common.SENSITIVITY_DATASETS
+    }
+
+
+def test_fig7_violators(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_table)
+    text = format_table(
+        rows,
+        [f"q={q}" for q in Q_VALUES],
+        title=(
+            f"Figure 7 — training time vs q (buffer = {BUFFER_ROWS} rows, "
+            "simulated seconds)"
+        ),
+        row_label="dataset",
+    )
+    common.record_table("fig7 new violators", text)
+    for dataset, timings in rows.items():
+        best = min(timings.values())
+        # q = bs/2 is competitive with the best setting on every dataset.
+        assert timings["q=128"] <= 2.0 * best
+
+
+if __name__ == "__main__":
+    rows = build_table()
+    print(
+        format_table(
+            rows,
+            [f"q={q}" for q in Q_VALUES],
+            title=(
+                f"Figure 7 — training time vs q (buffer = {BUFFER_ROWS} rows, "
+                "simulated seconds)"
+            ),
+            row_label="dataset",
+        )
+    )

@@ -1,0 +1,88 @@
+"""Hyper-parameter sweep: classifier equivalence across C and gamma.
+
+Section 4.1: "we also varied the hyper-parameters C from 0.01 to 100 and
+gamma from 0.03 to 10 on all the datasets, and compared the
+training/prediction errors and bias between LibSVM and GMP-SVM.  The
+results again confirm that GMP-SVM and LibSVM produce identical
+classifiers."  This bench runs that grid on two representative datasets.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import GMPSVC
+from repro.baselines import LibSVMClassifier
+from repro.core.predictor import predict_labels_model
+from repro.data import load_dataset
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+C_VALUES = [0.01, 1.0, 100.0]
+GAMMA_VALUES = [0.03, 0.5, 10.0]
+DATASETS = ["adult", "connect-4"]
+
+
+def compare(dataset_name: str, penalty: float, gamma: float) -> dict[str, float]:
+    dataset = load_dataset(dataset_name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        gmp = GMPSVC(C=penalty, gamma=gamma).fit(dataset.x_train, dataset.y_train)
+        libsvm = LibSVMClassifier(C=penalty, gamma=gamma).fit(
+            dataset.x_train, dataset.y_train
+        )
+        ours, _ = predict_labels_model(
+            gmp._predictor_config(), gmp.model_, dataset.x_test,
+            use_probability=False,
+        )
+        theirs, _ = predict_labels_model(
+            libsvm._predictor_config(), libsvm.model_, dataset.x_test,
+            use_probability=False,
+        )
+    return {
+        "bias diff": abs(
+            gmp.model_.bias_of_last_svm - libsvm.model_.bias_of_last_svm
+        ),
+        "err diff": abs(
+            float(np.mean(ours != dataset.y_test))
+            - float(np.mean(theirs != dataset.y_test))
+        ),
+    }
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for dataset in DATASETS:
+        for penalty in C_VALUES:
+            for gamma in GAMMA_VALUES:
+                result = compare(dataset, penalty, gamma)
+                rows[f"{dataset} C={penalty:g} g={gamma:g}"] = result
+    return rows
+
+
+def test_sweep_hyperparams(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    text = format_table(
+        rows,
+        ["bias diff", "err diff"],
+        title="Hyper-parameter sweep — LibSVM vs GMP-SVM classifier gap",
+        row_label="configuration",
+    )
+    common.record_table("sweep hyperparameters", text)
+    for name, result in rows.items():
+        assert result["bias diff"] < 1e-2, name
+        assert result["err diff"] <= 0.01, name
+
+
+if __name__ == "__main__":
+    print(
+        format_table(
+            build_rows(),
+            ["bias diff", "err diff"],
+            title="Hyper-parameter sweep — LibSVM vs GMP-SVM classifier gap",
+            row_label="configuration",
+        )
+    )

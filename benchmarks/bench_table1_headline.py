@@ -1,0 +1,43 @@
+"""Table 1: headline elapsed-time comparison on CIFAR-10 / MNIST / MNIST8M.
+
+Paper shape: GMP-SVM fastest on both training and prediction; the GPU
+baseline ~3x faster than LibSVM+OpenMP on training; LibSVM without OpenMP
+slowest by 1-2 orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from benchmarks import common
+
+DATASETS = ["cifar-10", "mnist", "mnist8m"]
+
+
+def build_table() -> str:
+    rows: dict[str, dict[str, float]] = {}
+    for system in common.MAIN_SYSTEMS:
+        row: dict[str, float] = {}
+        for dataset in DATASETS:
+            run = common.run_system(system, dataset)
+            row[f"{dataset}:train"] = run.train_seconds
+            row[f"{dataset}:predict"] = run.predict_seconds
+        rows[system] = row
+    columns = [f"{d}:{phase}" for d in DATASETS for phase in ("train", "predict")]
+    return common.seconds_table(
+        rows, columns, title="Table 1 — headline elapsed time (simulated seconds)"
+    )
+
+
+def test_table1_headline(benchmark):
+    text = common.run_benchmark_once(benchmark, build_table)
+    common.record_table("table1 headline", text)
+    # Shape assertions from the paper's narrative.
+    for dataset in DATASETS:
+        gmp = common.run_system("gmp-svm", dataset)
+        for other in ("gpu-baseline", "cmp-svm", "libsvm-openmp", "libsvm"):
+            run = common.run_system(other, dataset)
+            assert run.train_seconds > gmp.train_seconds
+            assert run.predict_seconds > gmp.predict_seconds
+
+
+if __name__ == "__main__":
+    print(build_table())

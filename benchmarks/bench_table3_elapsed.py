@@ -1,0 +1,58 @@
+"""Table 3: the full elapsed-time grid — 5 systems x 9 datasets, train + predict.
+
+Paper shape: on every dataset, simulated time orders as
+``gmp-svm < gpu-baseline <~ cmp-svm < libsvm-openmp << libsvm`` for
+training (the baseline/CMP order varies per dataset in the paper too),
+and GMP-SVM is fastest at prediction everywhere.
+"""
+
+from __future__ import annotations
+
+from benchmarks import common
+
+
+def build_tables() -> tuple[str, str]:
+    train_rows: dict[str, dict[str, float]] = {}
+    predict_rows: dict[str, dict[str, float]] = {}
+    for system in common.MAIN_SYSTEMS:
+        train_rows[system] = {}
+        predict_rows[system] = {}
+        for dataset in common.ALL_DATASETS:
+            run = common.run_system(system, dataset)
+            train_rows[system][dataset] = run.train_seconds
+            predict_rows[system][dataset] = run.predict_seconds
+    train_text = common.seconds_table(
+        train_rows,
+        common.ALL_DATASETS,
+        title="Table 3a — training time (simulated seconds)",
+    )
+    predict_text = common.seconds_table(
+        predict_rows,
+        common.ALL_DATASETS,
+        title="Table 3b — prediction time (simulated seconds)",
+    )
+    return train_text, predict_text
+
+
+def test_table3_elapsed(benchmark):
+    train_text, predict_text = common.run_benchmark_once(benchmark, build_tables)
+    common.record_table("table3a training time", train_text)
+    common.record_table("table3b prediction time", predict_text)
+    for dataset in common.ALL_DATASETS:
+        gmp = common.run_system("gmp-svm", dataset)
+        libsvm = common.run_system("libsvm", dataset)
+        openmp = common.run_system("libsvm-openmp", dataset)
+        baseline = common.run_system("gpu-baseline", dataset)
+        # GMP-SVM wins everywhere.
+        assert gmp.train_seconds < baseline.train_seconds
+        assert gmp.train_seconds < openmp.train_seconds
+        assert gmp.predict_seconds <= baseline.predict_seconds * 1.001
+        # OpenMP helps LibSVM; the GPU baseline beats LibSVM+OpenMP.
+        assert openmp.train_seconds < libsvm.train_seconds
+        assert baseline.train_seconds < openmp.train_seconds
+
+
+if __name__ == "__main__":
+    for text in build_tables():
+        print(text)
+        print()

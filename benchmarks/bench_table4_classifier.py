@@ -1,0 +1,48 @@
+"""Table 4: classifier equivalence between LibSVM and GMP-SVM.
+
+The paper's claim: identical training/prediction errors and equal bias
+terms — "GMP-SVM produces the same SVM classifier as LibSVM".  Both
+systems here run to the same KKT tolerance (eps = 1e-3), so biases agree
+to about three decimals and decision-rule errors match exactly.
+"""
+
+from __future__ import annotations
+
+from benchmarks import common
+
+
+def build_table() -> str:
+    header = (
+        f"{'dataset':<10}{'bias LibSVM':>13}{'bias GMP':>13}"
+        f"{'train err L':>13}{'train err G':>13}"
+        f"{'test err L':>12}{'test err G':>12}"
+    )
+    lines = [
+        "Table 4 — final classifier comparison (LibSVM vs GMP-SVM)",
+        header,
+        "-" * len(header),
+    ]
+    for dataset in common.ALL_DATASETS:
+        libsvm = common.run_system("libsvm", dataset)
+        gmp = common.run_system("gmp-svm", dataset)
+        lines.append(
+            f"{dataset:<10}{libsvm.last_bias:>13.4f}{gmp.last_bias:>13.4f}"
+            f"{libsvm.train_error:>12.2%} {gmp.train_error:>12.2%} "
+            f"{libsvm.test_error:>11.2%} {gmp.test_error:>11.2%} "
+        )
+    return "\n".join(lines)
+
+
+def test_table4_classifier(benchmark):
+    text = common.run_benchmark_once(benchmark, build_table)
+    common.record_table("table4 classifier comparison", text)
+    for dataset in common.ALL_DATASETS:
+        libsvm = common.run_system("libsvm", dataset)
+        gmp = common.run_system("gmp-svm", dataset)
+        assert abs(libsvm.last_bias - gmp.last_bias) < 5e-3
+        assert abs(libsvm.train_error - gmp.train_error) <= 2 / 1000
+        assert abs(libsvm.test_error - gmp.test_error) <= 4 / 1000
+
+
+if __name__ == "__main__":
+    print(build_table())

@@ -1,0 +1,20 @@
+"""Benchmark-suite wiring: print every recorded paper table at the end."""
+
+from __future__ import annotations
+
+from benchmarks import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = common.recorded_tables()
+    if not tables:
+        return
+    writer = terminalreporter
+    writer.section("paper tables and figures (simulated device seconds)")
+    for title, text in tables:
+        writer.write_line("")
+        writer.write_line(text)
+    writer.write_line("")
+    writer.write_line(
+        f"(copies written under {common.RESULTS_DIR.relative_to(common.RESULTS_DIR.parent.parent)}/)"
+    )

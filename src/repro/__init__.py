@@ -1,0 +1,56 @@
+"""repro — GMP-SVM: efficient multi-class probabilistic SVMs.
+
+A full reproduction of Wen, Shi, He, Chen & Chen, "Efficient Multi-Class
+Probabilistic SVMs on GPUs" (ICDE 2019), with the GPU substrate replaced
+by a cost-model simulator (see DESIGN.md).
+
+Public entry points:
+
+- :class:`GMPSVC` — the paper's system (batched solver, concurrent binary
+  SVMs, kernel/SV sharing);
+- :class:`SVC` — the binary special case;
+- :class:`SVR` / :class:`OneClassSVM` — the regression and novelty-
+  detection surfaces ThunderSVM (the paper's host project) also ships;
+- :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
+  OHD-SVM and GPUSVM comparators;
+- :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
+- :func:`load_model` / model ``save`` — persistence.
+"""
+
+from repro.core.gmp import GMPSVC
+from repro.core.oneclass import OneClassSVM
+from repro.core.svc import SVC
+from repro.core.svr import SVR
+from repro.exceptions import (
+    ConvergenceWarning,
+    DeviceMemoryError,
+    NotFittedError,
+    ReproError,
+    SolverError,
+    SparseFormatError,
+    ValidationError,
+)
+from repro.model.persistence import load_model, save_model
+from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "ConvergenceWarning",
+    "DeviceMemoryError",
+    "GMPSVC",
+    "NotFittedError",
+    "OneClassSVM",
+    "ReproError",
+    "SVC",
+    "SVR",
+    "SolverError",
+    "SparseFormatError",
+    "ValidationError",
+    "__version__",
+    "dump_libsvm",
+    "load_libsvm",
+    "load_model",
+    "save_model",
+]

@@ -1,0 +1,37 @@
+"""The comparison systems of the paper's evaluation (Section 4).
+
+Every baseline runs the *same* numerics as GMP-SVM (so Table 4's
+classifier-equivalence holds by construction) but under its own system
+configuration — solver variant, device, caching, sharing and concurrency
+flags — reproducing each system's characteristic performance behaviour:
+
+- :class:`LibSVMClassifier` — classic SMO, sequential pairs, scalar CPU
+  code with the stock 100 MB LRU kernel cache; ``openmp=True`` enables the
+  40-thread configuration.
+- :class:`GPUBaselineClassifier` — Section 3.2: classic SMO on the GPU,
+  one binary SVM at a time, 4 GB kernel cache, no sharing.
+- :class:`CMPSVMClassifier` — the paper's CPU port of GMP-SVM (same
+  algorithm, 40 threads).
+- :class:`GTSVMClassifier` — Cotter et al.: multi-class capable, sparse,
+  tiny fixed working set, *no probability support*.
+- :class:`OHDSVMClassifier` — Vanek et al.: binary only, hierarchical
+  decomposition without cross-round buffer reuse.
+- :class:`GPUSVMClassifier` — Catanzaro et al.: binary only, **dense**
+  data representation (the Figure 10 pathology on sparse data).
+"""
+
+from repro.baselines.cmp_svm import CMPSVMClassifier
+from repro.baselines.gpu_baseline import GPUBaselineClassifier
+from repro.baselines.gpusvm import GPUSVMClassifier
+from repro.baselines.gtsvm import GTSVMClassifier
+from repro.baselines.libsvm import LibSVMClassifier
+from repro.baselines.ohdsvm import OHDSVMClassifier
+
+__all__ = [
+    "CMPSVMClassifier",
+    "GPUBaselineClassifier",
+    "GPUSVMClassifier",
+    "GTSVMClassifier",
+    "LibSVMClassifier",
+    "OHDSVMClassifier",
+]

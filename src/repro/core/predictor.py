@@ -1,0 +1,229 @@
+"""The configurable prediction pipeline (Sections 3.2 Phase (iii) / 3.3.3).
+
+Prediction runs in three stages, matching Figure 2 and the Figure 12
+breakdown:
+
+1. **decision values** — kernel blocks between the test batch and support
+   vectors, then per-SVM weighted sums (Eq. 11).  With ``sv_sharing`` the
+   test-vs-pool block is computed once and sliced per SVM (GMP-SVM);
+   without it each binary SVM recomputes its own block (the GPU baseline's
+   "one binary SVM at a time").
+2. **sigmoid** — each pair's local probability via Eq. 12.
+3. **coupling** — Wu-Lin-Weng multi-class probabilities via Eq. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.engine import Engine, make_engine
+from repro.model.multiclass import MPSVMModel
+from repro.multiclass.ova import ova_positions
+from repro.multiclass.voting import ovo_vote
+from repro.perf.report import PredictionReport
+from repro.probability.pairwise import couple_batch
+from repro.probability.platt import sigmoid_predict
+from repro.sparse import ops as mops
+
+__all__ = [
+    "PredictorConfig",
+    "decision_matrix",
+    "predict_proba_model",
+    "predict_labels_model",
+]
+
+
+@dataclass
+class PredictorConfig:
+    """Prediction-side knobs distinguishing the paper's systems."""
+
+    device: DeviceSpec
+    flop_efficiency: Optional[float] = None
+    bandwidth_efficiency: float = 1.0
+    sv_sharing: bool = True  # Section 3.3.3
+    coupling_method: str = "eq15"
+    # None = derive from device memory: the test-vs-SV kernel block must
+    # fit alongside everything else ("if n x k(k-1)/2 is larger than the
+    # maximum number of blocks that the GPU can support, we divide the
+    # blocks into a few groups and launch one group of blocks at a time").
+    batch_size: Optional[int] = None
+
+    def make_engine(self) -> Engine:
+        """Engine bound to this configuration's device and efficiencies."""
+        return make_engine(
+            self.device,
+            flop_efficiency=self.flop_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+        )
+
+
+def decision_matrix(
+    engine: Engine,
+    model: MPSVMModel,
+    test_data: mops.MatrixLike,
+    *,
+    sv_sharing: bool = True,
+) -> np.ndarray:
+    """Decision values of each test instance under each binary SVM."""
+    return model.sv_pool.decision_values(
+        engine,
+        model.kernel,
+        test_data,
+        shared=sv_sharing,
+        category="decision_values",
+    )
+
+
+def predict_proba_model(
+    config: PredictorConfig,
+    model: MPSVMModel,
+    test_data: mops.MatrixLike,
+) -> tuple[np.ndarray, PredictionReport]:
+    """Multi-class probabilities, shape ``(m, n_classes)``; rows sum to 1."""
+    if not model.probability:
+        raise NotFittedError(
+            "model was trained without probability output; refit with "
+            "probability=True"
+        )
+    engine = config.make_engine()
+    engine.transfer(mops.matrix_nbytes(test_data), category="transfer")
+    m = mops.n_rows(test_data)
+    k = model.n_classes
+    probabilities = np.empty((m, k))
+
+    batch = _resolve_batch(config, model, m)
+    for start in range(0, m, batch):
+        stop = min(start + batch, m)
+        chunk = _slice_rows(test_data, start, stop)
+        decisions = decision_matrix(
+            engine, model, chunk, sv_sharing=config.sv_sharing
+        )
+        if model.strategy == "ova":
+            probabilities[start:stop] = _ova_probabilities(
+                engine, model, decisions
+            )
+        else:
+            r_batch = _pairwise_estimates(engine, model, decisions)
+            probabilities[start:stop] = couple_batch(
+                engine, r_batch, method=config.coupling_method
+            )
+
+    report = PredictionReport(
+        simulated_seconds=engine.clock.elapsed_s,
+        clock=engine.clock,
+        counters=engine.counters,
+        device_name=config.device.name,
+        n_instances=m,
+        sv_sharing=config.sv_sharing,
+    )
+    return probabilities, report
+
+
+def predict_labels_model(
+    config: PredictorConfig,
+    model: MPSVMModel,
+    test_data: mops.MatrixLike,
+    *,
+    use_probability: Optional[bool] = None,
+) -> tuple[np.ndarray, PredictionReport]:
+    """Predicted class labels.
+
+    Probabilistic models predict ``argmax`` of the coupled probabilities
+    (LibSVM's ``-b 1`` behaviour); non-probabilistic models use pairwise
+    voting.
+    """
+    decide_by_probability = (
+        model.probability if use_probability is None else use_probability
+    )
+    if decide_by_probability:
+        probabilities, report = predict_proba_model(config, model, test_data)
+        positions = np.argmax(probabilities, axis=1)
+        return model.labels_from_positions(positions), report
+
+    engine = config.make_engine()
+    engine.transfer(mops.matrix_nbytes(test_data), category="transfer")
+    decisions = decision_matrix(
+        engine, model, test_data, sv_sharing=config.sv_sharing
+    )
+    if model.strategy == "ova":
+        positions = ova_positions(decisions)
+    else:
+        positions = ovo_vote(decisions, model.pairs, model.n_classes)
+    report = PredictionReport(
+        simulated_seconds=engine.clock.elapsed_s,
+        clock=engine.clock,
+        counters=engine.counters,
+        device_name=config.device.name,
+        n_instances=mops.n_rows(test_data),
+        sv_sharing=config.sv_sharing,
+    )
+    return model.labels_from_positions(positions), report
+
+
+def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
+    """Test-batch size: explicit, or bounded by device memory.
+
+    The dominant resident structure is the test-vs-pool kernel block
+    (``batch x n_pool`` float64); it is held to a quarter of device memory,
+    mirroring the paper's group-at-a-time launching.
+    """
+    if config.batch_size:
+        return config.batch_size
+    block_budget = config.device.global_mem_bytes // 4
+    per_row = max(model.sv_pool.n_pool * 8, 1)
+    return max(1, min(m, block_budget // per_row))
+
+
+def _pairwise_estimates(
+    engine: Engine, model: MPSVMModel, decisions: np.ndarray
+) -> np.ndarray:
+    """Local probabilities r[s, t] per instance, shape ``(m, k, k)``."""
+    m = decisions.shape[0]
+    k = model.n_classes
+    r = np.full((m, k, k), 0.5)
+    for column, record in enumerate(model.records):
+        if record.sigmoid is None:
+            raise ValidationError(
+                f"binary SVM ({record.s},{record.t}) has no sigmoid"
+            )
+        engine.elementwise("sigmoid", m, flops_per_element=6, arrays_read=1)
+        p = sigmoid_predict(decisions[:, column], record.sigmoid.a, record.sigmoid.b)
+        r[:, record.s, record.t] = p
+        r[:, record.t, record.s] = 1.0 - p
+    return r
+
+
+def _ova_probabilities(
+    engine: Engine, model: MPSVMModel, decisions: np.ndarray
+) -> np.ndarray:
+    """Normalised per-class sigmoid estimates (the OvA heuristic).
+
+    One-vs-all has no pairwise coupling problem; each class's sigmoid
+    gives an independent P(class | x), renormalised onto the simplex.
+    """
+    m, k = decisions.shape
+    raw = np.empty((m, k))
+    for column, record in enumerate(model.records):
+        if record.sigmoid is None:
+            raise ValidationError(
+                f"one-vs-all SVM for class {record.s} has no sigmoid"
+            )
+        engine.elementwise("sigmoid", m, flops_per_element=6, arrays_read=1)
+        raw[:, record.s] = sigmoid_predict(
+            decisions[:, column], record.sigmoid.a, record.sigmoid.b
+        )
+    engine.elementwise("coupling", m * k, flops_per_element=2, arrays_read=1)
+    totals = raw.sum(axis=1, keepdims=True)
+    totals[totals == 0] = 1.0
+    return raw / totals
+
+
+def _slice_rows(data: mops.MatrixLike, start: int, stop: int) -> mops.MatrixLike:
+    if start == 0 and stop == mops.n_rows(data):
+        return data
+    return mops.take_rows(data, np.arange(start, stop, dtype=np.int64))

@@ -1,0 +1,215 @@
+"""Epsilon support-vector regression on the GMP machinery.
+
+The paper's lineage extends to regression ("A recent study extended their
+algorithm for SVM regression problems", Section 5), and ThunderSVM — the
+open-source project this paper's system ships in — exposes SVR alongside
+classification.  This module provides that surface on the same batched
+solver.
+
+Mechanics: the epsilon-SVR dual over ``(alpha, alpha*)`` is exactly a
+2n-variable instance of the classification dual with extended labels
+``y_ext = [+1]*n + [-1]*n``, kernel ``K_ext[i, j] = K(i mod n, j mod n)``,
+and linear term ``p = [eps - y, eps + y]`` — i.e. initial indicators
+``f = y_ext * p`` (LibSVM structures its SVR solver identically).  The
+regression function is ``g(x) = sum_i beta_i K(x_i, x) + b`` with
+``beta = alpha - alpha*``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.validation import check_predict_inputs, resolve_gamma
+from repro.exceptions import NotFittedError, ValidationError
+from repro.gpusim.device import DeviceSpec, scaled_tesla_p100
+from repro.gpusim.engine import FLOAT_BYTES, make_engine
+from repro.kernels.functions import KernelFunction, kernel_from_name
+from repro.kernels.rows import KernelRowComputer
+from repro.perf.report import PredictionReport, TrainingReport
+from repro.solvers.batch_smo import BatchSMOSolver
+from repro.sparse import ops as mops
+
+__all__ = ["SVR"]
+
+
+class _ExtendedRows:
+    """Kernel rows of the 2n-variable SVR problem.
+
+    ``K_ext`` is the base kernel matrix tiled 2x2; a row of the extended
+    matrix is the corresponding base row repeated.  Only the base row is
+    charged — a real implementation (LibSVM's ``SVR_Q``) likewise computes
+    each base row once and serves both halves from it.
+    """
+
+    def __init__(self, base: KernelRowComputer) -> None:
+        self.engine = base.engine
+        self._base = base
+
+    @property
+    def n(self) -> int:
+        """Extended problem size (2n)."""
+        return 2 * self._base.n
+
+    @property
+    def row_nbytes(self) -> int:
+        """Device bytes of one extended row."""
+        return self.n * FLOAT_BYTES
+
+    def diagonal(self) -> np.ndarray:
+        """Extended diagonal: the base diagonal twice."""
+        return np.tile(self._base.diagonal(), 2)
+
+    def rows(self, indices: object, *, category: Optional[str] = None) -> np.ndarray:
+        """Extended kernel rows for the given extended indices."""
+        idx = np.asarray(indices, dtype=np.int64) % self._base.n
+        unique, inverse = np.unique(idx, return_inverse=True)
+        base_rows = self._base.rows(unique, category=category)
+        return np.tile(base_rows[inverse], (1, 2))
+
+
+class SVR:
+    """Epsilon support-vector regression with the batched GPU solver.
+
+    ``epsilon_tube`` is the insensitive-loss half width (LibSVM's ``-p``);
+    ``epsilon`` remains the KKT tolerance, as in the classifiers.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon_tube: float = 0.1,
+        kernel: str = "gaussian",
+        gamma: Optional[float] = None,
+        degree: int = 3,
+        coef0: float = 0.0,
+        *,
+        epsilon: float = 1e-3,
+        working_set_size: int = 48,
+        device: Optional[DeviceSpec] = None,
+    ) -> None:
+        if epsilon_tube < 0:
+            raise ValidationError(f"epsilon_tube must be >= 0, got {epsilon_tube}")
+        self.C = C
+        self.epsilon_tube = float(epsilon_tube)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.epsilon = epsilon
+        self.working_set_size = working_set_size
+        self.device = device if device is not None else scaled_tesla_p100()
+
+        self.model_kernel_: Optional[KernelFunction] = None
+        self.support_vectors_ = None
+        self.dual_coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+        self.training_report_: Optional[TrainingReport] = None
+        self.prediction_report_: Optional[PredictionReport] = None
+
+    def _build_kernel(self, n_features: int) -> KernelFunction:
+        """Kernel function with gamma resolved against the feature count."""
+        name = self.kernel.lower()
+        if name == "linear":
+            return kernel_from_name(name)
+        params: dict = {"gamma": resolve_gamma(self.gamma, n_features)}
+        if name in ("polynomial", "poly"):
+            params.update(degree=self.degree, coef0=self.coef0)
+        elif name == "sigmoid":
+            params.update(coef0=self.coef0)
+        return kernel_from_name(name, **params)
+
+    # ------------------------------------------------------------------
+    def fit(self, X: object, y: object) -> "SVR":
+        """Fit the regressor to real-valued targets."""
+        data = mops.as_supported_matrix(X)
+        targets = np.asarray(y, dtype=np.float64).ravel()
+        n = mops.n_rows(data)
+        if targets.size != n:
+            raise ValidationError(f"{targets.size} targets for {n} instances")
+        if not np.all(np.isfinite(targets)):
+            raise ValidationError("targets contain NaN or infinity")
+
+        kernel = self._build_kernel(mops.n_cols(data))
+        engine = make_engine(self.device)
+        engine.transfer(mops.matrix_nbytes(data), category="transfer")
+        base_rows = KernelRowComputer(engine, kernel, data)
+        extended = _ExtendedRows(base_rows)
+
+        y_ext = np.concatenate([np.ones(n), -np.ones(n)])
+        initial_f = np.concatenate(
+            [self.epsilon_tube - targets, -self.epsilon_tube - targets]
+        )
+        solver = BatchSMOSolver(
+            penalty=float(self.C),
+            epsilon=self.epsilon,
+            working_set_size=self.working_set_size,
+            register_buffer_memory=False,
+        )
+        result = solver.solve(extended, y_ext, initial_f=initial_f)
+
+        beta = result.alpha[:n] - result.alpha[n:]
+        support = np.flatnonzero(np.abs(beta) > 0)
+        if support.size == 0:
+            # Everything inside the tube: the constant predictor.
+            support = np.asarray([0], dtype=np.int64)
+            beta = np.zeros(n)
+        self.model_kernel_ = kernel
+        self.support_ = support
+        self.support_vectors_ = mops.take_rows(data, support)
+        self.dual_coef_ = beta[support]
+        self.intercept_ = result.bias
+        self.n_features_in_ = mops.n_cols(data)
+        self.training_report_ = TrainingReport(
+            simulated_seconds=engine.clock.elapsed_s,
+            clock=engine.clock,
+            counters=engine.counters,
+            device_name=self.device.name,
+            n_binary_svms=1,
+            total_iterations=result.iterations,
+            kernel_rows_computed=result.kernel_rows_computed,
+        )
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.dual_coef_ is None:
+            raise NotFittedError("SVR is not fitted yet")
+
+    def predict(self, X: object) -> np.ndarray:
+        """Predicted targets for the given instances."""
+        self._require_fitted()
+        data = check_predict_inputs(X, self.n_features_in_)
+        engine = make_engine(self.device)
+        engine.transfer(mops.matrix_nbytes(data), category="transfer")
+        computer = KernelRowComputer(
+            engine, self.model_kernel_, self.support_vectors_,
+            category="decision_values",
+        )
+        block = computer.block(data, category="decision_values")
+        values = block @ self.dual_coef_ + self.intercept_
+        engine.charge(
+            "decision_values",
+            flops=2 * block.size,
+            bytes_read=block.size * FLOAT_BYTES,
+            bytes_written=values.size * FLOAT_BYTES,
+            launches=1,
+        )
+        self.prediction_report_ = PredictionReport(
+            simulated_seconds=engine.clock.elapsed_s,
+            clock=engine.clock,
+            counters=engine.counters,
+            device_name=self.device.name,
+            n_instances=mops.n_rows(data),
+        )
+        return values
+
+    def score(self, X: object, y: object) -> float:
+        """Coefficient of determination (R^2) on ``(X, y)``."""
+        targets = np.asarray(y, dtype=np.float64).ravel()
+        predictions = self.predict(X)
+        residual = float(np.sum((targets - predictions) ** 2))
+        total = float(np.sum((targets - targets.mean()) ** 2))
+        if total == 0:
+            return 1.0 if residual == 0 else 0.0
+        return 1.0 - residual / total

@@ -1,0 +1,514 @@
+"""The configurable multi-class training pipeline (Algorithm 2).
+
+Every system the paper evaluates is this pipeline under a different
+:class:`TrainerConfig`:
+
+==================  ========  =======================  ==========  =========
+system              solver    device                   concurrent  sharing
+==================  ========  =======================  ==========  =========
+LibSVM              classic   CPU (1 or 40 threads)    no          no
+GPU baseline        classic   GPU                      no          no
+CMP-SVM             batched   CPU (40 threads)         yes         yes
+GMP-SVM             batched   GPU                      yes         yes
+==================  ========  =======================  ==========  =========
+
+The pipeline: decompose into pairwise problems, train each binary SVM
+(classic or batched SMO), fit each sigmoid on the SVM's training-set
+decision values (Figure 1), then either sum the per-task simulated times
+(sequential systems) or pack them through the concurrency scheduler
+(Section 3.3.2).  Kernel-value sharing (Figure 3) plugs in as a row
+provider shared by all pairwise solvers.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.engine import FLOAT_BYTES, Engine, make_engine
+from repro.gpusim.scheduler import ConcurrentScheduler, ScheduledTask
+from repro.kernels.cache import KernelBuffer
+from repro.kernels.functions import KernelFunction
+from repro.kernels.rows import KernelRowComputer
+from repro.kernels.shared import SharedClassPairKernels
+from repro.model.binary import BinarySVMRecord
+from repro.model.multiclass import MPSVMModel
+from repro.multiclass.decomposition import class_partition, pair_problems
+from repro.multiclass.ova import ova_problems
+from repro.multiclass.sv_sharing import SupportVectorPool
+from repro.perf.report import TrainingReport
+from repro.probability.platt import fit_sigmoid
+from repro.solvers.batch_smo import BatchSMOSolver
+from repro.solvers.shrinking import ShrinkingSMOSolver
+from repro.solvers.smo import ClassicSMOSolver
+from repro.sparse import ops as mops
+
+__all__ = ["TrainerConfig", "train_multiclass"]
+
+
+@dataclass
+class TrainerConfig:
+    """Every knob that distinguishes the paper's systems."""
+
+    device: DeviceSpec
+    solver: str = "batched"  # "batched" (GMP/CMP) or "classic" (LibSVM/baseline)
+    flop_efficiency: Optional[float] = None  # None -> device-kind default
+    bandwidth_efficiency: float = 1.0  # program-level access-pattern quality
+    concurrent: bool = True  # MP-SVM-level concurrency (Section 3.3.2)
+    share_kernel_values: bool = True  # Figure 3 block sharing
+    parallel_line_search: bool = True  # Section 3.3.2 (ii)
+    probability: bool = True
+    decomposition: str = "ovo"  # "ovo" (pairwise, the paper) or "ova"
+    # Per-class penalty multipliers (LibSVM's -wi): label -> weight.
+    class_weight: Optional[dict] = None
+    # 0/1 fits the sigmoid on the final SVM's training-set decision values
+    # (the paper's Figure 1); >= 2 uses LibSVM's stratified k-fold
+    # cross-validated decision values (unbiased, k extra solves per pair).
+    probability_cv_folds: int = 0
+    epsilon: float = 1e-3
+    # Batched-solver geometry (Section 4.1 defaults: buffer 1024, q = 512;
+    # scaled to keep the paper's buffer/dataset coverage at registry sizes).
+    working_set_size: int = 48
+    new_per_round: Optional[int] = None
+    buffer_rows: Optional[int] = None  # defaults to the working-set size
+    buffer_policy: str = "fifo"
+    inner_rule: str = "adaptive"
+    # Classic-solver kernel cache (bytes; None disables caching).
+    classic_cache_bytes: Optional[int] = None
+    classic_cache_policy: str = "lru"
+    # LibSVM-style shrinking (active-set reduction) for the classic solver.
+    classic_shrinking: bool = False
+    # Concurrency packing: SM blocks one binary SVM occupies ("we use
+    # larger GPU thread blocks, such that the total number of blocks for a
+    # binary SVM is smaller than the number of SMs").
+    blocks_per_svm: int = 7
+    max_concurrent_svms: Optional[int] = None
+    # GPUSVM-style dense storage (Figure 10's pathology).
+    force_dense: bool = False
+    max_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("batched", "classic"):
+            raise ValidationError(f"solver must be batched/classic, got {self.solver!r}")
+        if self.decomposition not in ("ovo", "ova"):
+            raise ValidationError(
+                f"decomposition must be ovo/ova, got {self.decomposition!r}"
+            )
+
+
+def train_multiclass(
+    config: TrainerConfig,
+    data: mops.MatrixLike,
+    y: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+) -> tuple[MPSVMModel, TrainingReport]:
+    """Train a (probabilistic) multi-class SVM under ``config``.
+
+    Returns the fitted model and the simulated-cost report.
+    """
+    labels = np.asarray(y).ravel()
+    classes, partition = class_partition(labels)
+    if config.force_dense:
+        data = mops.to_dense(data)
+
+    master = make_engine(
+        config.device,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+    )
+    # Ship the training data to the device once (PCIe).
+    master.transfer(mops.matrix_nbytes(data), category="transfer")
+
+    shared: Optional[SharedClassPairKernels] = None
+    shared_computer: Optional[KernelRowComputer] = None
+    # With a single pair there is nothing to share across SVMs ("GMP-SVM is
+    # in fact the same as the GPU baseline when handling binary problems"),
+    # so the sharing layer only engages for true multi-class problems.
+    if config.share_kernel_values and classes.size > 2 and config.decomposition == "ovo":
+        shared_computer = KernelRowComputer(master, kernel, data)
+        shared_computer.diagonal()  # norms + diagonal once, on the master
+        # The cross-SVM segment store lives in device memory like any
+        # other kernel-value cache; bound it to a quarter of the device so
+        # it shares (rather than silently replaces) the per-SVM buffers.
+        shared = SharedClassPairKernels(
+            shared_computer,
+            partition,
+            max_bytes=config.device.global_mem_bytes // 4,
+        )
+
+    tasks: list[ScheduledTask] = []
+    per_svm_records: list[BinarySVMRecord] = []
+    pool_entries: list[tuple[int, int, np.ndarray, np.ndarray, float]] = []
+    per_svm_stats: list[dict] = []
+    total_iterations = 0
+    total_rows_computed = 0
+    peak_task_mem = 0
+
+    if config.class_weight:
+        known = set(np.asarray(classes).tolist())
+        for label, weight in config.class_weight.items():
+            if label not in known:
+                raise ValidationError(
+                    f"class_weight key {label!r} is not a training label"
+                )
+            if weight <= 0:
+                raise ValidationError("class weights must be positive")
+
+    problems = (
+        pair_problems(classes, partition)
+        if config.decomposition == "ovo"
+        else ova_problems(classes, partition)
+    )
+    for problem in problems:
+        engine = make_engine(
+            config.device,
+            flop_efficiency=config.flop_efficiency,
+            bandwidth_efficiency=config.bandwidth_efficiency,
+            counters=master.counters,
+        )
+        if shared is not None and shared_computer is not None:
+            rows = _SharedPairRows(engine, shared, shared_computer, problem)
+            pair_data = None
+        else:
+            pair_data = mops.take_rows(data, problem.global_indices)
+            rows = KernelRowComputer(engine, kernel, pair_data)
+
+        penalty_vector = _class_weighted_penalties(
+            config, classes, problem, penalty
+        )
+        result, task_mem = _solve_pair(
+            config, engine, rows, problem.labels, penalty,
+            penalty_vector=penalty_vector,
+        )
+        total_iterations += result.iterations
+        total_rows_computed += result.kernel_rows_computed
+        peak_task_mem = max(peak_task_mem, task_mem)
+
+        # Training-set decision values come free from the indicators:
+        # v_i = f_i + y_i + b (Eq. 3 vs Eq. 11).
+        decisions = result.f + problem.labels + result.bias
+        engine.elementwise("decision_values", problem.n, flops_per_element=2)
+        sigmoid = None
+        if config.probability:
+            sigmoid_decisions = decisions
+            if config.probability_cv_folds > 1:
+                # LibSVM's -b 1 methodology: fit the sigmoid on held-out
+                # decision values from a stratified cross-validation
+                # (the paper's Figure 1 uses the direct values above).
+                if pair_data is None:
+                    pair_data = mops.take_rows(data, problem.global_indices)
+                try:
+                    sigmoid_decisions = _cv_decision_values(
+                        config, engine, kernel, pair_data, problem.labels,
+                        penalty, penalty_vector=penalty_vector,
+                    )
+                except _CVFallback:
+                    sigmoid_decisions = decisions
+            sigmoid = fit_sigmoid(
+                engine,
+                sigmoid_decisions,
+                problem.labels,
+                parallel_line_search=config.parallel_line_search,
+            )
+        train_error = float(np.mean(np.sign(decisions) != problem.labels))
+
+        support = result.support_indices
+        coefficients = result.alpha[support] * problem.labels[support]
+        global_sv = problem.global_indices[support]
+        pool_entries.append((problem.s, problem.t, global_sv, coefficients, result.bias))
+        per_svm_records.append(
+            BinarySVMRecord(
+                s=problem.s,
+                t=problem.t,
+                global_sv_indices=global_sv,
+                coefficients=coefficients,
+                bias=result.bias,
+                sigmoid=sigmoid,
+                iterations=result.iterations,
+                objective=result.objective,
+                training_error=train_error,
+            )
+        )
+        per_svm_stats.append(
+            {
+                "pair": (problem.s, problem.t),
+                "n": problem.n,
+                "iterations": result.iterations,
+                "rounds": result.rounds,
+                "converged": result.converged,
+                "n_support": int(support.size),
+                "buffer_hit_rate": result.buffer_hit_rate,
+                "simulated_seconds": engine.clock.elapsed_s,
+            }
+        )
+        tasks.append(
+            ScheduledTask.from_clock(
+                f"svm_{problem.s}_{problem.t}",
+                engine.clock,
+                mem_bytes=task_mem,
+                blocks=config.blocks_per_svm,
+            )
+        )
+
+    # Combine per-task time: concurrent packing or plain serial sum.
+    combined = SimClock()
+    combined.merge(master.clock)
+    if config.concurrent and len(tasks) > 1:
+        scheduler = ConcurrentScheduler(
+            config.device,
+            max_concurrent=config.max_concurrent_svms,
+            mem_budget_bytes=max(
+                config.device.global_mem_bytes - mops.matrix_nbytes(data), 1
+            ),
+        )
+        plan = scheduler.plan(tasks)
+        combined.merge(plan.aggregate_clock())
+        max_concurrency = plan.max_concurrency
+        concurrency_speedup = plan.speedup
+    else:
+        for task in tasks:
+            if task.clock is not None:
+                combined.merge(task.clock)
+        max_concurrency = 1
+        concurrency_speedup = 1.0
+
+    pool = SupportVectorPool.build(data, pool_entries)
+    model = MPSVMModel(
+        classes=classes,
+        kernel=kernel,
+        penalty=float(penalty),
+        records=per_svm_records,
+        sv_pool=pool,
+        probability=config.probability,
+        strategy=config.decomposition,
+        metadata={"trainer": config.solver, "device": config.device.name},
+    )
+    report = TrainingReport(
+        simulated_seconds=combined.elapsed_s,
+        clock=combined,
+        counters=master.counters,
+        device_name=config.device.name,
+        n_binary_svms=len(per_svm_records),
+        total_iterations=total_iterations,
+        kernel_rows_computed=total_rows_computed,
+        max_concurrency=max_concurrency,
+        concurrency_speedup=concurrency_speedup,
+        sharing_hit_rate=shared.stats.hit_rate if shared is not None else 0.0,
+        peak_task_memory_bytes=peak_task_mem,
+        per_svm=per_svm_stats,
+    )
+    return model, report
+
+
+def _class_weighted_penalties(
+    config: TrainerConfig,
+    classes: np.ndarray,
+    problem,
+    penalty: float,
+) -> Optional[np.ndarray]:
+    """Per-instance C for one binary problem, or None when unweighted.
+
+    The positive side carries class s's weight; the negative side carries
+    class t's (or 1.0 for one-vs-all's "rest" side).
+    """
+    if not config.class_weight:
+        return None
+    labels_list = np.asarray(classes).tolist()
+    pos_weight = config.class_weight.get(labels_list[problem.s], 1.0)
+    if problem.t >= 0:
+        neg_weight = config.class_weight.get(labels_list[problem.t], 1.0)
+    else:
+        neg_weight = 1.0
+    if pos_weight == 1.0 and neg_weight == 1.0:
+        return None
+    return penalty * np.where(problem.labels > 0, pos_weight, neg_weight)
+
+
+def _solve_pair(
+    config: TrainerConfig,
+    engine: Engine,
+    rows: "KernelRowComputer",
+    labels: np.ndarray,
+    penalty: float,
+    *,
+    penalty_vector: Optional[np.ndarray] = None,
+):
+    """Run the configured solver on one pairwise problem.
+
+    Returns ``(SolverResult, task_device_bytes)`` where the byte estimate
+    covers what the task keeps resident on the device (solver state plus
+    its kernel buffer/cache) — the scheduler packs concurrency from it.
+    """
+    n = rows.n
+    state_bytes = 4 * n * FLOAT_BYTES  # alpha, f, labels, diagonal resident
+    if config.solver == "batched":
+        solver = BatchSMOSolver(
+            penalty=penalty,
+            epsilon=config.epsilon,
+            working_set_size=config.working_set_size,
+            new_per_round=config.new_per_round,
+            buffer_rows=config.buffer_rows,
+            buffer_policy=config.buffer_policy,
+            inner_rule=config.inner_rule,
+            register_buffer_memory=False,  # tracked via the task estimate
+        )
+        resident_rows = config.buffer_rows or 2 * config.working_set_size
+        buffer_bytes = min(resident_rows, n) * n * FLOAT_BYTES
+        result = solver.solve(rows, labels, penalty_vector=penalty_vector)
+        return result, state_bytes + buffer_bytes
+
+    if config.classic_shrinking:
+        solver = ShrinkingSMOSolver(
+            penalty=penalty,
+            epsilon=config.epsilon,
+            max_iterations=config.max_iterations,
+            cache_bytes=config.classic_cache_bytes,
+        )
+        result = solver.solve(rows, labels, penalty_vector=penalty_vector)
+        cache_budget = config.classic_cache_bytes or 0
+        return result, state_bytes + cache_budget
+
+    cache = None
+    cache_bytes = 0
+    if config.classic_cache_bytes:
+        cache_rows = max(2, int(config.classic_cache_bytes) // (n * FLOAT_BYTES))
+        cache_rows = min(cache_rows, n)
+        cache = KernelBuffer(
+            cache_rows, n, policy=config.classic_cache_policy
+        )
+        cache_bytes = cache.nbytes
+    solver = ClassicSMOSolver(
+        penalty=penalty,
+        epsilon=config.epsilon,
+        max_iterations=config.max_iterations,
+        buffer=cache,
+    )
+    result = solver.solve(rows, labels, penalty_vector=penalty_vector)
+    return result, state_bytes + cache_bytes
+
+
+class _SharedPairRows:
+    """Adapter: a pairwise-problem view over the shared class-pair kernels.
+
+    Implements the :class:`KernelRowComputer` protocol the solvers use,
+    mapping the binary problem's local indices to global instances and
+    pulling kernel segments from the cross-SVM share.  The *task* engine is
+    exposed for the solver's own charges; kernel computation is charged to
+    the sharing service's engine (the master) exactly once per segment.
+    """
+
+    def __init__(
+        self,
+        task_engine: Engine,
+        shared: SharedClassPairKernels,
+        computer: KernelRowComputer,
+        problem,
+    ) -> None:
+        self.engine = task_engine
+        self._shared = shared
+        self._computer = computer
+        self._problem = problem
+
+    @property
+    def n(self) -> int:
+        return self._problem.n
+
+    @property
+    def row_nbytes(self) -> int:
+        return self.n * FLOAT_BYTES
+
+    def diagonal(self) -> np.ndarray:
+        return self._computer.diagonal()[self._problem.global_indices]
+
+    def rows(self, local_ids: object, *, category: Optional[str] = None) -> np.ndarray:
+        idx = np.asarray(local_ids, dtype=np.int64)
+        global_ids = self._problem.global_indices[idx]
+        return self._shared.rows_for_pair(
+            global_ids,
+            self._problem.s,
+            self._problem.t,
+            category=category if category is not None else "kernel_values",
+        )
+
+
+def _cv_decision_values(
+    config: TrainerConfig,
+    engine: Engine,
+    kernel: KernelFunction,
+    pair_data: mops.MatrixLike,
+    labels: np.ndarray,
+    penalty: float,
+    *,
+    penalty_vector: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Held-out decision values from a stratified k-fold cross-validation.
+
+    Mirrors LibSVM's ``svm_binary_svc_probability``: for each fold, a
+    fresh SVM is trained on the other folds and scored on the held-out
+    instances; the assembled out-of-fold values feed the sigmoid fit.
+    Fold assignment is deterministic (seeded by the pair size) and
+    stratified so every training part keeps both classes.
+    """
+    n = labels.size
+    positives = np.flatnonzero(labels > 0)
+    negatives = np.flatnonzero(labels < 0)
+    folds = min(config.probability_cv_folds, positives.size, negatives.size)
+    if folds < 2:
+        # Too few instances of a class to cross-validate; LibSVM falls back
+        # to heuristic raw values — we fall back to the direct method.
+        warnings.warn(
+            "not enough instances per class for CV sigmoid targets; "
+            "using direct decision values",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+        raise _CVFallback()
+
+    rng = np.random.default_rng(n)
+    decisions = np.empty(n)
+    fold_of = np.empty(n, dtype=np.int64)
+    for class_indices in (positives, negatives):
+        shuffled = class_indices.copy()
+        rng.shuffle(shuffled)
+        fold_of[shuffled] = np.arange(shuffled.size) % folds
+
+    for fold in range(folds):
+        held_out = np.flatnonzero(fold_of == fold)
+        train_part = np.flatnonzero(fold_of != fold)
+        fold_data = mops.take_rows(pair_data, train_part)
+        fold_rows = KernelRowComputer(engine, kernel, fold_data)
+        result, _ = _solve_pair(
+            config, engine, fold_rows, labels[train_part], penalty,
+            penalty_vector=(
+                penalty_vector[train_part] if penalty_vector is not None else None
+            ),
+        )
+        support = result.support_indices
+        held_data = mops.take_rows(pair_data, held_out)
+        if support.size:
+            block = fold_rows.block(held_data, category="decision_values")
+            coefficients = result.alpha[support] * labels[train_part][support]
+            values = block[:, support] @ coefficients + result.bias
+            engine.charge(
+                "decision_values",
+                flops=2 * held_out.size * support.size,
+                bytes_read=held_out.size * support.size * FLOAT_BYTES,
+                bytes_written=held_out.size * FLOAT_BYTES,
+                launches=1,
+            )
+        else:
+            values = np.full(held_out.size, result.bias)
+        decisions[held_out] = values
+    return decisions
+
+
+class _CVFallback(Exception):
+    """Internal: fall back to direct sigmoid targets."""

@@ -1,0 +1,52 @@
+"""Input validation shared by the estimators and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.sparse import ops as mops
+
+__all__ = ["check_fit_inputs", "check_predict_inputs", "resolve_gamma"]
+
+
+def check_fit_inputs(data: object, y: object) -> tuple[mops.MatrixLike, np.ndarray]:
+    """Coerce and validate ``(X, y)`` for fitting."""
+    matrix = mops.as_supported_matrix(data)
+    labels = np.asarray(y).ravel()
+    if labels.size != mops.n_rows(matrix):
+        raise ValidationError(
+            f"{labels.size} labels for {mops.n_rows(matrix)} instances"
+        )
+    if labels.size < 2:
+        raise ValidationError("need at least two training instances")
+    if not np.all(np.isfinite(labels.astype(np.float64))):
+        raise ValidationError("labels contain NaN or infinity")
+    return matrix, labels
+
+
+def check_predict_inputs(
+    data: object, n_features: int
+) -> mops.MatrixLike:
+    """Coerce and validate test data against the trained feature count."""
+    matrix = mops.as_supported_matrix(data)
+    if mops.n_cols(matrix) != n_features:
+        raise ValidationError(
+            f"test data has {mops.n_cols(matrix)} features; the model was "
+            f"trained with {n_features}"
+        )
+    return matrix
+
+
+def resolve_gamma(gamma: object, n_features: int) -> float:
+    """Resolve ``gamma`` which may be a number, ``"scale"``-less default.
+
+    ``None`` (or the string ``"auto"``) maps to ``1 / n_features``,
+    LibSVM's default.
+    """
+    if gamma is None or gamma == "auto":
+        return 1.0 / max(n_features, 1)
+    value = float(gamma)  # raises for junk strings
+    if value <= 0:
+        raise ValidationError(f"gamma must be positive, got {value}")
+    return value

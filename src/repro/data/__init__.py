@@ -1,0 +1,39 @@
+"""Datasets: synthetic generators and the paper-workload registry.
+
+The paper evaluates on nine public datasets (Table 2).  Those exact
+datasets (and the hardware to process them) are not available here, so the
+registry provides deterministic synthetic counterparts that mirror each
+dataset's *shape* — class count, scaled cardinality, dimensionality,
+sparsity/feature style, and the paper's C and gamma — per the substitution
+policy in DESIGN.md Section 2.
+"""
+
+from repro.data.loaders import load_libsvm_dataset
+from repro.data.registry import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.data.synthetic import (
+    binary01_features,
+    gaussian_blobs,
+    image_like,
+    tfidf_like,
+    train_test_split,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "binary01_features",
+    "dataset_names",
+    "gaussian_blobs",
+    "image_like",
+    "load_dataset",
+    "load_libsvm_dataset",
+    "tfidf_like",
+    "train_test_split",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the major
+subsystems: data validation, sparse-matrix handling, the simulated GPU
+device, and the optimisation solvers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid user input (bad shapes, labels, hyper-parameters)."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """Malformed CSR structure or unparsable LibSVM-format text."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Base class for simulated-device failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """The simulated device ran out of global memory.
+
+    Carries the request and the remaining capacity so callers (e.g. the
+    MP-SVM scheduler) can react by lowering concurrency.
+    """
+
+    def __init__(self, requested_bytes: int, free_bytes: int) -> None:
+        self.requested_bytes = int(requested_bytes)
+        self.free_bytes = int(free_bytes)
+        super().__init__(
+            f"device out of memory: requested {self.requested_bytes} B, "
+            f"only {self.free_bytes} B free"
+        )
+
+
+class DeviceStateError(DeviceError):
+    """Illegal operation on the simulated device (double free, use after free)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimisation solver failed to make progress or diverged."""
+
+
+class ConvergenceWarning(UserWarning):
+    """A solver hit its iteration cap before reaching the requested tolerance."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class ModelFormatError(ReproError, ValueError):
+    """A persisted model file is malformed or has an unsupported version."""

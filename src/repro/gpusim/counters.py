@@ -1,0 +1,84 @@
+"""Hardware-event counters for the simulated device.
+
+The counters record *what the algorithm asked the device to do* — floating
+point operations, global-memory traffic, kernel launches, PCIe transfers —
+independent of the time model.  Tests assert on counters (e.g. "kernel
+sharing computes fewer bytes"), and the cost model is a pure function of
+them, which keeps the simulation auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounters"]
+
+
+@dataclass
+class OpCounters:
+    """Mutable tally of device events."""
+
+    flops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    shared_bytes: int = 0
+    kernel_launches: int = 0
+    pcie_bytes: int = 0
+
+    def record(
+        self,
+        *,
+        flops: int = 0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        shared_bytes: int = 0,
+        kernel_launches: int = 0,
+        pcie_bytes: int = 0,
+    ) -> None:
+        """Add the given event counts (all non-negative)."""
+        increments = (
+            flops, bytes_read, bytes_written, shared_bytes,
+            kernel_launches, pcie_bytes,
+        )
+        if min(increments) < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.flops += flops
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+        self.shared_bytes += shared_bytes
+        self.kernel_launches += kernel_launches
+        self.pcie_bytes += pcie_bytes
+
+    @property
+    def bytes_total(self) -> int:
+        """DRAM bytes read plus written."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "OpCounters") -> None:
+        """Fold another tally into this one."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def snapshot(self) -> "OpCounters":
+        """An immutable-by-convention copy of the current counts."""
+        return OpCounters(
+            **{field.name: getattr(self, field.name) for field in fields(self)}
+        )
+
+    def since(self, earlier: "OpCounters") -> "OpCounters":
+        """Difference between this tally and an earlier snapshot."""
+        return OpCounters(
+            **{
+                field.name: getattr(self, field.name) - getattr(earlier, field.name)
+                for field in fields(self)
+            }
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in fields(self):
+            setattr(self, field.name, 0)

@@ -1,0 +1,254 @@
+"""Device specifications for the simulated execution substrate.
+
+A :class:`DeviceSpec` holds the handful of architectural parameters the
+cost model needs.  The presets mirror the paper's testbed (Section 4): an
+NVIDIA Tesla P100 and a dual-socket Xeon E5-2640 v4 workstation.
+
+Because the reproduction runs the paper's workloads scaled down by roughly
+three orders of magnitude (see ``repro.data.registry``), the default GPU
+preset used by the benchmarks is a *proportionally scaled* P100: same
+throughput and latency, global memory shrunk by the same factor as the
+datasets, so the paper's memory-pressure effects (buffer eviction, capped
+concurrency) still occur at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DeviceSpec",
+    "tesla_p100",
+    "tesla_v100",
+    "scaled_tesla_p100",
+    "scaled_tesla_v100",
+    "xeon_e5_2640v4",
+    "DEFAULT_MEMORY_SCALE",
+]
+
+GIB = 1024**3
+DEFAULT_MEMORY_SCALE = 512
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in reports.
+    kind:
+        ``"gpu"`` or ``"cpu"``; selects the engine cost model.
+    peak_gflops:
+        Aggregate single-precision throughput in GFLOP/s.  For CPUs this is
+        the *single-core* figure; multi-threaded throughput is derived from
+        ``threads`` and ``thread_efficiency``.
+    mem_bandwidth_gbps:
+        Device (global/main) memory bandwidth in GB/s.
+    global_mem_bytes:
+        Capacity of device memory; allocations beyond it raise
+        :class:`~repro.exceptions.DeviceMemoryError`.
+    launch_overhead_s:
+        Fixed latency per kernel launch (GPU) or per dispatched parallel
+        region (CPU).  This term is what batching amortises.
+    pcie_bandwidth_gbps:
+        Host-to-device transfer bandwidth; only meaningful for GPUs.
+    num_sms:
+        Streaming multiprocessors; bounds how many concurrent tasks the
+        scheduler can co-locate when each task caps its block count.
+    threads / thread_efficiency:
+        CPU parallelism: effective parallel speedup is
+        ``1 + (threads - 1) * thread_efficiency`` (a simple OpenMP model
+        matching the paper's observed ~10x at 40 threads).
+    sync_overhead_s:
+        Latency of one intra-kernel synchronisation step (block-wide
+        ``__syncthreads`` plus a reduction round).  Charged by loops that
+        run many dependent steps inside a single kernel, e.g. the inner
+        working-set SMO iterations.
+    shared_bandwidth_gbps:
+        On-chip bandwidth: GPU shared memory / register traffic, or the
+        CPU cache hierarchy.  For CPUs this is the *per-thread* figure
+        (caches scale with active cores); see
+        :attr:`effective_shared_bandwidth_gbps`.  Ops that operate on
+        staged working-set state charge this tier instead of DRAM.
+    """
+
+    name: str
+    kind: str
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    global_mem_bytes: int
+    launch_overhead_s: float
+    pcie_bandwidth_gbps: float = 12.0
+    num_sms: int = 1
+    threads: int = 1
+    thread_efficiency: float = 0.22
+    per_thread_bandwidth_gbps: float = 10.0
+    sync_overhead_s: float = 0.0
+    shared_bandwidth_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValidationError(f"device kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if self.peak_gflops <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise ValidationError("throughput parameters must be positive")
+        if self.global_mem_bytes <= 0:
+            raise ValidationError("global_mem_bytes must be positive")
+        if self.threads < 1:
+            raise ValidationError("threads must be >= 1")
+        if not 0.0 <= self.thread_efficiency <= 1.0:
+            raise ValidationError("thread_efficiency must lie in [0, 1]")
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Effective speedup from multi-threading (1.0 for one thread)."""
+        return 1.0 + (self.threads - 1) * self.thread_efficiency
+
+    @property
+    def effective_gflops(self) -> float:
+        """Deliverable GFLOP/s given the threading model."""
+        if self.kind == "cpu":
+            return self.peak_gflops * self.effective_parallelism
+        return self.peak_gflops
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Deliverable memory bandwidth in GB/s.
+
+        A single CPU thread cannot saturate the socket's memory channels,
+        so CPU bandwidth scales with effective parallelism up to the
+        socket maximum.  GPUs always see the full device bandwidth.
+        """
+        if self.kind == "cpu":
+            return min(
+                self.mem_bandwidth_gbps,
+                self.per_thread_bandwidth_gbps * self.effective_parallelism,
+            )
+        return self.mem_bandwidth_gbps
+
+    @property
+    def effective_shared_bandwidth_gbps(self) -> float:
+        """Deliverable on-chip (shared/cache) bandwidth in GB/s.
+
+        CPU caches are per-core resources, so the figure scales with
+        effective parallelism; GPU shared memory is quoted as the
+        device-wide aggregate.  Falls back to DRAM bandwidth when the
+        device declares no on-chip tier.
+        """
+        if self.shared_bandwidth_gbps <= 0:
+            return self.effective_bandwidth_gbps
+        if self.kind == "cpu":
+            return self.shared_bandwidth_gbps * self.effective_parallelism
+        return self.shared_bandwidth_gbps
+
+    def with_threads(self, threads: int) -> "DeviceSpec":
+        """A copy of this (CPU) spec with a different thread count."""
+        if self.kind != "cpu":
+            raise ValidationError("with_threads applies to CPU devices only")
+        return replace(self, threads=threads, name=f"{self.name} ({threads}t)")
+
+    def with_memory(self, global_mem_bytes: int) -> "DeviceSpec":
+        """A copy with a different global-memory capacity."""
+        return replace(self, global_mem_bytes=int(global_mem_bytes))
+
+
+def tesla_p100() -> DeviceSpec:
+    """The paper's GPU: Tesla P100, 12 GB global memory."""
+    return DeviceSpec(
+        name="Tesla P100",
+        kind="gpu",
+        peak_gflops=9300.0,
+        mem_bandwidth_gbps=720.0,
+        global_mem_bytes=12 * GIB,
+        launch_overhead_s=5e-6,
+        pcie_bandwidth_gbps=12.0,
+        num_sms=56,
+        sync_overhead_s=2e-7,
+        shared_bandwidth_gbps=9000.0,
+    )
+
+
+def tesla_v100() -> DeviceSpec:
+    """The paper's projection target: "Better GPUs such as V100 should
+    further improve the efficiency of GMP-SVM, due to higher memory
+    bandwidth and more cores."
+    """
+    return DeviceSpec(
+        name="Tesla V100",
+        kind="gpu",
+        peak_gflops=14_800.0,
+        mem_bandwidth_gbps=900.0,
+        global_mem_bytes=16 * GIB,
+        launch_overhead_s=4e-6,
+        pcie_bandwidth_gbps=14.0,
+        num_sms=80,
+        sync_overhead_s=1.5e-7,
+        shared_bandwidth_gbps=13_800.0,
+    )
+
+
+def scaled_tesla_v100(memory_scale: int = DEFAULT_MEMORY_SCALE) -> DeviceSpec:
+    """A V100 scaled like :func:`scaled_tesla_p100` (same rationale)."""
+    if memory_scale < 1:
+        raise ValidationError("memory_scale must be >= 1")
+    base = tesla_v100()
+    return replace(
+        base,
+        name=f"Tesla V100 (1/{memory_scale} scale)",
+        global_mem_bytes=base.global_mem_bytes // memory_scale,
+        launch_overhead_s=base.launch_overhead_s / memory_scale,
+        sync_overhead_s=base.sync_overhead_s / memory_scale,
+    )
+
+
+def scaled_tesla_p100(memory_scale: int = DEFAULT_MEMORY_SCALE) -> DeviceSpec:
+    """A P100 proportionally scaled to the reproduction's dataset size.
+
+    The reproduction's datasets are scaled down in cardinality by roughly
+    ``memory_scale``.  To preserve the paper's behaviour two things must
+    shrink with them (DESIGN.md Section 2):
+
+    - global memory, so memory-pressure effects (buffer eviction, capped
+      MP-SVM concurrency) still occur; and
+    - the fixed latencies (kernel launch, intra-kernel sync), so the
+      balance between per-op latency and per-op streaming work matches the
+      full-size system — otherwise launch overhead would artificially
+      dominate the small scaled workloads and distort every ratio.
+
+    Throughput constants (FLOPS, bandwidth) are scale-free and unchanged.
+    """
+    if memory_scale < 1:
+        raise ValidationError("memory_scale must be >= 1")
+    base = tesla_p100()
+    return replace(
+        base,
+        name=f"Tesla P100 (1/{memory_scale} scale)",
+        global_mem_bytes=base.global_mem_bytes // memory_scale,
+        launch_overhead_s=base.launch_overhead_s / memory_scale,
+        sync_overhead_s=base.sync_overhead_s / memory_scale,
+    )
+
+
+def xeon_e5_2640v4(threads: int = 1) -> DeviceSpec:
+    """The paper's CPU host: two Xeon E5-2640 v4 (20 cores / 40 threads).
+
+    ``peak_gflops`` is the single-core effective figure; pass
+    ``threads=40`` for the OpenMP configurations in the paper.
+    """
+    return DeviceSpec(
+        name=f"2x Xeon E5-2640 v4 ({threads}t)",
+        kind="cpu",
+        peak_gflops=32.0,
+        mem_bandwidth_gbps=120.0,
+        global_mem_bytes=256 * GIB,
+        launch_overhead_s=2e-9,
+        pcie_bandwidth_gbps=0.0,
+        num_sms=20,
+        threads=threads,
+        sync_overhead_s=2e-9,
+        per_thread_bandwidth_gbps=20.0,
+        shared_bandwidth_gbps=45.0,
+    )

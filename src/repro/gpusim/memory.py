@@ -1,0 +1,137 @@
+"""Device global-memory accounting.
+
+The paper's second key challenge is that "performing training or estimating
+probability in a highly parallel way requires a much larger memory footprint
+than the GPU memory".  This module makes that constraint real for the
+simulation: every buffer a solver keeps resident on the device is allocated
+through a :class:`DeviceAllocator`, which enforces the capacity of the
+:class:`~repro.gpusim.device.DeviceSpec` and raises
+:class:`~repro.exceptions.DeviceMemoryError` on exhaustion.  The MP-SVM
+scheduler sizes its concurrency from the same accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import DeviceMemoryError, DeviceStateError, ValidationError
+
+__all__ = ["DeviceBuffer", "DeviceAllocator"]
+
+
+class DeviceBuffer:
+    """A handle to a region of simulated device memory.
+
+    Buffers are context managers, so typical usage is::
+
+        with allocator.allocate(nbytes, tag="kernel-buffer") as buf:
+            ...  # buf.nbytes resident for the duration
+    """
+
+    __slots__ = ("buffer_id", "nbytes", "tag", "_allocator", "_freed")
+
+    def __init__(self, buffer_id: int, nbytes: int, tag: str, allocator: "DeviceAllocator") -> None:
+        self.buffer_id = buffer_id
+        self.nbytes = nbytes
+        self.tag = tag
+        self._allocator = allocator
+        self._freed = False
+
+    @property
+    def freed(self) -> bool:
+        """Whether this buffer has been released."""
+        return self._freed
+
+    def free(self) -> None:
+        """Release the buffer back to its allocator."""
+        self._allocator.free(self)
+
+    def __enter__(self) -> "DeviceBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._freed:
+            self.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "freed" if self._freed else "live"
+        return f"DeviceBuffer(id={self.buffer_id}, {self.nbytes} B, tag={self.tag!r}, {state})"
+
+
+class DeviceAllocator:
+    """Tracks allocations against a fixed global-memory capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValidationError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+        self._peak = 0
+        self._live: dict[int, DeviceBuffer] = {}
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, *, tag: str = "") -> DeviceBuffer:
+        """Reserve ``nbytes``; raises :class:`DeviceMemoryError` if it does not fit."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValidationError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise DeviceMemoryError(nbytes, self.free_bytes)
+        buffer = DeviceBuffer(next(self._ids), nbytes, tag, self)
+        self._live[buffer.buffer_id] = buffer
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+        return buffer
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Release a live buffer; double frees and foreign buffers raise."""
+        if buffer._freed:
+            raise DeviceStateError(f"double free of {buffer!r}")
+        if buffer.buffer_id not in self._live:
+            raise DeviceStateError(f"{buffer!r} does not belong to this allocator")
+        del self._live[buffer.buffer_id]
+        buffer._freed = True
+        self._used -= buffer.nbytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return 0 <= int(nbytes) <= self.free_bytes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of resident bytes over the allocator's lifetime."""
+        return self._peak
+
+    @property
+    def live_buffers(self) -> int:
+        """Count of un-freed buffers."""
+        return len(self._live)
+
+    def usage_by_tag(self) -> dict[str, int]:
+        """Resident bytes grouped by allocation tag."""
+        usage: dict[str, int] = {}
+        for buffer in self._live.values():
+            usage[buffer.tag] = usage.get(buffer.tag, 0) + buffer.nbytes
+        return usage
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceAllocator(used={self._used}/{self.capacity_bytes} B, "
+            f"live={len(self._live)}, peak={self._peak})"
+        )

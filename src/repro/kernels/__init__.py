@@ -1,0 +1,33 @@
+"""Kernel functions and kernel-value machinery.
+
+Implements the paper's four kernel functions (Section 2.1), batched
+kernel-row computation (Section 3.3.1: "computing those kernel values is
+essentially matrix multiplication"), the GPU kernel-value buffer with FIFO
+batch replacement, and the MP-SVM-level class-pair block sharing of
+Figure 3.
+"""
+
+from repro.kernels.cache import BufferStats, KernelBuffer
+from repro.kernels.functions import (
+    GaussianKernel,
+    KernelFunction,
+    LinearKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    kernel_from_name,
+)
+from repro.kernels.rows import KernelRowComputer
+from repro.kernels.shared import SharedClassPairKernels
+
+__all__ = [
+    "BufferStats",
+    "GaussianKernel",
+    "KernelBuffer",
+    "KernelFunction",
+    "KernelRowComputer",
+    "LinearKernel",
+    "PolynomialKernel",
+    "SharedClassPairKernels",
+    "SigmoidKernel",
+    "kernel_from_name",
+]

@@ -1,0 +1,193 @@
+"""MP-SVM-level kernel-value sharing across binary SVMs (Figure 3).
+
+A pairwise problem (s, t) only ever needs kernel values between instances
+of classes s and t.  Laid out naively, each of the k(k-1)/2 binary SVMs
+owns four private blocks (ss, st, ts, tt) — 12 blocks for k = 3.  The
+paper's shared layout stores each *class-pair block* once (9 for k = 3):
+the diagonal blocks (s, s) are shared by every SVM involving class s, and
+(s, t) serves both orientations.
+
+During training the solvers pull kernel *rows*; the shareable unit is
+therefore a row *segment*: the kernel values of one instance against one
+class.  :class:`SharedClassPairKernels` caches segments keyed by
+``(instance, class)`` so that concurrent binary SVMs reuse each other's
+work — SVM(s, t) computing row i of class s against class s makes that
+segment free for SVM(s, u).
+
+Set ``enabled=False`` to disable reuse (the ablation baseline); the
+interface is identical but every request recomputes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.gpusim.engine import FLOAT_BYTES
+from repro.kernels.rows import KernelRowComputer
+from repro.sparse import ops as mops
+
+__all__ = ["SharedClassPairKernels", "SharingStats", "unique_block_count", "naive_block_count"]
+
+
+def unique_block_count(n_classes: int) -> int:
+    """Blocks in the shared layout: the full k x k class-pair grid.
+
+    Matches Figure 3b (9 blocks for three classes).
+    """
+    if n_classes < 1:
+        raise ValidationError("n_classes must be >= 1")
+    return n_classes * n_classes
+
+
+def naive_block_count(n_classes: int) -> int:
+    """Blocks without sharing: each binary SVM owns ss, st, ts, tt.
+
+    Matches Figure 3a (3 SVMs x 4 blocks = 12 for three classes).
+    """
+    if n_classes < 1:
+        raise ValidationError("n_classes must be >= 1")
+    return 2 * n_classes * (n_classes - 1)
+
+
+@dataclass
+class SharingStats:
+    """Segment-level reuse accounting."""
+
+    segment_hits: int = 0
+    segment_misses: int = 0
+    values_reused: int = 0
+    values_computed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of segment requests served from the share."""
+        total = self.segment_hits + self.segment_misses
+        return self.segment_hits / total if total else 0.0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Device bytes not recomputed thanks to sharing."""
+        return self.values_reused * FLOAT_BYTES
+
+
+class SharedClassPairKernels:
+    """Cross-SVM cache of per-class kernel-row segments."""
+
+    def __init__(
+        self,
+        computer: KernelRowComputer,
+        class_indices: Mapping[int, np.ndarray],
+        *,
+        enabled: bool = True,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.computer = computer
+        self.class_indices = {
+            int(label): np.asarray(idx, dtype=np.int64)
+            for label, idx in class_indices.items()
+        }
+        for label, idx in self.class_indices.items():
+            if idx.size == 0:
+                raise ValidationError(f"class {label} has no instances")
+        self.enabled = enabled
+        self.max_bytes = max_bytes
+        self.stats = SharingStats()
+        self._segments: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._resident_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def rows_for_pair(
+        self,
+        global_ids: np.ndarray,
+        class_s: int,
+        class_t: int,
+        *,
+        category: str = "kernel_values",
+    ) -> np.ndarray:
+        """Kernel rows of the given instances against classes (s, t).
+
+        Columns are ordered ``[class s instances..., class t instances...]``
+        — the local column order of the binary problem (s, t).
+        """
+        self._check_class(class_s)
+        self._check_class(class_t)
+        ids = np.asarray(global_ids, dtype=np.int64)
+        seg_s = self._segments_for_class(ids, class_s, category)
+        seg_t = self._segments_for_class(ids, class_t, category)
+        return np.hstack([seg_s, seg_t])
+
+    def segment(
+        self, global_id: int, class_label: int, *, category: str = "kernel_values"
+    ) -> np.ndarray:
+        """One instance's kernel values against one class."""
+        result = self._segments_for_class(
+            np.asarray([global_id], dtype=np.int64), class_label, category
+        )
+        return result[0]
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes the segment store currently occupies."""
+        return self._resident_bytes
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_class(self, label: int) -> None:
+        if label not in self.class_indices:
+            raise ValidationError(f"unknown class label {label}")
+
+    def _segments_for_class(
+        self, ids: np.ndarray, class_label: int, category: str
+    ) -> np.ndarray:
+        columns = self.class_indices[class_label]
+        out = np.empty((ids.size, columns.size))
+        missing_ids: list[int] = []
+        missing_pos: list[int] = []
+        for pos, gid in enumerate(ids):
+            key = (int(gid), class_label)
+            cached = self._segments.get(key) if self.enabled else None
+            if cached is not None:
+                out[pos] = cached
+                self._segments.move_to_end(key)
+                self.stats.segment_hits += 1
+                self.stats.values_reused += columns.size
+            else:
+                missing_ids.append(int(gid))
+                missing_pos.append(pos)
+                self.stats.segment_misses += 1
+        if missing_ids:
+            subset = mops.take_rows(self.computer.data, np.asarray(missing_ids))
+            norms = self.computer.norms()
+            block = self.computer.kernel.pairwise(
+                self.computer.engine,
+                subset,
+                mops.take_rows(self.computer.data, columns),
+                category=category,
+                norms_a=None if norms is None else norms[np.asarray(missing_ids)],
+                norms_b=None if norms is None else norms[columns],
+            )
+            self.stats.values_computed += block.size
+            out[missing_pos] = block
+            if self.enabled:
+                for gid, row in zip(missing_ids, block):
+                    self._store((gid, class_label), row)
+        return out
+
+    def _store(self, key: tuple[int, int], segment: np.ndarray) -> None:
+        nbytes = segment.size * FLOAT_BYTES
+        if self.max_bytes is not None:
+            while self._resident_bytes + nbytes > self.max_bytes and self._segments:
+                _, evicted = self._segments.popitem(last=False)
+                self._resident_bytes -= evicted.size * FLOAT_BYTES
+            if self._resident_bytes + nbytes > self.max_bytes:
+                return  # segment alone exceeds the cap; skip caching
+        self._segments[key] = segment.copy()
+        self._resident_bytes += nbytes

@@ -1,0 +1,14 @@
+"""Trained-model containers and persistence.
+
+An :class:`MPSVMModel` is what training produces and prediction consumes:
+the class labels, the kernel, the fitted sigmoids, and the shared
+support-vector pool (Section 3.3.3).  Models round-trip through a simple
+versioned text format (support vectors stored once, in LibSVM sparse
+notation).
+"""
+
+from repro.model.binary import BinarySVMRecord
+from repro.model.multiclass import MPSVMModel
+from repro.model.persistence import load_model, save_model
+
+__all__ = ["BinarySVMRecord", "MPSVMModel", "load_model", "save_model"]

@@ -1,0 +1,42 @@
+"""Per-binary-SVM training record.
+
+Holds what Algorithm 2 line 15 saves for each pairwise classifier: the
+support-vector weights, the hyperplane bias, and the fitted sigmoid
+(A, B).  Support vectors themselves live once in the model-level pool;
+this record only references them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.probability.platt import SigmoidModel
+
+__all__ = ["BinarySVMRecord"]
+
+
+@dataclass
+class BinarySVMRecord:
+    """One trained pairwise SVM (class positions ``s`` < ``t``)."""
+
+    s: int
+    t: int
+    global_sv_indices: np.ndarray  # into the original training set
+    coefficients: np.ndarray  # alpha_i * y_i per support vector
+    bias: float
+    sigmoid: Optional[SigmoidModel] = None
+    iterations: int = 0
+    objective: float = 0.0
+    training_error: float = 0.0
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors of this binary SVM."""
+        return int(self.global_sv_indices.size)
+
+    def __post_init__(self) -> None:
+        self.global_sv_indices = np.asarray(self.global_sv_indices, dtype=np.int64)
+        self.coefficients = np.asarray(self.coefficients, dtype=np.float64)

@@ -1,0 +1,85 @@
+"""The trained MP-SVM model.
+
+Bundles everything prediction needs: the sorted class labels, the kernel
+function, the per-pair records (bias + sigmoid), and the shared
+support-vector pool.  The heavy lifting of prediction (decision values,
+sigmoid evaluation, coupling) lives in :mod:`repro.core.predictor` so
+baselines can reuse it with their own sharing/parallelism flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.kernels.functions import KernelFunction
+from repro.model.binary import BinarySVMRecord
+from repro.multiclass.sv_sharing import SupportVectorPool
+
+__all__ = ["MPSVMModel"]
+
+
+@dataclass
+class MPSVMModel:
+    """A fitted multi-class (optionally probabilistic) SVM."""
+
+    classes: np.ndarray  # original class labels, sorted
+    kernel: KernelFunction
+    penalty: float
+    records: list[BinarySVMRecord]
+    sv_pool: SupportVectorPool
+    probability: bool = True
+    strategy: str = "ovo"  # "ovo" (pairwise, the paper) or "ova" (one-vs-all)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.classes = np.asarray(self.classes)
+        if self.strategy not in ("ovo", "ova"):
+            raise ValidationError(f"strategy must be ovo/ova, got {self.strategy!r}")
+        expected = (
+            self.n_classes * (self.n_classes - 1) // 2
+            if self.strategy == "ovo"
+            else self.n_classes
+        )
+        if len(self.records) != expected:
+            raise ValidationError(
+                f"{len(self.records)} binary records for {self.n_classes} "
+                f"classes ({self.strategy}); expected {expected}"
+            )
+        if self.probability and any(rec.sigmoid is None for rec in self.records):
+            raise ValidationError(
+                "probability=True but some records lack a fitted sigmoid"
+            )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return int(self.classes.size)
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        """(s, t) class positions per binary SVM, in record order."""
+        return [(rec.s, rec.t) for rec in self.records]
+
+    @property
+    def n_support_total(self) -> int:
+        """Distinct support vectors stored (the shared pool size)."""
+        return self.sv_pool.n_pool
+
+    @property
+    def bias_of_last_svm(self) -> float:
+        """Bias of the last binary SVM — the quantity Table 4 reports."""
+        return self.records[-1].bias
+
+    def record_for(self, s: int, t: int) -> BinarySVMRecord:
+        """The record of the binary SVM for class pair (s, t)."""
+        for rec in self.records:
+            if (rec.s, rec.t) == (s, t):
+                return rec
+        raise ValidationError(f"no binary SVM for pair ({s}, {t})")
+
+    def labels_from_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Map class positions (0..k-1) back to original label values."""
+        return self.classes[np.asarray(positions, dtype=np.int64)]

@@ -1,0 +1,193 @@
+"""Versioned text-format save/load for trained MP-SVM models.
+
+Layout (all header fields one per line, ``key value...``):
+
+    repro-mpsvm 1
+    kernel <name> [<param> <value>]...
+    penalty <C>
+    probability <0|1>
+    strategy <ovo|ova>
+    classes <k> <label>...
+    n_pool <count> <n_features>
+    svm <s> <t> <bias> <sigmoid A> <sigmoid B> <n_sv>
+    <pool positions...>
+    <coefficients...>
+    ... (one svm stanza per pair) ...
+    SV
+    <pool rows in LibSVM sparse notation, one per line, 0-based>
+
+Support vectors are stored once (the shared pool), so the file mirrors the
+paper's in-memory sharing; LibSVM's own model format does the same.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Union
+
+import numpy as np
+
+from repro.exceptions import ModelFormatError
+from repro.kernels.functions import kernel_from_name
+from repro.model.binary import BinarySVMRecord
+from repro.model.multiclass import MPSVMModel
+from repro.multiclass.sv_sharing import PooledSVM, SupportVectorPool
+from repro.probability.platt import SigmoidModel
+from repro.sparse import CSRMatrix
+
+__all__ = ["save_model", "load_model"]
+
+FORMAT_NAME = "repro-mpsvm"
+FORMAT_VERSION = 1
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def save_model(model: MPSVMModel, target: PathOrFile) -> None:
+    """Write ``model`` to ``target`` in the versioned text format."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_model(model, handle)
+        return
+
+    write = target.write
+    write(f"{FORMAT_NAME} {FORMAT_VERSION}\n")
+    params = " ".join(
+        f"{key} {value:.17g}" for key, value in model.kernel.params().items()
+    )
+    write(f"kernel {model.kernel.name}{' ' + params if params else ''}\n")
+    write(f"penalty {model.penalty:.17g}\n")
+    write(f"probability {1 if model.probability else 0}\n")
+    write(f"strategy {model.strategy}\n")
+    labels = " ".join(format(label, "g") for label in model.classes)
+    write(f"classes {model.n_classes} {labels}\n")
+    pool = model.sv_pool
+    write(f"n_pool {pool.n_pool} {pool.pool_data.shape[1]}\n")
+    for record, pooled in zip(model.records, pool.svms):
+        sigmoid = record.sigmoid
+        a = sigmoid.a if sigmoid else 0.0
+        b = sigmoid.b if sigmoid else 0.0
+        write(
+            f"svm {record.s} {record.t} {record.bias:.17g} "
+            f"{a:.17g} {b:.17g} {record.n_support}\n"
+        )
+        write(" ".join(str(int(p)) for p in pooled.pool_positions) + "\n")
+        write(" ".join(f"{c:.17g}" for c in pooled.coefficients) + "\n")
+    write("SV\n")
+    data = pool.pool_data
+    if not isinstance(data, CSRMatrix):
+        data = CSRMatrix.from_dense(np.asarray(data))
+    for i in range(data.shape[0]):
+        cols, vals = data.row(i)
+        write(" ".join(f"{int(c)}:{v:.17g}" for c, v in zip(cols, vals)) + "\n")
+
+
+def load_model(source: PathOrFile) -> MPSVMModel:
+    """Read a model written by :func:`save_model`.
+
+    The pool data is reconstructed as a :class:`CSRMatrix` regardless of
+    the original storage format (kernel evaluation accepts either).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_model(handle)
+
+    lines = [line.rstrip("\n") for line in source]
+    cursor = 0
+
+    def next_line() -> str:
+        nonlocal cursor
+        if cursor >= len(lines):
+            raise ModelFormatError("unexpected end of model file")
+        line = lines[cursor]
+        cursor += 1
+        return line
+
+    header = next_line().split()
+    if len(header) != 2 or header[0] != FORMAT_NAME:
+        raise ModelFormatError(f"not a {FORMAT_NAME} file: {header!r}")
+    if int(header[1]) != FORMAT_VERSION:
+        raise ModelFormatError(f"unsupported model version {header[1]}")
+
+    kernel_fields = next_line().split()
+    if kernel_fields[0] != "kernel" or len(kernel_fields) < 2:
+        raise ModelFormatError("missing kernel line")
+    kernel_params = {}
+    for key, value in zip(kernel_fields[2::2], kernel_fields[3::2]):
+        kernel_params[key] = int(value) if key == "degree" else float(value)
+    kernel = kernel_from_name(kernel_fields[1], **kernel_params)
+
+    penalty = float(_expect(next_line(), "penalty")[0])
+    probability = bool(int(_expect(next_line(), "probability")[0]))
+    strategy = _expect(next_line(), "strategy")[0]
+    class_fields = _expect(next_line(), "classes")
+    n_classes = int(class_fields[0])
+    classes = np.asarray([float(v) for v in class_fields[1 : 1 + n_classes]])
+    if classes.size != n_classes:
+        raise ModelFormatError("class count does not match label list")
+    if np.all(classes == classes.astype(np.int64)):
+        classes = classes.astype(np.int64)
+
+    pool_fields = _expect(next_line(), "n_pool")
+    n_pool, n_features = int(pool_fields[0]), int(pool_fields[1])
+
+    records: list[BinarySVMRecord] = []
+    pooled: list[PooledSVM] = []
+    n_svms = (
+        n_classes * (n_classes - 1) // 2 if strategy == "ovo" else n_classes
+    )
+    for _ in range(n_svms):
+        svm_fields = _expect(next_line(), "svm")
+        s, t = int(svm_fields[0]), int(svm_fields[1])
+        bias = float(svm_fields[2])
+        sig_a, sig_b = float(svm_fields[3]), float(svm_fields[4])
+        n_sv = int(svm_fields[5])
+        positions = np.asarray(
+            [int(v) for v in next_line().split()], dtype=np.int64
+        )
+        coefficients = np.asarray([float(v) for v in next_line().split()])
+        if positions.size != n_sv or coefficients.size != n_sv:
+            raise ModelFormatError(f"svm ({s},{t}): SV count mismatch")
+        sigmoid = SigmoidModel(a=sig_a, b=sig_b) if probability else None
+        pooled.append(
+            PooledSVM(
+                s=s, t=t, pool_positions=positions,
+                coefficients=coefficients, bias=bias,
+            )
+        )
+        records.append(
+            BinarySVMRecord(
+                s=s, t=t,
+                global_sv_indices=positions,  # original ids are not persisted
+                coefficients=coefficients, bias=bias, sigmoid=sigmoid,
+            )
+        )
+
+    if next_line().strip() != "SV":
+        raise ModelFormatError("missing SV section")
+    rows = []
+    for _ in range(n_pool):
+        fields = next_line().split()
+        cols = np.asarray([int(f.split(":", 1)[0]) for f in fields], dtype=np.int64)
+        vals = np.asarray([float(f.split(":", 1)[1]) for f in fields])
+        rows.append((cols, vals))
+    pool_data = CSRMatrix.from_rows(rows, n_features)
+    pool = SupportVectorPool(
+        pool_data, np.arange(n_pool, dtype=np.int64), pooled
+    )
+    return MPSVMModel(
+        classes=classes,
+        kernel=kernel,
+        penalty=penalty,
+        records=records,
+        sv_pool=pool,
+        probability=probability,
+        strategy=strategy,
+    )
+
+
+def _expect(line: str, key: str) -> list[str]:
+    fields = line.split()
+    if not fields or fields[0] != key:
+        raise ModelFormatError(f"expected {key!r} line, got {line!r}")
+    return fields[1:]

@@ -1,0 +1,30 @@
+"""Multi-class machinery: pairwise decomposition, SV sharing, voting.
+
+MP-SVMs are built by pairwise coupling (one-against-one): a k-class
+problem becomes k(k-1)/2 binary problems (Section 2.2).  This package
+provides the decomposition, the unified support-vector pool that
+implements the paper's prediction-time sharing (Section 3.3.3), and the
+one-vs-one voting rule used for non-probabilistic prediction.
+"""
+
+from repro.multiclass.decomposition import (
+    BinaryProblem,
+    class_partition,
+    make_pairs,
+    pair_problems,
+)
+from repro.multiclass.ova import REST, ova_positions, ova_problems
+from repro.multiclass.sv_sharing import SupportVectorPool
+from repro.multiclass.voting import ovo_vote
+
+__all__ = [
+    "BinaryProblem",
+    "SupportVectorPool",
+    "REST",
+    "class_partition",
+    "make_pairs",
+    "ova_positions",
+    "ova_problems",
+    "ovo_vote",
+    "pair_problems",
+]

@@ -1,0 +1,99 @@
+"""Pairwise (one-against-one) decomposition of a multi-class dataset.
+
+Following LibSVM's convention, classes are processed in sorted label
+order; the binary problem for the pair ``(s, t)`` (``s`` before ``t``)
+assigns ``+1`` to instances of class ``s`` and ``-1`` to those of class
+``t``.  A positive decision value therefore votes for ``s``, and the
+fitted sigmoid estimates ``P(class s | class s or t)`` — the ``r[s, t]``
+entry fed to pairwise coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["BinaryProblem", "class_partition", "make_pairs", "pair_problems"]
+
+
+@dataclass(frozen=True)
+class BinaryProblem:
+    """One pairwise subproblem of the one-against-one decomposition.
+
+    Attributes
+    ----------
+    s, t:
+        Class *positions* (indices into the sorted class array), s < t.
+    global_indices:
+        Indices into the full training set, class-s instances first.
+    labels:
+        +1 for class-s instances, -1 for class-t instances (aligned with
+        ``global_indices``).
+    """
+
+    s: int
+    t: int
+    global_indices: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Instances in this binary problem."""
+        return int(self.global_indices.size)
+
+    @property
+    def n_positive(self) -> int:
+        """Instances labelled +1 (class s)."""
+        return int(np.count_nonzero(self.labels > 0))
+
+    @property
+    def n_negative(self) -> int:
+        """Instances labelled -1 (class t / rest)."""
+        return self.n - self.n_positive
+
+
+def class_partition(y: np.ndarray) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+    """Sorted class labels and the index set of each class.
+
+    Labels may be arbitrary integers (LibSVM accepts any numeric labels);
+    class *positions* used throughout the multi-class layer are indices
+    into the returned sorted array.
+    """
+    labels = np.asarray(y).ravel()
+    if labels.size == 0:
+        raise ValidationError("empty label vector")
+    if not np.all(np.isfinite(labels.astype(np.float64))):
+        raise ValidationError("labels contain NaN or infinity")
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValidationError(
+            f"need at least two classes, got only {classes.tolist()}"
+        )
+    partition = {
+        position: np.flatnonzero(labels == label)
+        for position, label in enumerate(classes)
+    }
+    return classes, partition
+
+
+def make_pairs(n_classes: int) -> list[tuple[int, int]]:
+    """All k(k-1)/2 class-position pairs in LibSVM's (s, t) order."""
+    if n_classes < 2:
+        raise ValidationError("need at least two classes")
+    return [(s, t) for s in range(n_classes) for t in range(s + 1, n_classes)]
+
+
+def pair_problems(
+    classes: np.ndarray, partition: dict[int, np.ndarray]
+) -> Iterator[BinaryProblem]:
+    """Yield every pairwise binary problem of the decomposition."""
+    for s, t in make_pairs(classes.size):
+        idx_s = partition[s]
+        idx_t = partition[t]
+        indices = np.concatenate([idx_s, idx_t])
+        labels = np.concatenate([np.ones(idx_s.size), -np.ones(idx_t.size)])
+        yield BinaryProblem(s=s, t=t, global_indices=indices, labels=labels)

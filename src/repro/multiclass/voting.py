@@ -1,0 +1,47 @@
+"""One-vs-one voting for non-probabilistic multi-class prediction.
+
+Each binary SVM (s, t) votes for ``s`` when its decision value is
+non-negative and for ``t`` otherwise; the class with the most votes wins.
+Ties break toward the earlier class position, matching LibSVM (which
+scans classes in order and keeps the first maximum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ovo_vote"]
+
+
+def ovo_vote(
+    decision_values: np.ndarray,
+    pairs: list[tuple[int, int]],
+    n_classes: int,
+) -> np.ndarray:
+    """Class positions winning the pairwise vote for each instance.
+
+    Parameters
+    ----------
+    decision_values:
+        ``(m, n_pairs)`` array; column order matches ``pairs``.
+    pairs:
+        The (s, t) class-position pairs, as from
+        :func:`repro.multiclass.decomposition.make_pairs`.
+    """
+    values = np.asarray(decision_values, dtype=np.float64)
+    if values.ndim != 2 or values.shape[1] != len(pairs):
+        raise ValidationError(
+            f"decision values shape {values.shape} does not match "
+            f"{len(pairs)} pairs"
+        )
+    m = values.shape[0]
+    votes = np.zeros((m, n_classes), dtype=np.int64)
+    for column, (s, t) in enumerate(pairs):
+        if not (0 <= s < n_classes and 0 <= t < n_classes):
+            raise ValidationError(f"pair ({s}, {t}) out of range for k={n_classes}")
+        positive = values[:, column] >= 0
+        votes[positive, s] += 1
+        votes[~positive, t] += 1
+    return np.argmax(votes, axis=1)

@@ -1,0 +1,14 @@
+"""Performance reporting: simulated-time reports, breakdowns, speedups."""
+
+from repro.perf.breakdown import PREDICT_GROUPS, TRAIN_GROUPS, grouped_fractions
+from repro.perf.report import PredictionReport, TrainingReport
+from repro.perf.speedup import speedup_table
+
+__all__ = [
+    "PREDICT_GROUPS",
+    "PredictionReport",
+    "TRAIN_GROUPS",
+    "TrainingReport",
+    "grouped_fractions",
+    "speedup_table",
+]

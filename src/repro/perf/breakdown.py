@@ -1,0 +1,40 @@
+"""Category groupings for the paper's component-breakdown figures.
+
+Figure 11 splits *training* time into kernel value computation, solving
+the subproblem, and "the remaining tasks such as selecting the working set
+and updating the optimality indicators".  Figure 12 splits *prediction*
+into decision values, sigmoid evaluation and multi-class coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.gpusim.clock import SimClock
+
+__all__ = ["TRAIN_GROUPS", "PREDICT_GROUPS", "grouped_fractions"]
+
+# Raw clock categories -> Figure 11 labels.
+TRAIN_GROUPS: dict[str, str] = {
+    "kernel_values": "kernel values",
+    "subproblem": "subproblem",
+    "selection": "other",
+    "f_update": "other",
+    "sigmoid": "other",
+    "decision_values": "other",
+    "transfer": "other",
+}
+
+# Raw clock categories -> Figure 12 labels.
+PREDICT_GROUPS: dict[str, str] = {
+    "decision_values": "decision values",
+    "kernel_values": "decision values",
+    "sigmoid": "sigmoid",
+    "coupling": "multi-class probability",
+    "transfer": "decision values",
+}
+
+
+def grouped_fractions(clock: SimClock, groups: Mapping[str, str]) -> dict[str, float]:
+    """Fraction of total time per group label (unknown categories pass through)."""
+    return clock.fraction_breakdown(grouping=dict(groups))

@@ -1,0 +1,66 @@
+"""Timing reports produced by training and prediction runs.
+
+All times are *simulated* device seconds from the cost model (DESIGN.md
+Section 6); wall-clock time of the NumPy host computation is a separate
+measurement owned by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import OpCounters
+
+__all__ = ["TrainingReport", "PredictionReport"]
+
+
+@dataclass
+class TrainingReport:
+    """What one multi-class training run cost."""
+
+    simulated_seconds: float
+    clock: SimClock
+    counters: OpCounters
+    device_name: str
+    n_binary_svms: int = 0
+    total_iterations: int = 0
+    kernel_rows_computed: int = 0
+    max_concurrency: int = 1
+    concurrency_speedup: float = 1.0
+    sharing_hit_rate: float = 0.0
+    peak_task_memory_bytes: int = 0
+    per_svm: list[dict] = field(default_factory=list)
+
+    def breakdown(self) -> dict[str, float]:
+        """Simulated seconds per cost category."""
+        return self.clock.breakdown()
+
+    def fraction_breakdown(
+        self, grouping: Optional[Mapping[str, str]] = None
+    ) -> dict[str, float]:
+        """Fractions of total time per (optionally grouped) category."""
+        return self.clock.fraction_breakdown(grouping=grouping)
+
+
+@dataclass
+class PredictionReport:
+    """What one prediction run cost."""
+
+    simulated_seconds: float
+    clock: SimClock
+    counters: OpCounters
+    device_name: str
+    n_instances: int = 0
+    sv_sharing: bool = True
+
+    def breakdown(self) -> dict[str, float]:
+        """Simulated seconds per cost category."""
+        return self.clock.breakdown()
+
+    def fraction_breakdown(
+        self, grouping: Optional[Mapping[str, str]] = None
+    ) -> dict[str, float]:
+        """Fractions of total time per (optionally grouped) category."""
+        return self.clock.fraction_breakdown(grouping=grouping)

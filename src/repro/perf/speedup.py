@@ -1,0 +1,78 @@
+"""Speedup tables for the comparison figures (Figures 4/5/8/9/10)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["speedup_table", "format_table"]
+
+
+def speedup_table(
+    reference: Mapping[str, float],
+    others: Mapping[str, Mapping[str, float]],
+) -> dict[str, dict[str, float]]:
+    """Per-dataset speedups of the reference system over each other system.
+
+    ``reference`` maps dataset -> simulated seconds of the reference (the
+    paper's GMP-SVM); ``others`` maps system name -> {dataset -> seconds}.
+    Speedup > 1 means the reference is faster.
+    """
+    table: dict[str, dict[str, float]] = {}
+    for system, timings in others.items():
+        row: dict[str, float] = {}
+        for dataset, seconds in timings.items():
+            if dataset not in reference:
+                raise ValidationError(
+                    f"dataset {dataset!r} missing from reference timings"
+                )
+            ref = reference[dataset]
+            if ref <= 0:
+                raise ValidationError(f"non-positive reference time for {dataset!r}")
+            row[dataset] = seconds / ref
+        table[system] = row
+    return table
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    *,
+    title: str = "",
+    value_format: str = "0.4g",
+    row_label: str = "system",
+) -> str:
+    """Fixed-width text table (the benches print these).
+
+    Column widths adapt to the header labels; the default ``0.4g`` value
+    format keeps sub-millisecond simulated times readable.
+    """
+    label_width = max(
+        [len(row_label)] + [len(str(name)) for name in rows], default=len(row_label)
+    )
+
+    def render(value: object) -> str:
+        return format(value, value_format) if value is not None else "-"
+
+    widths = [
+        max(12, len(str(col)) + 2,
+            max((len(render(values.get(col))) + 2 for values in rows.values()),
+                default=0))
+        for col in columns
+    ]
+    header = f"{row_label:<{label_width}}" + "".join(
+        f"{str(col):>{width}}" for col, width in zip(columns, widths)
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows.items():
+        cells = "".join(
+            f"{render(values.get(col)):>{width}}"
+            for col, width in zip(columns, widths)
+        )
+        lines.append(f"{str(name):<{label_width}}" + cells)
+    return "\n".join(lines)

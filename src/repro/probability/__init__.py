@@ -1,0 +1,29 @@
+"""Probability machinery for probabilistic SVMs.
+
+- :mod:`repro.probability.platt` — Platt sigmoid fitting (Eqs. 12/13) via
+  Newton's method with backtracking, including the paper's parallel
+  candidate-step evaluation (Section 3.3.2).
+- :mod:`repro.probability.pairwise` — Wu-Lin-Weng pairwise coupling
+  (Problem 14 / Eq. 15) solved by Gaussian elimination, plus LibSVM's
+  iterative method as a cross-check.
+- :mod:`repro.probability.linalg` — the from-scratch dense linear-algebra
+  kernels (Gaussian elimination with partial pivoting) the coupling uses.
+"""
+
+from repro.probability.linalg import gaussian_elimination
+from repro.probability.pairwise import (
+    couple_batch,
+    couple_probabilities,
+    pairwise_matrix_from_estimates,
+)
+from repro.probability.platt import SigmoidModel, fit_sigmoid, sigmoid_predict
+
+__all__ = [
+    "SigmoidModel",
+    "couple_batch",
+    "couple_probabilities",
+    "fit_sigmoid",
+    "gaussian_elimination",
+    "pairwise_matrix_from_estimates",
+    "sigmoid_predict",
+]

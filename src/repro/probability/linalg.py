@@ -1,0 +1,62 @@
+"""Dense linear solves implemented from scratch.
+
+The paper solves the coupling problem (14) "by Gaussian elimination"
+(citing Wu et al.).  The substrate rule of this reproduction is to build
+dependencies rather than import them, so this module provides partial-pivot
+Gaussian elimination instead of calling ``numpy.linalg.solve``.  The
+matrices involved are tiny (k x k, with k the class count), so an O(k^3)
+textbook elimination is the appropriate tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError, ValidationError
+
+__all__ = ["gaussian_elimination"]
+
+
+def gaussian_elimination(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    *,
+    pivot_tolerance: float = 1e-12,
+) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination with partial pivoting.
+
+    Raises :class:`~repro.exceptions.SolverError` when a pivot falls below
+    ``pivot_tolerance`` times the matrix scale (numerically singular) —
+    callers regularise and retry, as the paper does ("a small value is
+    added to Q when its inversion does not exist").
+    """
+    a = np.array(matrix, dtype=np.float64)
+    b = np.array(rhs, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValidationError(f"matrix must be square, got shape {a.shape}")
+    n = a.shape[0]
+    if b.shape not in ((n,), (n, 1)):
+        raise ValidationError(f"rhs shape {b.shape} incompatible with {a.shape}")
+    b = b.reshape(n)
+    scale = max(float(np.abs(a).max()), 1.0)
+
+    # Forward elimination.
+    for col in range(n):
+        pivot_row = col + int(np.argmax(np.abs(a[col:, col])))
+        pivot = a[pivot_row, col]
+        if abs(pivot) < pivot_tolerance * scale:
+            raise SolverError(
+                f"singular matrix: pivot {pivot:.3e} at column {col}"
+            )
+        if pivot_row != col:
+            a[[col, pivot_row]] = a[[pivot_row, col]]
+            b[[col, pivot_row]] = b[[pivot_row, col]]
+        factors = a[col + 1 :, col] / a[col, col]
+        a[col + 1 :, col:] -= factors[:, None] * a[col, col:]
+        b[col + 1 :] -= factors * b[col]
+
+    # Back substitution.
+    x = np.zeros(n)
+    for row in range(n - 1, -1, -1):
+        x[row] = (b[row] - a[row, row + 1 :] @ x[row + 1 :]) / a[row, row]
+    return x

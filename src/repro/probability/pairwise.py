@@ -1,0 +1,163 @@
+"""Pairwise coupling of binary probabilities (Wu, Lin & Weng; Problem 14).
+
+Given ``r[s, t] = P(y = s | y in {s, t}, x)`` from the k(k-1)/2 local
+probability estimators, the multi-class probability vector solves the
+convex problem (14); its optimum satisfies the linear system of Eq. (15):
+
+    Q p = lambda e,   sum(p) = 1,
+    Q[s, s] = sum_{u != s} r[u, s]^2,   Q[s, t] = -r[s, t] r[t, s].
+
+We implement Eq. (15) directly — solve ``Q x = e`` by our own Gaussian
+elimination and normalise — adding a small ridge on failure ("a small
+value is added to Q when its inversion does not exist").  LibSVM's fixed-
+point iteration is provided as ``method="iterative"`` for cross-checking;
+the two agree to solver tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError, ValidationError
+from repro.gpusim.engine import Engine
+from repro.probability.linalg import gaussian_elimination
+
+__all__ = ["pairwise_matrix_from_estimates", "couple_probabilities", "couple_batch"]
+
+PROB_CLIP = 1e-7
+RIDGE_START = 1e-10
+RIDGE_MAX = 1e-3
+ITERATIVE_EPS = 0.005 / 100.0
+ITERATIVE_MAX = 100
+
+
+def pairwise_matrix_from_estimates(
+    estimates: dict[tuple[int, int], float], n_classes: int
+) -> np.ndarray:
+    """Assemble the full r matrix from per-pair estimates.
+
+    ``estimates[(s, t)]`` (s < t) is the probability of class ``s`` within
+    the pair; ``r[t, s] = 1 - r[s, t]`` fills the lower triangle.
+    """
+    if n_classes < 2:
+        raise ValidationError("need at least two classes")
+    r = np.full((n_classes, n_classes), 0.5)
+    seen = set()
+    for (s, t), value in estimates.items():
+        if not 0 <= s < t < n_classes:
+            raise ValidationError(f"bad pair ({s}, {t}) for k={n_classes}")
+        r[s, t] = min(max(float(value), PROB_CLIP), 1.0 - PROB_CLIP)
+        r[t, s] = 1.0 - r[s, t]
+        seen.add((s, t))
+    expected = n_classes * (n_classes - 1) // 2
+    if len(seen) != expected:
+        raise ValidationError(f"expected {expected} pair estimates, got {len(seen)}")
+    return r
+
+
+def _build_q(r: np.ndarray) -> np.ndarray:
+    """The coupling matrix Q of Eq. (15); positive semi-definite."""
+    k = r.shape[0]
+    q = -(r * r.T)
+    diag = np.einsum("us,us->s", r, r) - np.diagonal(r) ** 2
+    q[np.diag_indices(k)] = diag
+    return q
+
+
+def couple_probabilities(
+    engine: Engine,
+    r: np.ndarray,
+    *,
+    method: str = "eq15",
+    category: str = "coupling",
+) -> np.ndarray:
+    """Multi-class probabilities for one instance from its r matrix."""
+    r = np.asarray(r, dtype=np.float64)
+    k = r.shape[0]
+    if r.shape != (k, k) or k < 2:
+        raise ValidationError(f"r must be k x k with k >= 2, got shape {r.shape}")
+    r = np.clip(r, PROB_CLIP, 1.0 - PROB_CLIP)
+    if method == "eq15":
+        return _couple_eq15(engine, r, category)
+    if method == "iterative":
+        return _couple_iterative(engine, r, category)
+    raise ValidationError(f"unknown coupling method {method!r}")
+
+
+def _couple_eq15(engine: Engine, r: np.ndarray, category: str) -> np.ndarray:
+    k = r.shape[0]
+    q = _build_q(r)
+    # Q build: k^2 elementwise; solve: ~k^3/3 inside one kernel.
+    engine.charge(
+        category,
+        flops=2 * k * k + (k**3) // 3,
+        bytes_read=k * k * 8,
+        bytes_written=k * 8,
+        launches=1,
+    )
+    ones = np.ones(k)
+    ridge = 0.0
+    while True:
+        try:
+            x = gaussian_elimination(q + ridge * np.eye(k), ones)
+            break
+        except SolverError:
+            ridge = RIDGE_START if ridge == 0.0 else ridge * 100.0
+            if ridge > RIDGE_MAX:
+                raise
+    total = x.sum()
+    if total == 0:
+        raise SolverError("degenerate coupling system: Q^-1 e sums to zero")
+    p = x / total
+    np.clip(p, 0.0, None, out=p)
+    return p / p.sum()
+
+
+def _couple_iterative(engine: Engine, r: np.ndarray, category: str) -> np.ndarray:
+    """LibSVM's fixed-point iteration for Problem (14) (cross-check path)."""
+    k = r.shape[0]
+    q = _build_q(r)
+    p = np.full(k, 1.0 / k)
+    for _ in range(ITERATIVE_MAX):
+        qp = q @ p
+        pqp = float(p @ qp)
+        engine.charge(
+            category,
+            flops=2 * k * k + 4 * k,
+            bytes_read=k * k * 8,
+            bytes_written=k * 8,
+            launches=1,
+        )
+        max_error = float(np.max(np.abs(qp - pqp)))
+        if max_error < ITERATIVE_EPS:
+            break
+        for t in range(k):
+            diff = (-qp[t] + pqp) / q[t, t]
+            p[t] += diff
+            pqp = (pqp + diff * (diff * q[t, t] + 2.0 * qp[t])) / (1.0 + diff) ** 2
+            qp = (qp + diff * q[:, t]) / (1.0 + diff)
+            p /= 1.0 + diff
+    return p
+
+
+def couple_batch(
+    engine: Engine,
+    r_batch: np.ndarray,
+    *,
+    method: str = "eq15",
+    category: str = "coupling",
+) -> np.ndarray:
+    """Couple many instances; ``r_batch`` has shape ``(m, k, k)``.
+
+    The paper launches one coupling procedure per instance concurrently
+    (Phase (iii)(3)); instances are independent, so this is a plain map.
+    """
+    r_batch = np.asarray(r_batch, dtype=np.float64)
+    if r_batch.ndim != 3 or r_batch.shape[1] != r_batch.shape[2]:
+        raise ValidationError(f"r_batch must be (m, k, k), got {r_batch.shape}")
+    return np.stack(
+        [
+            couple_probabilities(engine, r_batch[i], method=method, category=category)
+            for i in range(r_batch.shape[0])
+        ]
+    )

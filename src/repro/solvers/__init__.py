@@ -1,0 +1,38 @@
+"""SVM training solvers.
+
+- :mod:`repro.solvers.smo` — the classic Sequential Minimal Optimization
+  solver with second-order working-set selection (Section 2.1.1 /
+  Algorithm 1); used by the LibSVM baseline and the GPU baseline.
+- :mod:`repro.solvers.batch_smo` — the paper's batched working-set solver
+  (Section 3.3.1): q new violators per round, batched kernel-row
+  computation, FIFO GPU buffer reuse, and delta-adaptive early termination
+  of the inner subproblem.
+"""
+
+from repro.solvers.base import (
+    SolverResult,
+    bias_from_f,
+    dual_objective,
+    lower_mask,
+    optimality_gap,
+    upper_mask,
+)
+from repro.solvers.batch_smo import BatchSMOSolver
+from repro.solvers.shrinking import ShrinkingSMOSolver
+from repro.solvers.smo import ClassicSMOSolver
+from repro.solvers.subproblem import solve_subproblem
+from repro.solvers.working_set import select_new_violators
+
+__all__ = [
+    "BatchSMOSolver",
+    "ClassicSMOSolver",
+    "ShrinkingSMOSolver",
+    "SolverResult",
+    "bias_from_f",
+    "dual_objective",
+    "lower_mask",
+    "optimality_gap",
+    "select_new_violators",
+    "solve_subproblem",
+    "upper_mask",
+]

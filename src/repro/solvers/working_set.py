@@ -1,0 +1,67 @@
+"""Selection of the q new violating instances (Section 3.3.1).
+
+"We first sort the training instances based on their optimality indicators
+in ascending order.  Then, we choose the top q/2 training instances whose
+``y_i alpha_i`` can be increased; and we choose the bottom q/2 training
+instances whose ``y_i alpha_i`` can be decreased."
+
+Instances with small ``f`` that can move up and instances with large ``f``
+that can move down are exactly the violators of Eq. (9); choosing the
+extremes maximises the expected improvement of the dual objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.gpusim.engine import Engine
+from repro.solvers.base import lower_mask, upper_mask
+
+__all__ = ["select_new_violators"]
+
+
+def select_new_violators(
+    engine: Engine,
+    f: np.ndarray,
+    y: np.ndarray,
+    alpha: np.ndarray,
+    penalty: float,
+    q: int,
+    *,
+    exclude: Optional[np.ndarray] = None,
+    category: str = "selection",
+) -> np.ndarray:
+    """Pick up to ``q`` violating instances (q/2 from each end).
+
+    ``exclude`` holds indices already in the working set (the retained
+    half); they are skipped so the new picks genuinely refresh the set.
+    Returns the selected indices (possibly fewer than ``q`` near
+    convergence, when few eligible violators remain).
+    """
+    if q < 2:
+        raise ValidationError(f"q must be >= 2, got {q}")
+    n = f.size
+    order = engine.sort_values(f, category=category)  # ascending (Alg. 2 line 6)
+    up = upper_mask(y, alpha, penalty)
+    low = lower_mask(y, alpha, penalty)
+    engine.elementwise(category, n, flops_per_element=4, arrays_read=2, memory="cached")
+
+    excluded = np.zeros(n, dtype=bool)
+    if exclude is not None and len(exclude):
+        excluded[np.asarray(exclude, dtype=np.int64)] = True
+
+    half = q // 2
+
+    # Top of the ascending order: smallest f whose y*alpha can increase.
+    top = order[up[order] & ~excluded[order]][:half]
+    taken = np.zeros(n, dtype=bool)
+    taken[top] = True
+
+    # Bottom of the order: largest f whose y*alpha can decrease.
+    reverse = order[::-1]
+    bottom = reverse[low[reverse] & ~excluded[reverse] & ~taken[reverse]][:half]
+
+    return np.concatenate([top, bottom]).astype(np.int64)

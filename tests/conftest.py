@@ -1,0 +1,64 @@
+"""Shared fixtures: devices, engines, and small reproducible problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import make_engine, scaled_tesla_p100, xeon_e5_2640v4
+from repro.kernels import GaussianKernel, KernelRowComputer
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gpu_engine():
+    return make_engine(scaled_tesla_p100())
+
+
+@pytest.fixture
+def cpu_engine():
+    return make_engine(xeon_e5_2640v4(1))
+
+
+@pytest.fixture
+def dense_matrix(rng):
+    """A small dense matrix with some exact zeros."""
+    data = rng.normal(size=(12, 7))
+    data[rng.random((12, 7)) < 0.3] = 0.0
+    return data
+
+
+@pytest.fixture
+def csr_matrix(dense_matrix):
+    return CSRMatrix.from_dense(dense_matrix)
+
+
+def make_binary_problem(n=160, d=8, separation=1.2, seed=3, noise=1.0):
+    """A reproducible two-class problem with some overlap."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x = np.vstack(
+        [
+            rng.normal(-separation / 2, noise, (half, d)),
+            rng.normal(separation / 2, noise, (n - half, d)),
+        ]
+    )
+    y = np.concatenate([-np.ones(half), np.ones(n - half)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+@pytest.fixture
+def binary_problem():
+    return make_binary_problem()
+
+
+@pytest.fixture
+def binary_rows(gpu_engine, binary_problem):
+    x, _ = binary_problem
+    return KernelRowComputer(gpu_engine, GaussianKernel(gamma=0.25), x)

@@ -1,0 +1,120 @@
+"""Unit tests for per-class penalty weighting (LibSVM's -wi)."""
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, ValidationError
+from repro.baselines import LibSVMClassifier
+from repro.data import gaussian_blobs
+from repro.gpusim import make_engine, scaled_tesla_p100
+from repro.kernels import GaussianKernel, KernelRowComputer
+from repro.solvers import BatchSMOSolver, ClassicSMOSolver
+from repro.solvers.base import resolve_penalty_vector
+
+from tests.conftest import make_binary_problem
+
+
+@pytest.fixture
+def imbalanced():
+    rng = np.random.default_rng(17)
+    x = np.vstack([rng.normal(-0.8, 1, (170, 4)), rng.normal(0.8, 1, (30, 4))])
+    y = np.concatenate([np.zeros(170), np.ones(30)])
+    return x, y
+
+
+class TestPenaltyVector:
+    def test_resolve_default_is_constant(self):
+        vec = resolve_penalty_vector(2.5, 4, None)
+        assert np.allclose(vec, 2.5)
+
+    def test_resolve_validates(self):
+        with pytest.raises(ValidationError):
+            resolve_penalty_vector(1.0, 3, np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            resolve_penalty_vector(1.0, 2, np.array([1.0, 0.0]))
+
+    def test_solvers_respect_per_instance_bounds(self):
+        x, y = make_binary_problem(n=120, separation=0.5, seed=3)
+        engine = make_engine(scaled_tesla_p100())
+        rows = KernelRowComputer(engine, GaussianKernel(0.25), x)
+        c_vec = np.where(y > 0, 5.0, 0.5)
+        result = ClassicSMOSolver(penalty=5.0).solve(
+            rows, y, penalty_vector=c_vec
+        )
+        assert np.all(result.alpha <= c_vec + 1e-12)
+        assert np.any(result.alpha[y < 0] > 0.4)  # negatives hit their bound
+
+    def test_batched_and_classic_agree_under_weights(self):
+        x, y = make_binary_problem(n=150, separation=0.6, seed=8)
+        c_vec = np.where(y > 0, 8.0, 2.0)
+        engine_a = make_engine(scaled_tesla_p100())
+        rows_a = KernelRowComputer(engine_a, GaussianKernel(0.25), x)
+        classic = ClassicSMOSolver(penalty=8.0).solve(
+            rows_a, y, penalty_vector=c_vec
+        )
+        engine_b = make_engine(scaled_tesla_p100())
+        rows_b = KernelRowComputer(engine_b, GaussianKernel(0.25), x)
+        batched = BatchSMOSolver(penalty=8.0, working_set_size=32).solve(
+            rows_b, y, penalty_vector=c_vec
+        )
+        assert batched.objective == pytest.approx(classic.objective, rel=1e-4)
+        assert batched.bias == pytest.approx(classic.bias, abs=5e-3)
+
+
+class TestEstimatorAPI:
+    def test_weighting_boosts_minority_recall(self, imbalanced):
+        x, y = imbalanced
+        plain = GMPSVC(C=1.0, gamma=0.5, working_set_size=16).fit(x, y)
+        weighted = GMPSVC(
+            C=1.0, gamma=0.5, working_set_size=16, class_weight={1: 8.0}
+        ).fit(x, y)
+
+        def minority_recall(clf):
+            return float(np.mean(clf.predict(x)[y == 1] == 1))
+
+        assert minority_recall(weighted) >= minority_recall(plain)
+        # The weighted model pushes more weight onto minority instances.
+        assert weighted.model_.records[0].bias != plain.model_.records[0].bias
+
+    def test_weight_one_is_identical_to_unweighted(self, imbalanced):
+        x, y = imbalanced
+        plain = GMPSVC(C=1.0, gamma=0.5, working_set_size=16).fit(x, y)
+        trivial = GMPSVC(
+            C=1.0, gamma=0.5, working_set_size=16, class_weight={1: 1.0}
+        ).fit(x, y)
+        assert trivial.model_.records[0].bias == plain.model_.records[0].bias
+
+    def test_unknown_label_rejected(self, imbalanced):
+        x, y = imbalanced
+        with pytest.raises(ValidationError, match="not a training label"):
+            GMPSVC(class_weight={7: 2.0}).fit(x, y)
+
+    def test_nonpositive_weight_rejected(self, imbalanced):
+        x, y = imbalanced
+        with pytest.raises(ValidationError, match="positive"):
+            GMPSVC(class_weight={1: 0.0}).fit(x, y)
+
+    def test_multiclass_weights(self):
+        x, y = gaussian_blobs(180, 5, 3, seed=9)
+        clf = GMPSVC(
+            C=10.0, gamma=0.4, working_set_size=16, class_weight={0: 2.0, 2: 0.5}
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_libsvm_baseline_supports_weights(self, imbalanced):
+        x, y = imbalanced
+        clf = LibSVMClassifier(C=1.0, gamma=0.5, class_weight={1: 8.0}).fit(x, y)
+        gmp = GMPSVC(
+            C=1.0, gamma=0.5, working_set_size=16, class_weight={1: 8.0}
+        ).fit(x, y)
+        assert clf.model_.records[0].bias == pytest.approx(
+            gmp.model_.records[0].bias, abs=5e-3
+        )
+
+    def test_weights_with_ova(self, imbalanced):
+        x, y = imbalanced
+        clf = GMPSVC(
+            C=1.0, gamma=0.5, working_set_size=16,
+            decomposition="ova", class_weight={1: 6.0},
+        ).fit(x, y)
+        assert np.mean(clf.predict(x)[y == 1] == 1) > 0.9

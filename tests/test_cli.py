@@ -1,0 +1,121 @@
+"""Unit tests for the repro-train / repro-predict command-line tools."""
+
+import numpy as np
+import pytest
+
+from repro.cli import predict_main, train_main
+from repro.data import gaussian_blobs
+from repro.sparse import CSRMatrix, dump_libsvm
+
+
+@pytest.fixture
+def svm_files(tmp_path, rng):
+    """A small 3-class train/test pair in LibSVM format."""
+    x, y = gaussian_blobs(180, 5, 3, seed=10)
+    train = tmp_path / "train.svm"
+    test = tmp_path / "test.svm"
+    dump_libsvm(CSRMatrix.from_dense(x[:140]), y[:140], train)
+    dump_libsvm(CSRMatrix.from_dense(x[140:]), y[140:], test)
+    return train, test, tmp_path
+
+
+class TestTrain:
+    def test_trains_and_saves_model(self, svm_files, capsys):
+        train, _, tmp = svm_files
+        model_path = tmp / "out.model"
+        code = train_main(["-c", "10", "-g", "0.4", str(train), str(model_path)])
+        assert code == 0
+        assert model_path.exists()
+        out = capsys.readouterr().out
+        assert "3 binary SVM(s)" in out
+        assert "3 classes" in out
+
+    def test_default_model_path(self, svm_files):
+        train, _, __ = svm_files
+        assert train_main(["-q", str(train)]) == 0
+        assert train.with_suffix(".svm.model").exists()
+
+    def test_report_flag(self, svm_files, capsys):
+        train, _, tmp = svm_files
+        code = train_main(
+            ["--report", "-c", "10", "-g", "0.4", str(train), str(tmp / "m")]
+        )
+        assert code == 0
+        assert "kernel_values" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("system", ["libsvm", "gpu-baseline", "cmp-svm"])
+    def test_alternative_systems(self, svm_files, system, tmp_path):
+        train, _, __ = svm_files
+        model = tmp_path / f"{system}.model"
+        code = train_main(
+            ["-q", "--system", system, "-c", "10", "-g", "0.4", str(train), str(model)]
+        )
+        assert code == 0 and model.exists()
+
+    def test_kernel_type_flag(self, svm_files, tmp_path):
+        train, _, __ = svm_files
+        model = tmp_path / "linear.model"
+        assert train_main(["-q", "-t", "0", "-c", "1", str(train), str(model)]) == 0
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = train_main([str(tmp_path / "nope.svm")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_data_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.svm"
+        path.write_text("not a libsvm line\n")
+        assert train_main([str(path)]) == 1
+
+
+class TestPredict:
+    @pytest.fixture
+    def trained(self, svm_files):
+        train, test, tmp = svm_files
+        model = tmp / "model"
+        assert train_main(["-q", "-c", "10", "-g", "0.4", str(train), str(model)]) == 0
+        return test, model, tmp
+
+    def test_label_prediction(self, trained, capsys):
+        test, model, tmp = trained
+        output = tmp / "pred.txt"
+        code = predict_main([str(test), str(model), str(output)])
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) == 40
+        assert all(line in ("0", "1", "2") for line in lines)
+        err = capsys.readouterr().err
+        assert "Accuracy" in err
+
+    def test_probability_prediction(self, trained):
+        test, model, tmp = trained
+        output = tmp / "proba.txt"
+        code = predict_main(["-b", "1", str(test), str(model), str(output)])
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0].startswith("labels")
+        first = lines[1].split()
+        probabilities = np.array([float(v) for v in first[1:]])
+        assert probabilities.size == 3
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_stdout_output(self, trained, capsys):
+        test, model, _ = trained
+        assert predict_main(["-q", str(test), str(model)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 40
+
+    def test_accuracy_is_sane(self, trained, capsys):
+        test, model, _ = trained
+        predict_main(["-q" , str(test), str(model)])
+        # quiet mode: no accuracy line
+        assert "Accuracy" not in capsys.readouterr().err
+        predict_main([str(test), str(model)])
+        err = capsys.readouterr().err
+        accuracy = float(err.split("=")[1].split("%")[0])
+        assert accuracy >= 80.0
+
+    def test_missing_model_errors(self, trained, capsys):
+        test, _, tmp = trained
+        assert predict_main([str(test), str(tmp / "missing.model")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Unit tests for cross-validated sigmoid targets (LibSVM -b 1 parity)."""
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC
+from repro.data import gaussian_blobs, train_test_split
+from repro.exceptions import ConvergenceWarning
+
+
+@pytest.fixture(scope="module")
+def problem():
+    data, labels = gaussian_blobs(400, 6, 2, separation=1.2, seed=21)
+    return train_test_split(data, labels, test_fraction=0.3, seed=22)
+
+
+class TestCVSigmoid:
+    def test_cv_changes_the_sigmoid_not_the_svm(self, problem):
+        x_train, y_train, _, __ = problem
+        direct = GMPSVC(C=10.0, gamma=0.3).fit(x_train, y_train)
+        cv = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=5).fit(x_train, y_train)
+        assert cv.model_.records[0].bias == pytest.approx(
+            direct.model_.records[0].bias, abs=1e-9
+        )
+        assert cv.model_.records[0].sigmoid.a != direct.model_.records[0].sigmoid.a
+
+    def test_cv_costs_extra_solves(self, problem):
+        x_train, y_train, _, __ = problem
+        direct = GMPSVC(C=10.0, gamma=0.3).fit(x_train, y_train)
+        cv = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=5).fit(x_train, y_train)
+        assert (
+            cv.training_report_.simulated_seconds
+            > 2 * direct.training_report_.simulated_seconds
+        )
+
+    def test_cv_improves_or_matches_calibration(self, problem):
+        """Out-of-fold targets should not be worse-calibrated on test data."""
+        x_train, y_train, x_test, y_test = problem
+
+        def log_loss(clf):
+            proba = clf.predict_proba(x_test)
+            positions = np.searchsorted(clf.classes_, y_test)
+            p = np.clip(proba[np.arange(y_test.size), positions], 1e-12, 1.0)
+            return float(-np.mean(np.log(p)))
+
+        direct = GMPSVC(C=10.0, gamma=0.3).fit(x_train, y_train)
+        cv = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=5).fit(x_train, y_train)
+        assert log_loss(cv) <= log_loss(direct) * 1.1
+
+    def test_probabilities_remain_valid(self, problem):
+        x_train, y_train, x_test, _ = problem
+        cv = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=3).fit(x_train, y_train)
+        proba = cv.predict_proba(x_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_fallback_when_class_too_small(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 4))
+        y = np.concatenate([np.zeros(29), np.ones(1)])
+        x[y == 1] += 3.0
+        with pytest.warns(ConvergenceWarning, match="not enough"):
+            clf = GMPSVC(
+                C=1.0, gamma=0.5, probability_cv_folds=10, working_set_size=16
+            ).fit(x, y)
+        assert clf.model_.records[0].sigmoid is not None
+
+    def test_multiclass_cv(self):
+        x, y = gaussian_blobs(180, 5, 3, seed=4)
+        clf = GMPSVC(C=10.0, gamma=0.4, probability_cv_folds=3).fit(x, y)
+        proba = clf.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert clf.score(x, y) > 0.9
+
+    def test_deterministic(self, problem):
+        x_train, y_train, _, __ = problem
+        a = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=4).fit(x_train, y_train)
+        b = GMPSVC(C=10.0, gamma=0.3, probability_cv_folds=4).fit(x_train, y_train)
+        assert a.model_.records[0].sigmoid.a == b.model_.records[0].sigmoid.a

@@ -1,0 +1,181 @@
+"""Unit tests for synthetic generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    binary01_features,
+    dataset_names,
+    gaussian_blobs,
+    image_like,
+    load_dataset,
+    tfidf_like,
+    train_test_split,
+)
+from repro.exceptions import ValidationError
+from repro.sparse import CSRMatrix
+
+
+class TestGenerators:
+    def test_gaussian_blobs_shapes_and_balance(self):
+        x, y = gaussian_blobs(90, 5, 3, seed=1)
+        assert x.shape == (90, 5)
+        counts = np.bincount(y)
+        assert counts.tolist() == [30, 30, 30]
+
+    def test_gaussian_blobs_deterministic(self):
+        x1, y1 = gaussian_blobs(50, 4, 2, seed=7)
+        x2, y2 = gaussian_blobs(50, 4, 2, seed=7)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_gaussian_blobs_seed_matters(self):
+        x1, _ = gaussian_blobs(50, 4, 2, seed=7)
+        x2, _ = gaussian_blobs(50, 4, 2, seed=8)
+        assert not np.array_equal(x1, x2)
+
+    def test_image_like_range(self):
+        x, y = image_like(60, 16, 3, seed=2)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+        assert np.unique(y).size == 3
+
+    def test_binary01_is_sparse_binary(self):
+        x, y = binary01_features(40, 50, 2, active_per_row=7, seed=3)
+        assert isinstance(x, CSRMatrix)
+        assert np.all(x.data == 1.0)
+        assert x.nnz == 40 * 7
+
+    def test_tfidf_rows_normalised(self):
+        x, _ = tfidf_like(30, 200, 4, nnz_per_row=20, seed=4)
+        assert isinstance(x, CSRMatrix)
+        assert np.allclose(x.row_norms_sq(), 1.0)
+        assert np.all(x.data > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gaussian_blobs(1, 4, 2)
+        with pytest.raises(ValidationError):
+            gaussian_blobs(10, 0, 2)
+        with pytest.raises(ValidationError):
+            gaussian_blobs(10, 4, 1)
+        with pytest.raises(ValidationError):
+            binary01_features(10, 5, 2, active_per_row=9)
+        with pytest.raises(ValidationError):
+            tfidf_like(10, 5, 2, nnz_per_row=9)
+
+    def test_classes_are_separable_enough_to_learn(self):
+        """Each generator must produce genuinely learnable structure."""
+        from repro import GMPSVC
+
+        for maker, kwargs in [
+            (image_like, {"noise": 0.15}),
+            (binary01_features, {"flip_probability": 0.1}),
+            (tfidf_like, {"vocabulary_overlap": 0.2}),
+        ]:
+            x, y = maker(120, 64, 2, seed=5, **kwargs)
+            clf = GMPSVC(C=10.0, gamma=0.5, working_set_size=32).fit(x, y)
+            assert clf.score(x, y) > 0.9
+
+
+class TestSplit:
+    def test_split_sizes(self, rng):
+        x = rng.normal(size=(40, 3))
+        y = np.arange(40) % 2
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert xtr.shape[0] == 30 and xte.shape[0] == 10
+        assert ytr.size == 30 and yte.size == 10
+
+    def test_split_is_a_partition(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = np.arange(20)
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.3, seed=1)
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(20))
+
+    def test_split_preserves_sparse_format(self):
+        x, y = binary01_features(20, 30, 2, active_per_row=5, seed=2)
+        xtr, _, xte, _ = train_test_split(x, y, test_fraction=0.2, seed=0)
+        assert isinstance(xtr, CSRMatrix) and isinstance(xte, CSRMatrix)
+
+    def test_bad_fraction(self, rng):
+        with pytest.raises(ValidationError):
+            train_test_split(rng.normal(size=(5, 2)), np.zeros(5), test_fraction=1.5)
+
+
+class TestRegistry:
+    def test_nine_datasets_match_paper_table2(self):
+        assert len(DATASETS) == 9
+        expected_classes = {
+            "adult": 2, "rcv1": 2, "real-sim": 2, "webdata": 2,
+            "cifar-10": 10, "connect-4": 3, "mnist": 10, "mnist8m": 10,
+            "news20": 20,
+        }
+        for name, k in expected_classes.items():
+            assert DATASETS[name].n_classes == k
+
+    def test_paper_hyperparameters(self):
+        assert DATASETS["adult"].penalty == 100.0
+        assert DATASETS["adult"].gamma == 0.5
+        assert DATASETS["mnist8m"].penalty == 1000.0
+        assert DATASETS["mnist8m"].gamma == 0.006
+        assert DATASETS["news20"].penalty == 4.0
+
+    def test_scale_factors_recorded(self):
+        for spec in DATASETS.values():
+            assert spec.scale_factor > 1.0
+            assert spec.paper_cardinality > spec.cardinality
+
+    def test_dataset_names_filters(self):
+        assert len(dataset_names(binary_only=True)) == 4
+        assert len(dataset_names(multiclass_only=True)) == 5
+        assert dataset_names() == list(DATASETS)
+
+    def test_load_dataset_shapes(self):
+        ds = load_dataset("adult")
+        assert ds.n_train == pytest.approx(DATASETS["adult"].cardinality, abs=2)
+        assert ds.x_train.shape[1] == 123
+        assert np.unique(ds.y_train).size == 2
+
+    def test_load_dataset_cached(self):
+        assert load_dataset("adult") is load_dataset("adult")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError):
+            load_dataset("imagenet")
+
+    def test_multiclass_dataset_has_all_classes_in_both_splits(self):
+        ds = load_dataset("connect-4")
+        assert np.unique(ds.y_train).size == 3
+        assert np.unique(ds.y_test).size == 3
+
+
+class TestLibsvmLoader:
+    def test_split_mode(self, tmp_path, rng):
+        from repro.data import load_libsvm_dataset
+        from repro.sparse import CSRMatrix, dump_libsvm
+
+        dense = rng.normal(size=(40, 6)) * (rng.random((40, 6)) < 0.6)
+        labels = np.arange(40) % 2
+        path = tmp_path / "toy.svm"
+        dump_libsvm(CSRMatrix.from_dense(dense), labels, path)
+        ds = load_libsvm_dataset(path, penalty=4.0, gamma=0.5, test_fraction=0.25)
+        assert ds.n_train == 30 and ds.n_test == 10
+        assert ds.spec.penalty == 4.0
+        assert ds.spec.name == "toy"
+
+    def test_train_test_pair_aligns_features(self, tmp_path):
+        from repro.data import load_libsvm_dataset
+
+        train = tmp_path / "train.svm"
+        test = tmp_path / "test.svm"
+        train.write_text("1 1:1.0\n-1 2:1.0\n")
+        test.write_text("1 5:2.0\n")
+        ds = load_libsvm_dataset(train, test_path=test)
+        assert ds.x_train.shape[1] == ds.x_test.shape[1] == 5
+
+    def test_single_class_rejected(self, tmp_path):
+        from repro.data import load_libsvm_dataset
+
+        path = tmp_path / "one.svm"
+        path.write_text("1 1:1.0\n1 2:1.0\n1 1:2.0\n1 2:0.5\n")
+        with pytest.raises(ValidationError):
+            load_libsvm_dataset(path)

@@ -1,0 +1,125 @@
+"""Unit tests for the simulated clock and event counters."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import OpCounters, SimClock, TimeCharge
+
+
+class TestTimeCharge:
+    def test_total(self):
+        charge = TimeCharge(latency_s=1.0, compute_s=2.0)
+        assert charge.total_s == 3.0
+
+    def test_addition(self):
+        total = TimeCharge(1.0, 2.0) + TimeCharge(0.5, 0.25)
+        assert total.latency_s == 1.5 and total.compute_s == 2.25
+
+    def test_scaled(self):
+        charge = TimeCharge(1.0, 2.0).scaled(3.0)
+        assert charge.latency_s == 3.0 and charge.compute_s == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeCharge(latency_s=-1.0)
+        with pytest.raises(ValidationError):
+            TimeCharge(1.0, 1.0).scaled(-1.0)
+
+
+class TestSimClock:
+    def test_charge_accumulates(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 2.0))
+        clock.charge("a", TimeCharge(0.5, 0.5))
+        assert clock.category_seconds("a") == 4.0
+        assert clock.elapsed_s == 4.0
+        assert clock.latency_s == 1.5
+        assert clock.compute_s == 2.5
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(ValidationError):
+            SimClock().charge("", TimeCharge(1.0, 0.0))
+
+    def test_breakdown(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        clock.charge("b", TimeCharge(0.0, 3.0))
+        assert clock.breakdown() == {"a": 1.0, "b": 3.0}
+
+    def test_fraction_breakdown_sums_to_one(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        clock.charge("b", TimeCharge(0.0, 3.0))
+        fractions = clock.fraction_breakdown()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fraction_breakdown_grouping(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        clock.charge("b", TimeCharge(1.0, 0.0))
+        clock.charge("c", TimeCharge(2.0, 0.0))
+        fractions = clock.fraction_breakdown(grouping={"a": "x", "b": "x"})
+        assert fractions == {"x": pytest.approx(0.5), "c": pytest.approx(0.5)}
+
+    def test_fraction_breakdown_empty(self):
+        assert SimClock().fraction_breakdown() == {}
+
+    def test_merge(self):
+        a, b = SimClock(), SimClock()
+        a.charge("x", TimeCharge(1.0, 1.0))
+        b.charge("x", TimeCharge(0.0, 1.0))
+        b.charge("y", TimeCharge(2.0, 0.0))
+        a.merge(b)
+        assert a.category_seconds("x") == 3.0
+        assert a.category_seconds("y") == 2.0
+
+    def test_merge_scaled(self):
+        a, b = SimClock(), SimClock()
+        b.charge("x", TimeCharge(2.0, 4.0))
+        a.merge_scaled(b, 0.5)
+        assert a.elapsed_s == pytest.approx(3.0)
+
+    def test_merge_scaled_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            SimClock().merge_scaled(SimClock(), -1.0)
+
+    def test_copy_and_reset(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        clone = clock.copy()
+        clock.reset()
+        assert clock.elapsed_s == 0.0
+        assert clone.elapsed_s == 1.0
+
+
+class TestOpCounters:
+    def test_record_and_totals(self):
+        counters = OpCounters()
+        counters.record(flops=10, bytes_read=4, bytes_written=2, kernel_launches=1)
+        assert counters.flops == 10
+        assert counters.bytes_total == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounters().record(flops=-1)
+
+    def test_merge(self):
+        a = OpCounters(flops=1)
+        b = OpCounters(flops=2, pcie_bytes=5)
+        a.merge(b)
+        assert a.flops == 3 and a.pcie_bytes == 5
+
+    def test_snapshot_and_since(self):
+        counters = OpCounters()
+        counters.record(flops=5)
+        snap = counters.snapshot()
+        counters.record(flops=7, kernel_launches=2)
+        delta = counters.since(snap)
+        assert delta.flops == 7 and delta.kernel_launches == 2
+        assert snap.flops == 5  # snapshot unaffected
+
+    def test_reset(self):
+        counters = OpCounters(flops=5)
+        counters.reset()
+        assert counters.flops == 0

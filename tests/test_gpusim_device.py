@@ -1,0 +1,120 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import DeviceSpec, scaled_tesla_p100, tesla_p100, xeon_e5_2640v4
+
+
+class TestDeviceSpec:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "tpu", 1.0, 1.0, 1, 1e-6)
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "gpu", 0.0, 1.0, 1, 1e-6)
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "gpu", 1.0, 1.0, 0, 1e-6)
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "cpu", 1.0, 1.0, 1, 1e-6, threads=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "cpu", 1.0, 1.0, 1, 1e-6, thread_efficiency=1.5)
+
+    def test_single_thread_parallelism_is_one(self):
+        spec = xeon_e5_2640v4(1)
+        assert spec.effective_parallelism == 1.0
+        assert spec.effective_gflops == spec.peak_gflops
+
+    def test_threads_scale_throughput(self):
+        one = xeon_e5_2640v4(1)
+        forty = xeon_e5_2640v4(40)
+        assert forty.effective_gflops > 5 * one.effective_gflops
+        assert forty.effective_gflops < 40 * one.effective_gflops
+
+    def test_cpu_bandwidth_capped_at_socket_maximum(self):
+        many = xeon_e5_2640v4(64)
+        assert many.effective_bandwidth_gbps == many.mem_bandwidth_gbps
+        forty = xeon_e5_2640v4(40)
+        assert forty.effective_bandwidth_gbps <= forty.mem_bandwidth_gbps
+        assert forty.effective_bandwidth_gbps > 5 * xeon_e5_2640v4(1).effective_bandwidth_gbps
+
+    def test_cpu_single_thread_bandwidth_limited(self):
+        one = xeon_e5_2640v4(1)
+        assert one.effective_bandwidth_gbps == one.per_thread_bandwidth_gbps
+
+    def test_gpu_bandwidth_is_full(self):
+        gpu = tesla_p100()
+        assert gpu.effective_bandwidth_gbps == gpu.mem_bandwidth_gbps
+
+    def test_with_threads(self):
+        spec = xeon_e5_2640v4(1).with_threads(8)
+        assert spec.threads == 8
+
+    def test_with_threads_rejected_on_gpu(self):
+        with pytest.raises(ValidationError):
+            tesla_p100().with_threads(4)
+
+    def test_with_memory(self):
+        spec = tesla_p100().with_memory(1024)
+        assert spec.global_mem_bytes == 1024
+
+
+class TestPresets:
+    def test_p100_parameters(self):
+        gpu = tesla_p100()
+        assert gpu.kind == "gpu"
+        assert gpu.global_mem_bytes == 12 * 1024**3
+        assert gpu.num_sms == 56
+
+    def test_scaled_p100_shrinks_memory_and_latency(self):
+        base = tesla_p100()
+        scaled = scaled_tesla_p100(128)
+        assert scaled.global_mem_bytes == base.global_mem_bytes // 128
+        assert scaled.launch_overhead_s == pytest.approx(base.launch_overhead_s / 128)
+        assert scaled.sync_overhead_s == pytest.approx(base.sync_overhead_s / 128)
+        # Throughput constants are scale-free.
+        assert scaled.peak_gflops == base.peak_gflops
+        assert scaled.mem_bandwidth_gbps == base.mem_bandwidth_gbps
+
+    def test_scaled_p100_rejects_bad_scale(self):
+        with pytest.raises(ValidationError):
+            scaled_tesla_p100(0)
+
+    def test_xeon_is_cpu(self):
+        assert xeon_e5_2640v4(40).kind == "cpu"
+
+
+class TestV100:
+    def test_v100_preset(self):
+        from repro.gpusim import tesla_v100
+
+        v100 = tesla_v100()
+        p100 = tesla_p100()
+        assert v100.kind == "gpu"
+        # "higher memory bandwidth and more cores" (Section 4.1).
+        assert v100.mem_bandwidth_gbps > p100.mem_bandwidth_gbps
+        assert v100.num_sms > p100.num_sms
+        assert v100.peak_gflops > p100.peak_gflops
+
+    def test_scaled_v100(self):
+        from repro.gpusim import scaled_tesla_v100, tesla_v100
+
+        scaled = scaled_tesla_v100(128)
+        base = tesla_v100()
+        assert scaled.global_mem_bytes == base.global_mem_bytes // 128
+        assert scaled.launch_overhead_s == pytest.approx(
+            base.launch_overhead_s / 128
+        )
+
+    def test_scaled_v100_rejects_bad_scale(self):
+        from repro.gpusim import scaled_tesla_v100
+
+        with pytest.raises(ValidationError):
+            scaled_tesla_v100(0)

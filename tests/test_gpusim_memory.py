@@ -1,0 +1,103 @@
+"""Unit tests for the device memory allocator."""
+
+import pytest
+
+from repro.exceptions import DeviceMemoryError, DeviceStateError, ValidationError
+from repro.gpusim import DeviceAllocator
+
+
+class TestAllocation:
+    def test_basic_accounting(self):
+        alloc = DeviceAllocator(1000)
+        buf = alloc.allocate(400, tag="a")
+        assert alloc.used_bytes == 400
+        assert alloc.free_bytes == 600
+        buf.free()
+        assert alloc.used_bytes == 0
+
+    def test_oom_raises_with_details(self):
+        alloc = DeviceAllocator(100)
+        alloc.allocate(80)
+        with pytest.raises(DeviceMemoryError) as exc:
+            alloc.allocate(50)
+        assert exc.value.requested_bytes == 50
+        assert exc.value.free_bytes == 20
+
+    def test_exact_fit_succeeds(self):
+        alloc = DeviceAllocator(100)
+        alloc.allocate(100)
+        assert alloc.free_bytes == 0
+
+    def test_zero_byte_allocation(self):
+        alloc = DeviceAllocator(10)
+        buf = alloc.allocate(0)
+        assert buf.nbytes == 0
+        buf.free()
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValidationError):
+            DeviceAllocator(10).allocate(-1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            DeviceAllocator(0)
+
+    def test_fits_probe(self):
+        alloc = DeviceAllocator(100)
+        alloc.allocate(60)
+        assert alloc.fits(40)
+        assert not alloc.fits(41)
+        assert not alloc.fits(-1)
+
+
+class TestLifecycle:
+    def test_double_free_rejected(self):
+        alloc = DeviceAllocator(100)
+        buf = alloc.allocate(10)
+        buf.free()
+        with pytest.raises(DeviceStateError, match="double free"):
+            buf.free()
+
+    def test_foreign_buffer_rejected(self):
+        a = DeviceAllocator(100)
+        b = DeviceAllocator(100)
+        buf = a.allocate(10)
+        with pytest.raises(DeviceStateError):
+            b.free(buf)
+
+    def test_context_manager_frees(self):
+        alloc = DeviceAllocator(100)
+        with alloc.allocate(50) as buf:
+            assert alloc.used_bytes == 50
+            assert not buf.freed
+        assert buf.freed
+        assert alloc.used_bytes == 0
+
+    def test_context_manager_tolerates_inner_free(self):
+        alloc = DeviceAllocator(100)
+        with alloc.allocate(50) as buf:
+            buf.free()
+        assert alloc.used_bytes == 0
+
+
+class TestIntrospection:
+    def test_peak_tracks_high_water_mark(self):
+        alloc = DeviceAllocator(100)
+        a = alloc.allocate(60)
+        a.free()
+        alloc.allocate(30)
+        assert alloc.peak_bytes == 60
+
+    def test_usage_by_tag(self):
+        alloc = DeviceAllocator(100)
+        alloc.allocate(10, tag="kernel-buffer")
+        alloc.allocate(20, tag="kernel-buffer")
+        alloc.allocate(5, tag="state")
+        assert alloc.usage_by_tag() == {"kernel-buffer": 30, "state": 5}
+
+    def test_live_buffers(self):
+        alloc = DeviceAllocator(100)
+        buf = alloc.allocate(10)
+        assert alloc.live_buffers == 1
+        buf.free()
+        assert alloc.live_buffers == 0

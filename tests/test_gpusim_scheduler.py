@@ -1,0 +1,127 @@
+"""Unit tests for the concurrency scheduler."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import (
+    ConcurrentScheduler,
+    ScheduledTask,
+    SimClock,
+    TaskCost,
+    TimeCharge,
+    scaled_tesla_p100,
+)
+
+
+def task(name, latency=0.0, compute=0.0, mem=0, blocks=1):
+    return ScheduledTask(name, TaskCost(latency, compute, mem, blocks))
+
+
+class TestTaskCost:
+    def test_serial_time(self):
+        assert TaskCost(1.0, 2.0).serial_s == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TaskCost(-1.0, 0.0)
+        with pytest.raises(ValidationError):
+            TaskCost(0.0, 0.0, mem_bytes=-1)
+        with pytest.raises(ValidationError):
+            TaskCost(0.0, 0.0, blocks=0)
+
+    def test_from_clock(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 2.0))
+        scheduled = ScheduledTask.from_clock("t", clock, mem_bytes=10, blocks=2)
+        assert scheduled.cost.latency_s == 1.0
+        assert scheduled.cost.compute_s == 2.0
+        assert scheduled.cost.mem_bytes == 10
+
+
+class TestWaveMakespan:
+    def test_single_task_is_serial(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        plan = scheduler.plan([task("a", latency=1.0, compute=0.5)])
+        assert plan.makespan_s == pytest.approx(1.5)
+        assert plan.speedup == pytest.approx(1.0)
+
+    def test_latency_bound_tasks_overlap(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        tasks = [task(f"t{i}", latency=1.0, compute=0.01) for i in range(8)]
+        plan = scheduler.plan(tasks)
+        # Eight latency chains overlap: makespan ~ one chain, not eight.
+        assert plan.makespan_s < 1.5
+        assert plan.speedup > 5.0
+
+    def test_compute_bound_tasks_do_not_overlap(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        tasks = [task(f"t{i}", latency=0.0, compute=1.0) for i in range(4)]
+        plan = scheduler.plan(tasks)
+        # Throughput is shared: total compute cannot shrink.
+        assert plan.makespan_s == pytest.approx(4.0)
+
+    def test_mixed_wave(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        tasks = [task("big", latency=2.0, compute=1.0), task("small", 0.1, 0.1)]
+        plan = scheduler.plan(tasks)
+        assert plan.makespan_s == pytest.approx(3.0)  # longest chain dominates
+
+
+class TestPackingConstraints:
+    def test_memory_cap_forces_waves(self):
+        scheduler = ConcurrentScheduler(
+            scaled_tesla_p100(), mem_budget_bytes=100
+        )
+        tasks = [task(f"t{i}", latency=1.0, mem=60) for i in range(4)]
+        plan = scheduler.plan(tasks)
+        assert plan.max_concurrency == 1
+        assert len(plan.waves) == 4
+
+    def test_sm_cap_forces_waves(self):
+        device = scaled_tesla_p100()  # 56 SMs
+        scheduler = ConcurrentScheduler(device)
+        tasks = [task(f"t{i}", latency=1.0, blocks=28) for i in range(4)]
+        plan = scheduler.plan(tasks)
+        assert plan.max_concurrency == 2
+
+    def test_max_concurrent_cap(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100(), max_concurrent=3)
+        tasks = [task(f"t{i}", latency=1.0) for i in range(7)]
+        plan = scheduler.plan(tasks)
+        assert plan.max_concurrency == 3
+
+    def test_oversized_task_still_runs_alone(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100(), mem_budget_bytes=10)
+        plan = scheduler.plan([task("huge", latency=1.0, mem=1000)])
+        assert len(plan.waves) == 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            ConcurrentScheduler(scaled_tesla_p100(), max_concurrent=0)
+        with pytest.raises(ValidationError):
+            ConcurrentScheduler(scaled_tesla_p100(), mem_budget_bytes=0)
+
+
+class TestAggregateClock:
+    def test_fractions_preserved_and_total_matches_makespan(self):
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        clocks = []
+        for i in range(3):
+            clock = SimClock()
+            clock.charge("kernel_values", TimeCharge(0.5, 0.25))
+            clock.charge("subproblem", TimeCharge(0.25, 0.0))
+            clocks.append(clock)
+        tasks = [
+            ScheduledTask.from_clock(f"t{i}", clock) for i, clock in enumerate(clocks)
+        ]
+        plan = scheduler.plan(tasks)
+        aggregate = plan.aggregate_clock()
+        assert aggregate.elapsed_s == pytest.approx(plan.makespan_s)
+        fractions = aggregate.fraction_breakdown()
+        assert fractions["kernel_values"] == pytest.approx(0.75)
+        assert fractions["subproblem"] == pytest.approx(0.25)
+
+    def test_empty_plan(self):
+        plan = ConcurrentScheduler(scaled_tesla_p100()).plan([])
+        assert plan.makespan_s == 0.0
+        assert plan.aggregate_clock().elapsed_s == 0.0

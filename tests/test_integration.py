@@ -1,0 +1,153 @@
+"""Integration tests: whole-system behaviour across modules.
+
+These mirror the paper's evaluation claims at test scale: classifier
+equivalence between GMP-SVM and LibSVM (Table 4), probability validity,
+registry workloads end to end, and persistence through the full stack.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, load_model
+from repro.baselines import GPUBaselineClassifier, LibSVMClassifier
+from repro.core.predictor import PredictorConfig, predict_labels_model
+from repro.data import load_dataset
+from repro.gpusim import scaled_tesla_p100
+
+
+@pytest.fixture(scope="module")
+def small_registry_run():
+    """Train GMP and LibSVM on a downsampled registry dataset."""
+    ds = load_dataset("connect-4")
+    idx = np.arange(0, ds.n_train, 4)  # subsample to keep tests quick
+    from repro.sparse import ops as mops
+
+    x = mops.take_rows(ds.x_train, idx)
+    y = ds.y_train[idx]
+    gmp = GMPSVC(
+        C=ds.spec.penalty, gamma=ds.spec.gamma, working_set_size=64
+    ).fit(x, y)
+    libsvm = LibSVMClassifier(C=ds.spec.penalty, gamma=ds.spec.gamma).fit(x, y)
+    return ds, x, y, gmp, libsvm
+
+
+class TestTable4Equivalence:
+    def test_biases_match_to_three_decimals(self, small_registry_run):
+        _, _, _, gmp, libsvm = small_registry_run
+        for ours, theirs in zip(gmp.model_.records, libsvm.model_.records):
+            assert round(ours.bias, 3) == pytest.approx(round(theirs.bias, 3), abs=2e-3)
+
+    def test_training_errors_identical(self, small_registry_run):
+        _, x, y, gmp, libsvm = small_registry_run
+        ours, _ = predict_labels_model(
+            gmp._predictor_config(), gmp.model_, x, use_probability=False
+        )
+        theirs, _ = predict_labels_model(
+            libsvm._predictor_config(), libsvm.model_, x, use_probability=False
+        )
+        assert np.mean(ours != y) == np.mean(theirs != y)
+
+    def test_prediction_errors_identical(self, small_registry_run):
+        ds, _, _, gmp, libsvm = small_registry_run
+        ours, _ = predict_labels_model(
+            gmp._predictor_config(), gmp.model_, ds.x_test, use_probability=False
+        )
+        theirs, _ = predict_labels_model(
+            libsvm._predictor_config(), libsvm.model_, ds.x_test, use_probability=False
+        )
+        assert np.mean(ours != ds.y_test) == np.mean(theirs != ds.y_test)
+
+    def test_probabilities_close_between_systems(self, small_registry_run):
+        ds, x, _, gmp, libsvm = small_registry_run
+        p_gmp = gmp.predict_proba(x[:50] if hasattr(x, "__getitem__") else x)
+        p_lib = libsvm.predict_proba(x[:50] if hasattr(x, "__getitem__") else x)
+        assert np.max(np.abs(p_gmp - p_lib)) < 0.05
+
+
+class TestEndToEndWorkloads:
+    @pytest.mark.parametrize("name", ["adult", "rcv1"])
+    def test_binary_registry_datasets(self, name):
+        ds = load_dataset(name)
+        clf = GMPSVC(
+            C=ds.spec.penalty, gamma=ds.spec.gamma, working_set_size=128
+        ).fit(ds.x_train, ds.y_train)
+        train_accuracy = clf.score(ds.x_train, ds.y_train)
+        test_accuracy = clf.score(ds.x_test, ds.y_test)
+        assert train_accuracy > 0.9
+        assert test_accuracy > 0.6
+
+    def test_multiclass_probabilities_valid(self):
+        ds = load_dataset("connect-4")
+        from repro.sparse import ops as mops
+
+        idx = np.arange(0, ds.n_train, 6)
+        x, y = mops.take_rows(ds.x_train, idx), ds.y_train[idx]
+        clf = GMPSVC(C=ds.spec.penalty, gamma=ds.spec.gamma, working_set_size=64)
+        clf.fit(x, y)
+        proba = clf.predict_proba(ds.x_test)
+        assert proba.shape == (ds.n_test, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_full_stack_persistence(self, small_registry_run, tmp_path):
+        ds, _, _, gmp, _ = small_registry_run
+        path = tmp_path / "model.repro"
+        gmp.save(path)
+        reloaded = load_model(path)
+        from repro.core.predictor import predict_proba_model
+
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original = gmp.predict_proba(ds.x_test)
+        restored, _ = predict_proba_model(config, reloaded, ds.x_test)
+        assert np.allclose(original, restored, atol=1e-12)
+
+
+class TestSimulatedPerformanceClaims:
+    """The abstract's headline numbers, at test scale."""
+
+    def test_gmp_vs_baseline_training(self, small_registry_run):
+        ds, x, y, gmp, _ = small_registry_run
+        baseline = GPUBaselineClassifier(
+            C=ds.spec.penalty, gamma=ds.spec.gamma
+        ).fit(x, y)
+        speedup = (
+            baseline.training_report_.simulated_seconds
+            / gmp.training_report_.simulated_seconds
+        )
+        assert speedup > 1.5  # paper: two to five times
+
+    def test_gmp_vs_libsvm_training(self, small_registry_run):
+        _, _, _, gmp, libsvm = small_registry_run
+        speedup = (
+            libsvm.training_report_.simulated_seconds
+            / gmp.training_report_.simulated_seconds
+        )
+        assert speedup > 20  # paper: one to two orders of magnitude
+
+    def test_kernel_values_are_a_top_component_of_training(self, small_registry_run):
+        """Figure 11's shape, softened for the reduced dataset scale.
+
+        At full scale kernel values dominate outright; at ~30x-scaled
+        problems the fixed per-round work (selection, indicator updates)
+        does not shrink with the kernel batches, so we assert the weaker
+        invariant that kernel values are among the top two components and
+        carry a substantial share (EXPERIMENTS.md discusses the gap).
+        """
+        from repro.perf import TRAIN_GROUPS
+
+        _, _, _, gmp, _ = small_registry_run
+        fractions = gmp.training_report_.fraction_breakdown(TRAIN_GROUPS)
+        ranked = sorted(fractions, key=fractions.get, reverse=True)
+        assert "kernel values" in ranked[:2]
+        assert fractions["kernel values"] > 0.15
+
+    def test_prediction_dominated_by_decision_values(self, small_registry_run):
+        """Figure 12's shape: decision values dominate prediction."""
+        from repro.perf import PREDICT_GROUPS
+
+        ds, _, _, gmp, _ = small_registry_run
+        gmp.predict_proba(ds.x_test)
+        fractions = gmp.prediction_report_.fraction_breakdown(PREDICT_GROUPS)
+        assert fractions["decision values"] == max(fractions.values())

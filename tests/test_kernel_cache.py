@@ -1,0 +1,190 @@
+"""Unit and property tests for the kernel-value buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.gpusim import DeviceAllocator
+from repro.kernels import KernelBuffer
+
+
+def row(value, length=4):
+    return np.full(length, float(value))
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        buf = KernelBuffer(2, 4)
+        assert buf.get(1) is None
+        buf.put_batch([1], row(1)[None, :])
+        fetched = buf.get(1)
+        assert np.allclose(fetched, 1.0)
+        assert buf.stats.hits == 1 and buf.stats.misses == 1
+
+    def test_returned_row_is_readonly(self):
+        buf = KernelBuffer(2, 4)
+        buf.put_batch([1], row(1)[None, :])
+        fetched = buf.get(1)
+        with pytest.raises(ValueError):
+            fetched[0] = 99.0
+
+    def test_contains_does_not_count(self):
+        buf = KernelBuffer(2, 4)
+        buf.contains(5)
+        assert buf.stats.requests == 0
+
+    def test_refresh_overwrites_in_place(self):
+        buf = KernelBuffer(2, 4)
+        buf.put_batch([1], row(1)[None, :])
+        buf.put_batch([1], row(9)[None, :])
+        assert np.allclose(buf.get(1), 9.0)
+        assert buf.size == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            KernelBuffer(0, 4)
+        with pytest.raises(ValidationError):
+            KernelBuffer(2, 0)
+        with pytest.raises(ValidationError):
+            KernelBuffer(2, 4, policy="random")
+
+    def test_put_batch_shape_check(self):
+        buf = KernelBuffer(2, 4)
+        with pytest.raises(ValidationError):
+            buf.put_batch([1, 2], np.ones((1, 4)))
+
+    def test_put_batch_duplicate_ids_rejected(self):
+        buf = KernelBuffer(4, 4)
+        with pytest.raises(ValidationError, match="duplicate"):
+            buf.put_batch([1, 1], np.ones((2, 4)))
+
+    def test_oversized_batch_keeps_tail(self):
+        buf = KernelBuffer(2, 4)
+        rows = np.vstack([row(i) for i in range(5)])
+        buf.put_batch([0, 1, 2, 3, 4], rows)
+        assert buf.size == 2
+        assert buf.contains(3) and buf.contains(4)
+
+
+class TestFIFO:
+    def test_eviction_order_is_insertion_order(self):
+        buf = KernelBuffer(3, 4, policy="fifo")
+        for i in range(3):
+            buf.put_batch([i], row(i)[None, :])
+        buf.get(0)  # recency must NOT matter for FIFO
+        buf.put_batch([3], row(3)[None, :])
+        assert not buf.contains(0)
+        assert buf.contains(1) and buf.contains(2) and buf.contains(3)
+        assert buf.stats.evictions == 1
+
+    def test_batch_replacement(self):
+        """The paper's FIFO *batch* replacement: a new batch displaces the oldest."""
+        buf = KernelBuffer(4, 4, policy="fifo")
+        buf.put_batch([0, 1], np.vstack([row(0), row(1)]))
+        buf.put_batch([2, 3], np.vstack([row(2), row(3)]))
+        buf.put_batch([4, 5], np.vstack([row(4), row(5)]))
+        assert not buf.contains(0) and not buf.contains(1)
+        assert all(buf.contains(i) for i in (2, 3, 4, 5))
+
+
+class TestLRU:
+    def test_recency_protects_from_eviction(self):
+        buf = KernelBuffer(3, 4, policy="lru")
+        for i in range(3):
+            buf.put_batch([i], row(i)[None, :])
+        buf.get(0)  # 0 becomes most recent
+        buf.put_batch([3], row(3)[None, :])
+        assert buf.contains(0)
+        assert not buf.contains(1)
+
+
+class TestLFU:
+    def test_frequency_protects_from_eviction(self):
+        buf = KernelBuffer(3, 4, policy="lfu")
+        for i in range(3):
+            buf.put_batch([i], row(i)[None, :])
+        buf.get(0)
+        buf.get(0)
+        buf.get(2)
+        buf.put_batch([3], row(3)[None, :])
+        assert not buf.contains(1)  # never used -> evicted
+        assert buf.contains(0) and buf.contains(2)
+
+    def test_frequency_tie_breaks_by_age(self):
+        buf = KernelBuffer(2, 4, policy="lfu")
+        buf.put_batch([0], row(0)[None, :])
+        buf.put_batch([1], row(1)[None, :])
+        buf.put_batch([2], row(2)[None, :])
+        assert not buf.contains(0)
+
+
+class TestFetch:
+    def test_fetch_computes_only_missing(self):
+        buf = KernelBuffer(4, 4)
+        buf.put_batch([1], row(1)[None, :])
+        calls = []
+
+        def compute(ids):
+            calls.append(ids.tolist())
+            return np.vstack([row(i) for i in ids])
+
+        out = buf.fetch([0, 1, 2], compute)
+        assert calls == [[0, 2]]
+        assert np.allclose(out, np.vstack([row(0), row(1), row(2)]))
+
+    def test_fetch_all_hits_never_calls(self):
+        buf = KernelBuffer(4, 4)
+        buf.put_batch([0, 1], np.vstack([row(0), row(1)]))
+
+        def forbidden(ids):
+            raise AssertionError("should not compute")
+
+        out = buf.fetch([1, 0], forbidden)
+        assert np.allclose(out, np.vstack([row(1), row(0)]))
+
+    def test_fetch_validates_compute_shape(self):
+        buf = KernelBuffer(4, 4)
+        with pytest.raises(ValidationError):
+            buf.fetch([0], lambda ids: np.ones((2, 4)))
+
+    def test_hit_rate(self):
+        buf = KernelBuffer(4, 4)
+        buf.fetch([0, 1], lambda ids: np.vstack([row(i) for i in ids]))
+        buf.fetch([0, 1], lambda ids: np.vstack([row(i) for i in ids]))
+        assert buf.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestDeviceRegistration:
+    def test_registers_and_frees_device_memory(self):
+        allocator = DeviceAllocator(10_000)
+        with KernelBuffer(10, 8, allocator=allocator) as buf:
+            assert allocator.used_bytes == buf.nbytes == 10 * 8 * 8
+        assert allocator.used_bytes == 0
+
+    def test_oversized_buffer_raises_oom(self):
+        allocator = DeviceAllocator(100)
+        from repro.exceptions import DeviceMemoryError
+
+        with pytest.raises(DeviceMemoryError):
+            KernelBuffer(10, 8, allocator=allocator)
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=60),
+    st.integers(1, 8),
+    st.sampled_from(["fifo", "lru", "lfu"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_buffer_invariants(ids, capacity, policy):
+    """Size never exceeds capacity; resident rows hold their exact values."""
+    buf = KernelBuffer(capacity, 3, policy=policy)
+    for rid in ids:
+        buf.fetch([rid], lambda missing: np.vstack([row(r, 3) for r in missing]))
+        assert buf.size <= capacity
+        assert len(buf.resident_ids()) == buf.size
+    for rid in buf.resident_ids():
+        stored = buf.get(rid)
+        assert np.allclose(stored, float(rid))
+    assert buf.stats.requests >= len(ids)

@@ -1,0 +1,134 @@
+"""Unit tests for cross-SVM kernel-value sharing (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kernels import GaussianKernel, KernelRowComputer, SharedClassPairKernels
+from repro.kernels.shared import naive_block_count, unique_block_count
+
+
+@pytest.fixture
+def shared_setup(gpu_engine, rng):
+    x = rng.normal(size=(30, 5))
+    labels = np.repeat([0, 1, 2], 10)
+    partition = {c: np.flatnonzero(labels == c) for c in range(3)}
+    computer = KernelRowComputer(gpu_engine, GaussianKernel(gamma=0.5), x)
+    shared = SharedClassPairKernels(computer, partition)
+    return shared, computer, x, partition
+
+
+class TestBlockCounts:
+    def test_paper_example_three_classes(self):
+        """Figure 3: 12 naive blocks collapse to 9 shared blocks."""
+        assert naive_block_count(3) == 12
+        assert unique_block_count(3) == 9
+
+    def test_counts_grow_correctly(self):
+        # With a single pair there is nothing to share.
+        assert unique_block_count(2) == naive_block_count(2)
+        for k in range(3, 8):
+            assert unique_block_count(k) < naive_block_count(k)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            unique_block_count(0)
+        with pytest.raises(ValidationError):
+            naive_block_count(-1)
+
+
+class TestCorrectness:
+    def test_rows_match_direct_computation(self, shared_setup):
+        shared, computer, x, partition = shared_setup
+        ids = np.array([1, 15])
+        block = shared.rows_for_pair(ids, 0, 1)
+        cols = np.concatenate([partition[0], partition[1]])
+        expected = computer.kernel.pairwise(
+            computer.engine, x[ids], x[cols], category="k"
+        )
+        assert np.allclose(block, expected)
+
+    def test_column_order_is_s_then_t(self, shared_setup):
+        shared, computer, x, partition = shared_setup
+        ids = np.array([5])
+        block_01 = shared.rows_for_pair(ids, 0, 1)
+        block_10_s = shared.segment(5, 1)
+        assert np.allclose(block_01[0, 10:], block_10_s)
+
+    def test_unknown_class_rejected(self, shared_setup):
+        shared = shared_setup[0]
+        with pytest.raises(ValidationError):
+            shared.rows_for_pair(np.array([0]), 0, 9)
+
+    def test_empty_class_rejected(self, gpu_engine, rng):
+        x = rng.normal(size=(4, 3))
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        with pytest.raises(ValidationError, match="no instances"):
+            SharedClassPairKernels(computer, {0: np.array([0, 1]), 1: np.array([], dtype=np.int64)})
+
+
+class TestSharing:
+    def test_second_svm_reuses_segments(self, shared_setup):
+        shared = shared_setup[0]
+        ids = np.array([2, 4])
+        shared.rows_for_pair(ids, 0, 1)
+        misses_before = shared.stats.segment_misses
+        # Pair (0, 2) re-requests the same instances against class 0.
+        shared.rows_for_pair(ids, 0, 2)
+        assert shared.stats.segment_hits >= 2  # the class-0 segments
+        assert shared.stats.segment_misses == misses_before + 2  # class-2 only
+
+    def test_disabled_sharing_always_recomputes(self, gpu_engine, rng):
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        shared = SharedClassPairKernels(computer, partition, enabled=False)
+        ids = np.array([1])
+        shared.rows_for_pair(ids, 0, 1)
+        shared.rows_for_pair(ids, 0, 1)
+        assert shared.stats.segment_hits == 0
+        assert shared.resident_bytes == 0
+
+    def test_sharing_reduces_engine_flops(self, gpu_engine, rng):
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        shared = SharedClassPairKernels(computer, partition)
+        ids = np.array([0, 1, 2])
+        shared.rows_for_pair(ids, 0, 1)
+        flops_after_first = gpu_engine.counters.flops
+        shared.rows_for_pair(ids, 0, 1)  # fully cached
+        assert gpu_engine.counters.flops == flops_after_first
+
+    def test_bytes_saved_statistic(self, shared_setup):
+        shared = shared_setup[0]
+        ids = np.array([3])
+        shared.rows_for_pair(ids, 0, 1)
+        shared.rows_for_pair(ids, 0, 1)
+        assert shared.stats.bytes_saved == 2 * 10 * 8
+
+
+class TestMemoryCap:
+    def test_cap_evicts_oldest_segments(self, gpu_engine, rng):
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        segment_bytes = 10 * 8
+        shared = SharedClassPairKernels(
+            computer, partition, max_bytes=3 * segment_bytes
+        )
+        for i in range(5):
+            shared.segment(i, 0)
+        assert shared.resident_bytes <= 3 * segment_bytes
+
+    def test_cap_smaller_than_segment_skips_caching(self, gpu_engine, rng):
+        x = rng.normal(size=(10, 4))
+        labels = np.repeat([0, 1], 5)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        shared = SharedClassPairKernels(computer, partition, max_bytes=8)
+        shared.segment(0, 0)
+        assert shared.resident_bytes == 0

@@ -1,0 +1,143 @@
+"""Unit tests for model containers and persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, load_model, save_model
+from repro.core.predictor import PredictorConfig, predict_proba_model
+from repro.data import gaussian_blobs
+from repro.exceptions import ModelFormatError, ValidationError
+from repro.gpusim import scaled_tesla_p100
+from repro.model import MPSVMModel
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    x, y = gaussian_blobs(120, 6, 3, seed=2)
+    clf = GMPSVC(C=5.0, gamma=0.4, working_set_size=32).fit(x, y)
+    return clf, x, y
+
+
+class TestModelContainer:
+    def test_pair_bookkeeping(self, fitted):
+        model = fitted[0].model_
+        assert model.n_classes == 3
+        assert len(model.records) == 3
+        assert model.pairs == [(0, 1), (0, 2), (1, 2)]
+
+    def test_record_lookup(self, fitted):
+        model = fitted[0].model_
+        assert model.record_for(0, 2).s == 0
+        with pytest.raises(ValidationError):
+            model.record_for(2, 0)
+
+    def test_bias_of_last_svm(self, fitted):
+        model = fitted[0].model_
+        assert model.bias_of_last_svm == model.records[-1].bias
+
+    def test_label_mapping(self, fitted):
+        model = fitted[0].model_
+        assert np.array_equal(
+            model.labels_from_positions(np.array([0, 2])), model.classes[[0, 2]]
+        )
+
+    def test_record_count_validated(self, fitted):
+        model = fitted[0].model_
+        with pytest.raises(ValidationError):
+            MPSVMModel(
+                classes=model.classes,
+                kernel=model.kernel,
+                penalty=model.penalty,
+                records=model.records[:1],
+                sv_pool=model.sv_pool,
+            )
+
+    def test_probability_requires_sigmoids(self, fitted):
+        model = fitted[0].model_
+        stripped = [
+            type(rec)(
+                s=rec.s, t=rec.t,
+                global_sv_indices=rec.global_sv_indices,
+                coefficients=rec.coefficients, bias=rec.bias, sigmoid=None,
+            )
+            for rec in model.records
+        ]
+        with pytest.raises(ValidationError):
+            MPSVMModel(
+                classes=model.classes,
+                kernel=model.kernel,
+                penalty=model.penalty,
+                records=stripped,
+                sv_pool=model.sv_pool,
+                probability=True,
+            )
+
+
+class TestPersistence:
+    def roundtrip(self, model):
+        buffer = io.StringIO()
+        save_model(model, buffer)
+        buffer.seek(0)
+        return load_model(buffer)
+
+    def test_roundtrip_predictions_identical(self, fitted):
+        clf, x, _ = fitted
+        reloaded = self.roundtrip(clf.model_)
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original, _ = predict_proba_model(config, clf.model_, x)
+        restored, _ = predict_proba_model(config, reloaded, x)
+        assert np.allclose(original, restored, atol=1e-12)
+
+    def test_roundtrip_metadata(self, fitted):
+        model = fitted[0].model_
+        reloaded = self.roundtrip(model)
+        assert np.array_equal(reloaded.classes, model.classes)
+        assert reloaded.kernel == model.kernel
+        assert reloaded.penalty == model.penalty
+        assert reloaded.probability == model.probability
+        for a, b in zip(reloaded.records, model.records):
+            assert (a.s, a.t) == (b.s, b.t)
+            assert a.bias == b.bias
+            assert a.sigmoid.a == b.sigmoid.a
+
+    def test_roundtrip_sparse_training_data(self):
+        from repro.data import binary01_features
+
+        x, y = binary01_features(80, 60, 2, active_per_row=6, seed=9)
+        clf = GMPSVC(C=10.0, gamma=0.5, working_set_size=32).fit(x, y)
+        reloaded = self.roundtrip(clf.model_)
+        assert isinstance(reloaded.sv_pool.pool_data, CSRMatrix)
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original, _ = predict_proba_model(config, clf.model_, x)
+        restored, _ = predict_proba_model(config, reloaded, x)
+        assert np.allclose(original, restored, atol=1e-12)
+
+    def test_file_path_roundtrip(self, fitted, tmp_path):
+        clf = fitted[0]
+        path = tmp_path / "model.txt"
+        clf.save(path)
+        reloaded = load_model(path)
+        assert reloaded.n_classes == 3
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(ModelFormatError, match="not a"):
+            load_model(io.StringIO("something-else 1\n"))
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ModelFormatError, match="version"):
+            load_model(io.StringIO("repro-mpsvm 99\n"))
+
+    def test_rejects_truncated_file(self, fitted):
+        buffer = io.StringIO()
+        save_model(fitted[0].model_, buffer)
+        text = buffer.getvalue()
+        truncated = "\n".join(text.splitlines()[:5])
+        with pytest.raises(ModelFormatError):
+            load_model(io.StringIO(truncated))
+
+    def test_integer_labels_restored_as_integers(self, fitted):
+        reloaded = self.roundtrip(fitted[0].model_)
+        assert reloaded.classes.dtype == np.int64

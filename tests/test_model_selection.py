@@ -1,0 +1,123 @@
+"""Unit tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, ValidationError
+from repro.data import binary01_features, gaussian_blobs
+from repro.model_selection import (
+    GridSearchResult,
+    cross_val_score,
+    grid_search,
+    k_fold_indices,
+)
+
+
+class TestKFold:
+    def test_partition_property(self):
+        y = np.arange(20) % 2
+        splits = k_fold_indices(y, 4, seed=1)
+        assert len(splits) == 4
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in splits:
+            assert np.intersect1d(train, test).size == 0
+
+    def test_stratification(self):
+        y = np.array([0] * 16 + [1] * 8)
+        for train, test in k_fold_indices(y, 4, seed=2):
+            assert np.count_nonzero(y[test] == 0) == 4
+            assert np.count_nonzero(y[test] == 1) == 2
+
+    def test_deterministic(self):
+        y = np.arange(30) % 3
+        a = k_fold_indices(y, 3, seed=5)
+        b = k_fold_indices(y, 3, seed=5)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            k_fold_indices(np.zeros(10), 1)
+        with pytest.raises(ValidationError):
+            k_fold_indices(np.zeros(3), 5)
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self):
+        x, y = gaussian_blobs(120, 4, 2, seed=3)
+        scores = cross_val_score(
+            lambda: GMPSVC(C=10.0, gamma=0.5, working_set_size=16),
+            x, y, folds=4,
+        )
+        assert scores.shape == (4,)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert scores.mean() > 0.9
+
+    def test_works_on_sparse_data(self):
+        x, y = binary01_features(100, 60, 2, active_per_row=8, seed=4)
+        scores = cross_val_score(
+            lambda: GMPSVC(C=10.0, gamma=0.5, working_set_size=16),
+            x, y, folds=3,
+        )
+        assert scores.mean() > 0.8
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return gaussian_blobs(150, 4, 3, separation=1.2, noise=1.2, seed=6)
+
+    def test_finds_a_reasonable_configuration(self, problem):
+        x, y = problem
+        result = grid_search(
+            lambda **p: GMPSVC(working_set_size=16, **p),
+            {"C": [1e-4, 10.0], "gamma": [1e-6, 0.5]},
+            x, y, folds=3,
+        )
+        assert isinstance(result, GridSearchResult)
+        assert result.best_score > 0.85
+        assert len(result.results) == 4
+        # The fully degenerate corner (tiny C AND tiny gamma) scores near
+        # chance and must not win.
+        assert result.best_params != {"C": 1e-4, "gamma": 1e-6}
+
+    def test_results_cover_full_grid(self, problem):
+        x, y = problem
+        result = grid_search(
+            lambda **p: GMPSVC(working_set_size=16, **p),
+            {"C": [1.0, 10.0], "gamma": [0.5]},
+            x, y, folds=3,
+        )
+        params_seen = [tuple(sorted(r["params"].items())) for r in result.results]
+        assert len(set(params_seen)) == 2
+
+    def test_table_rendering(self, problem):
+        x, y = problem
+        result = grid_search(
+            lambda **p: GMPSVC(working_set_size=16, **p),
+            {"C": [1.0]}, x, y, folds=3,
+        )
+        table = result.as_table()
+        assert "C=1" in table and "mean acc" in table
+
+    def test_empty_grid_rejected(self, problem):
+        x, y = problem
+        with pytest.raises(ValidationError):
+            grid_search(lambda **p: GMPSVC(**p), {}, x, y)
+        with pytest.raises(ValidationError):
+            grid_search(lambda **p: GMPSVC(**p), {"C": []}, x, y)
+
+    def test_deterministic(self, problem):
+        x, y = problem
+        kwargs = dict(folds=3, seed=9)
+        a = grid_search(
+            lambda **p: GMPSVC(working_set_size=16, **p),
+            {"C": [1.0, 10.0]}, x, y, **kwargs,
+        )
+        b = grid_search(
+            lambda **p: GMPSVC(working_set_size=16, **p),
+            {"C": [1.0, 10.0]}, x, y, **kwargs,
+        )
+        assert a.best_params == b.best_params
+        assert a.best_score == b.best_score

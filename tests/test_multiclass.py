@@ -1,0 +1,152 @@
+"""Unit tests for decomposition, SV sharing and voting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kernels import GaussianKernel
+from repro.multiclass import (
+    SupportVectorPool,
+    class_partition,
+    make_pairs,
+    ovo_vote,
+    pair_problems,
+)
+from repro.multiclass.sv_sharing import PooledSVM
+
+
+class TestPartition:
+    def test_sorted_classes_and_indices(self):
+        y = np.array([5, 2, 5, 9, 2])
+        classes, partition = class_partition(y)
+        assert classes.tolist() == [2, 5, 9]
+        assert partition[0].tolist() == [1, 4]
+        assert partition[1].tolist() == [0, 2]
+        assert partition[2].tolist() == [3]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            class_partition(np.array([1, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            class_partition(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            class_partition(np.array([1.0, np.nan]))
+
+
+class TestPairs:
+    def test_pair_count(self):
+        for k in range(2, 7):
+            assert len(make_pairs(k)) == k * (k - 1) // 2
+
+    def test_pair_order_matches_libsvm(self):
+        assert make_pairs(3) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_problems_have_correct_labels(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        classes, partition = class_partition(y)
+        problems = list(pair_problems(classes, partition))
+        first = problems[0]  # pair (0, 1)
+        assert first.n == 4
+        assert first.labels.tolist() == [1.0, 1.0, -1.0, -1.0]
+        assert y[first.global_indices].tolist() == [0, 0, 1, 1]
+        assert first.n_positive == 2 and first.n_negative == 2
+
+
+class TestVoting:
+    def test_unanimous_vote(self):
+        pairs = make_pairs(3)
+        decisions = np.array([[1.0, 1.0, 1.0]])  # class 0 beats 1 and 2; 1 beats 2
+        assert ovo_vote(decisions, pairs, 3).tolist() == [0]
+
+    def test_majority_vote(self):
+        pairs = make_pairs(3)
+        decisions = np.array([[-1.0, -1.0, 1.0]])  # 1 beats 0; 2 beats 0; 1 beats 2
+        assert ovo_vote(decisions, pairs, 3).tolist() == [1]
+
+    def test_tie_breaks_to_lower_class(self):
+        pairs = make_pairs(3)
+        decisions = np.array([[1.0, -1.0, 1.0]])  # every class gets one vote
+        assert ovo_vote(decisions, pairs, 3).tolist() == [0]
+
+    def test_zero_decision_votes_for_first_class(self):
+        pairs = make_pairs(2)
+        assert ovo_vote(np.array([[0.0]]), pairs, 2).tolist() == [0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            ovo_vote(np.ones((2, 2)), make_pairs(3), 3)
+
+    def test_pair_range_validation(self):
+        with pytest.raises(ValidationError):
+            ovo_vote(np.ones((1, 1)), [(0, 5)], 3)
+
+
+class TestSupportVectorPool:
+    def build_pool(self, rng, k=3, n=30):
+        x = rng.normal(size=(n, 4))
+        per_svm = []
+        for pair_index, (s, t) in enumerate(make_pairs(k)):
+            indices = np.arange(pair_index * 5, pair_index * 5 + 10) % n
+            indices = np.unique(indices)
+            coefficients = rng.normal(size=indices.size)
+            per_svm.append((s, t, indices, coefficients, 0.1 * pair_index))
+        return SupportVectorPool.build(x, per_svm), x, per_svm
+
+    def test_pool_deduplicates(self, rng):
+        pool, _, per_svm = self.build_pool(rng)
+        total_refs = sum(len(entry[2]) for entry in per_svm)
+        assert pool.n_references == total_refs
+        assert pool.n_pool < total_refs
+        assert pool.sharing_factor > 1.0
+
+    def test_pool_positions_map_back_to_globals(self, rng):
+        pool, x, per_svm = self.build_pool(rng)
+        for svm, (s, t, indices, _, _) in zip(pool.svms, per_svm):
+            recovered = pool.pool_global_indices[svm.pool_positions]
+            assert np.array_equal(np.sort(recovered), np.sort(indices))
+
+    def test_decision_values_shared_equals_unshared(self, gpu_engine, rng):
+        pool, x, _ = self.build_pool(rng)
+        test = rng.normal(size=(7, 4))
+        kernel = GaussianKernel(0.5)
+        shared = pool.decision_values(gpu_engine, kernel, test, shared=True)
+        unshared = pool.decision_values(gpu_engine, kernel, test, shared=False)
+        assert np.allclose(shared, unshared, atol=1e-10)
+
+    def test_decision_values_match_direct_formula(self, gpu_engine, rng):
+        pool, x, per_svm = self.build_pool(rng)
+        test = rng.normal(size=(5, 4))
+        kernel = GaussianKernel(0.5)
+        values = pool.decision_values(gpu_engine, kernel, test, shared=True)
+        for column, (s, t, indices, coefficients, bias) in enumerate(per_svm):
+            gram = kernel.pairwise(gpu_engine, test, x[np.sort(indices)], category="k")
+            order = np.argsort(indices)
+            expected = gram @ coefficients[order] + bias
+            assert np.allclose(values[:, column], expected, atol=1e-10)
+
+    def test_sharing_reduces_counted_flops(self, rng):
+        from repro.gpusim import make_engine, scaled_tesla_p100
+
+        pool, _, _ = self.build_pool(rng)
+        test = rng.normal(size=(20, 4))
+        kernel = GaussianKernel(0.5)
+        shared_engine = make_engine(scaled_tesla_p100())
+        pool.decision_values(shared_engine, kernel, test, shared=True)
+        unshared_engine = make_engine(scaled_tesla_p100())
+        pool.decision_values(unshared_engine, kernel, test, shared=False)
+        assert shared_engine.counters.flops < unshared_engine.counters.flops
+
+    def test_coefficient_mismatch_rejected(self, rng):
+        x = rng.normal(size=(10, 3))
+        with pytest.raises(ValidationError):
+            SupportVectorPool.build(
+                x, [(0, 1, np.array([1, 2]), np.array([0.5]), 0.0)]
+            )
+
+    def test_no_support_vectors_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SupportVectorPool.build(rng.normal(size=(5, 2)), [])

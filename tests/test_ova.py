@@ -1,0 +1,106 @@
+"""Unit tests for the one-vs-all decomposition."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, load_model, save_model
+from repro.data import gaussian_blobs
+from repro.exceptions import ValidationError
+from repro.multiclass import REST, class_partition, ova_positions, ova_problems
+
+
+@pytest.fixture(scope="module")
+def four_class():
+    return gaussian_blobs(240, 6, 4, seed=13)
+
+
+class TestDecomposition:
+    def test_problem_count_and_shape(self):
+        y = np.array([0, 1, 2, 0, 1, 2, 0])
+        classes, partition = class_partition(y)
+        problems = list(ova_problems(classes, partition))
+        assert len(problems) == 3
+        for problem in problems:
+            assert problem.t == REST
+            assert problem.n == 7  # every problem covers the whole set
+            assert problem.n_positive == np.count_nonzero(y == problem.s)
+
+    def test_labels_are_one_vs_rest(self):
+        y = np.array([5, 7, 5, 9])
+        classes, partition = class_partition(y)
+        first = next(iter(ova_problems(classes, partition)))
+        restored = y[first.global_indices]
+        assert np.all((restored == 5) == (first.labels > 0))
+
+    def test_positions_argmax(self):
+        decisions = np.array([[0.1, 0.9, -1.0], [2.0, 0.0, 1.0]])
+        assert ova_positions(decisions).tolist() == [1, 0]
+
+    def test_positions_shape_check(self):
+        with pytest.raises(ValidationError):
+            ova_positions(np.ones(3))
+
+
+class TestEstimator:
+    def test_trains_k_svms(self, four_class):
+        x, y = four_class
+        clf = GMPSVC(C=10.0, gamma=0.3, decomposition="ova").fit(x, y)
+        assert len(clf.model_.records) == 4
+        assert clf.model_.strategy == "ova"
+        assert clf.score(x, y) > 0.95
+
+    def test_ovo_and_ova_agree_on_separable_data(self, four_class):
+        x, y = four_class
+        ovo = GMPSVC(C=10.0, gamma=0.3).fit(x, y)
+        ova = GMPSVC(C=10.0, gamma=0.3, decomposition="ova").fit(x, y)
+        agreement = float(np.mean(ovo.predict(x) == ova.predict(x)))
+        assert agreement > 0.95
+
+    def test_probabilities_valid(self, four_class):
+        x, y = four_class
+        clf = GMPSVC(C=10.0, gamma=0.3, decomposition="ova").fit(x, y)
+        proba = clf.predict_proba(x)
+        assert proba.shape == (x.shape[0], 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_decision_function_has_k_columns(self, four_class):
+        x, y = four_class
+        clf = GMPSVC(C=10.0, gamma=0.3, decomposition="ova").fit(x, y)
+        assert clf.decision_function(x).shape == (x.shape[0], 4)
+
+    def test_voting_prediction_without_probability(self, four_class):
+        x, y = four_class
+        clf = GMPSVC(
+            C=10.0, gamma=0.3, decomposition="ova", probability=False
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_invalid_decomposition_rejected(self, four_class):
+        x, y = four_class
+        with pytest.raises(ValidationError):
+            GMPSVC(decomposition="tournament").fit(x, y)
+
+    def test_persistence_roundtrip(self, four_class):
+        x, y = four_class
+        clf = GMPSVC(C=10.0, gamma=0.3, decomposition="ova").fit(x, y)
+        buffer = io.StringIO()
+        save_model(clf.model_, buffer)
+        buffer.seek(0)
+        restored = load_model(buffer)
+        assert restored.strategy == "ova"
+        from repro.core.predictor import PredictorConfig, predict_proba_model
+        from repro.gpusim import scaled_tesla_p100
+
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original = clf.predict_proba(x)
+        loaded, _ = predict_proba_model(config, restored, x)
+        assert np.allclose(original, loaded, atol=1e-12)
+
+    def test_binary_problem_with_ova(self):
+        x, y = gaussian_blobs(100, 4, 2, seed=2)
+        clf = GMPSVC(C=5.0, gamma=0.5, decomposition="ova").fit(x, y)
+        assert len(clf.model_.records) == 2  # one per class, mirrored
+        assert clf.score(x, y) > 0.95

@@ -1,0 +1,186 @@
+"""Unit tests for Gaussian elimination and pairwise coupling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError, ValidationError
+from repro.probability import (
+    couple_batch,
+    couple_probabilities,
+    gaussian_elimination,
+    pairwise_matrix_from_estimates,
+)
+
+
+class TestGaussianElimination:
+    def test_matches_numpy_on_random_systems(self, rng):
+        for _ in range(20):
+            k = rng.integers(2, 10)
+            a = rng.normal(size=(k, k)) + k * np.eye(k)
+            b = rng.normal(size=k)
+            assert np.allclose(
+                gaussian_elimination(a, b), np.linalg.solve(a, b), atol=1e-9
+            )
+
+    def test_requires_pivoting(self):
+        # Zero leading pivot: naive elimination would divide by zero.
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        assert np.allclose(gaussian_elimination(a, b), [3.0, 2.0])
+
+    def test_singular_matrix_raises(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SolverError, match="singular"):
+            gaussian_elimination(a, np.ones(2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            gaussian_elimination(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ValidationError):
+            gaussian_elimination(np.eye(2), np.ones(3))
+
+    def test_does_not_mutate_inputs(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        a_copy, b_copy = a.copy(), b.copy()
+        gaussian_elimination(a, b)
+        assert np.array_equal(a, a_copy) and np.array_equal(b, b_copy)
+
+    def test_1x1_system(self):
+        assert gaussian_elimination(np.array([[4.0]]), np.array([8.0]))[0] == 2.0
+
+
+class TestPairwiseMatrix:
+    def test_assembles_full_matrix(self):
+        r = pairwise_matrix_from_estimates({(0, 1): 0.8, (0, 2): 0.6, (1, 2): 0.4}, 3)
+        assert r[0, 1] == pytest.approx(0.8)
+        assert r[1, 0] == pytest.approx(0.2)
+        assert r[2, 1] == pytest.approx(0.6)
+
+    def test_clips_extreme_probabilities(self):
+        r = pairwise_matrix_from_estimates({(0, 1): 1.0}, 2)
+        assert r[0, 1] < 1.0 and r[1, 0] > 0.0
+
+    def test_missing_pair_rejected(self):
+        with pytest.raises(ValidationError, match="expected 3"):
+            pairwise_matrix_from_estimates({(0, 1): 0.5}, 3)
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_matrix_from_estimates({(1, 0): 0.5}, 2)
+
+
+class TestCoupling:
+    def test_methods_agree(self, gpu_engine):
+        r = pairwise_matrix_from_estimates(
+            {(0, 1): 0.8, (0, 2): 0.6, (1, 2): 0.4}, 3
+        )
+        p_direct = couple_probabilities(gpu_engine, r, method="eq15")
+        p_iterative = couple_probabilities(gpu_engine, r, method="iterative")
+        assert np.allclose(p_direct, p_iterative, atol=2e-3)
+
+    def test_simplex_constraints(self, gpu_engine, rng):
+        for _ in range(10):
+            k = int(rng.integers(2, 7))
+            estimates = {
+                (s, t): float(rng.uniform(0.05, 0.95))
+                for s in range(k)
+                for t in range(s + 1, k)
+            }
+            r = pairwise_matrix_from_estimates(estimates, k)
+            p = couple_probabilities(gpu_engine, r)
+            assert p.sum() == pytest.approx(1.0)
+            assert np.all(p >= 0)
+
+    def test_dominant_class_wins(self, gpu_engine):
+        r = pairwise_matrix_from_estimates(
+            {(0, 1): 0.9, (0, 2): 0.9, (1, 2): 0.5}, 3
+        )
+        p = couple_probabilities(gpu_engine, r)
+        assert np.argmax(p) == 0
+
+    def test_uniform_estimates_give_uniform_probability(self, gpu_engine):
+        r = pairwise_matrix_from_estimates(
+            {(0, 1): 0.5, (0, 2): 0.5, (1, 2): 0.5}, 3
+        )
+        p = couple_probabilities(gpu_engine, r)
+        assert np.allclose(p, 1.0 / 3.0, atol=1e-9)
+
+    def test_two_class_case_matches_local_estimate(self, gpu_engine):
+        r = pairwise_matrix_from_estimates({(0, 1): 0.7}, 2)
+        p = couple_probabilities(gpu_engine, r)
+        assert p[0] == pytest.approx(0.7, abs=1e-6)
+
+    def test_optimality_of_solution(self, gpu_engine, rng):
+        """The coupled p minimises Problem (14) over the simplex."""
+        estimates = {
+            (s, t): float(rng.uniform(0.1, 0.9))
+            for s in range(4)
+            for t in range(s + 1, 4)
+        }
+        r = pairwise_matrix_from_estimates(estimates, 4)
+        p = couple_probabilities(gpu_engine, r)
+
+        def objective(prob):
+            total = 0.0
+            for s in range(4):
+                for t in range(4):
+                    if s != t:
+                        total += (r[t, s] * prob[s] - r[s, t] * prob[t]) ** 2
+            return total
+
+        base = objective(p)
+        for _ in range(50):
+            candidate = np.abs(p + rng.normal(scale=0.02, size=4))
+            candidate /= candidate.sum()
+            assert objective(candidate) >= base - 1e-9
+
+    def test_bad_method(self, gpu_engine):
+        r = pairwise_matrix_from_estimates({(0, 1): 0.5}, 2)
+        with pytest.raises(ValidationError):
+            couple_probabilities(gpu_engine, r, method="magic")
+
+    def test_shape_validation(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            couple_probabilities(gpu_engine, np.ones((2, 3)))
+
+
+class TestBatch:
+    def test_batch_matches_individual(self, gpu_engine, rng):
+        k, m = 3, 5
+        batch = np.empty((m, k, k))
+        for i in range(m):
+            estimates = {
+                (s, t): float(rng.uniform(0.1, 0.9))
+                for s in range(k)
+                for t in range(s + 1, k)
+            }
+            batch[i] = pairwise_matrix_from_estimates(estimates, k)
+        coupled = couple_batch(gpu_engine, batch)
+        for i in range(m):
+            individual = couple_probabilities(gpu_engine, batch[i])
+            assert np.allclose(coupled[i], individual)
+
+    def test_batch_shape_validation(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            couple_batch(gpu_engine, np.ones((2, 3, 4)))
+
+
+@given(st.integers(0, 1000), st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_coupling_simplex_property(seed, k):
+    from repro.gpusim import make_engine, scaled_tesla_p100
+
+    engine = make_engine(scaled_tesla_p100())
+    rng = np.random.default_rng(seed)
+    estimates = {
+        (s, t): float(rng.uniform(0.01, 0.99))
+        for s in range(k)
+        for t in range(s + 1, k)
+    }
+    r = pairwise_matrix_from_estimates(estimates, k)
+    p = couple_probabilities(engine, r)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all((p >= 0) & (p <= 1))

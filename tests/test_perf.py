@@ -1,0 +1,62 @@
+"""Unit tests for performance reporting helpers."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim import SimClock, TimeCharge
+from repro.perf import PREDICT_GROUPS, TRAIN_GROUPS, grouped_fractions, speedup_table
+from repro.perf.speedup import format_table
+
+
+class TestGroupings:
+    def test_train_groups_cover_solver_categories(self):
+        for category in ("kernel_values", "subproblem", "selection", "f_update"):
+            assert category in TRAIN_GROUPS
+
+    def test_grouped_fractions(self):
+        clock = SimClock()
+        clock.charge("kernel_values", TimeCharge(0.0, 6.0))
+        clock.charge("subproblem", TimeCharge(0.0, 3.0))
+        clock.charge("selection", TimeCharge(0.0, 0.5))
+        clock.charge("f_update", TimeCharge(0.0, 0.5))
+        fractions = grouped_fractions(clock, TRAIN_GROUPS)
+        assert fractions["kernel values"] == pytest.approx(0.6)
+        assert fractions["subproblem"] == pytest.approx(0.3)
+        assert fractions["other"] == pytest.approx(0.1)
+
+    def test_predict_groups(self):
+        clock = SimClock()
+        clock.charge("decision_values", TimeCharge(0.0, 8.0))
+        clock.charge("sigmoid", TimeCharge(0.0, 1.0))
+        clock.charge("coupling", TimeCharge(0.0, 1.0))
+        fractions = grouped_fractions(clock, PREDICT_GROUPS)
+        assert fractions["decision values"] == pytest.approx(0.8)
+
+
+class TestSpeedupTable:
+    def test_basic_speedups(self):
+        reference = {"adult": 1.0, "mnist": 2.0}
+        others = {"libsvm": {"adult": 10.0, "mnist": 30.0}}
+        table = speedup_table(reference, others)
+        assert table["libsvm"]["adult"] == pytest.approx(10.0)
+        assert table["libsvm"]["mnist"] == pytest.approx(15.0)
+
+    def test_missing_reference_dataset(self):
+        with pytest.raises(ValidationError):
+            speedup_table({"adult": 1.0}, {"x": {"mnist": 2.0}})
+
+    def test_nonpositive_reference(self):
+        with pytest.raises(ValidationError):
+            speedup_table({"adult": 0.0}, {"x": {"adult": 2.0}})
+
+    def test_format_table_contains_values(self):
+        text = format_table(
+            {"libsvm": {"adult": 10.25}}, ["adult"], title="Speedups"
+        )
+        assert "Speedups" in text
+        assert "libsvm" in text
+        assert "10.25" in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table({"a": {}}, ["col"])
+        assert "-" in text

@@ -1,0 +1,126 @@
+"""Unit tests for Platt sigmoid fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.probability import fit_sigmoid, sigmoid_predict
+
+
+def make_decisions(n=300, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    values = np.concatenate(
+        [rng.normal(-gap, 1.0, half), rng.normal(gap, 1.0, n - half)]
+    )
+    labels = np.concatenate([-np.ones(half), np.ones(n - half)])
+    return values, labels
+
+
+class TestFit:
+    def test_converges_on_clean_data(self, gpu_engine):
+        values, labels = make_decisions()
+        model = fit_sigmoid(gpu_engine, values, labels)
+        assert model.converged
+        assert model.a < 0  # decreasing in Av+B means increasing P with v
+
+    def test_matches_scipy_optimum(self, gpu_engine):
+        from scipy.optimize import minimize
+
+        values, labels = make_decisions(seed=3)
+        model = fit_sigmoid(gpu_engine, values, labels)
+        n_pos = int((labels > 0).sum())
+        n_neg = labels.size - n_pos
+        targets = np.where(labels > 0, (n_pos + 1) / (n_pos + 2), 1 / (n_neg + 2))
+
+        def objective(ab):
+            fapb = ab[0] * values + ab[1]
+            return np.sum(
+                np.where(
+                    fapb >= 0,
+                    targets * fapb + np.log1p(np.exp(-fapb)),
+                    (targets - 1) * fapb + np.log1p(np.exp(fapb)),
+                )
+            )
+
+        reference = minimize(objective, [0.0, 0.0], method="Nelder-Mead",
+                             options={"xatol": 1e-12, "fatol": 1e-14})
+        assert model.a == pytest.approx(reference.x[0], abs=1e-3)
+        assert model.b == pytest.approx(reference.x[1], abs=1e-3)
+
+    def test_parallel_line_search_identical(self, gpu_engine, cpu_engine):
+        values, labels = make_decisions(seed=7)
+        sequential = fit_sigmoid(gpu_engine, values, labels, parallel_line_search=False)
+        parallel = fit_sigmoid(cpu_engine, values, labels, parallel_line_search=True)
+        assert sequential.a == parallel.a
+        assert sequential.b == parallel.b
+        assert sequential.iterations == parallel.iterations
+
+    def test_probability_monotone_in_decision_value(self, gpu_engine):
+        values, labels = make_decisions()
+        model = fit_sigmoid(gpu_engine, values, labels)
+        grid = np.linspace(-5, 5, 50)
+        probabilities = model.predict(grid)
+        assert np.all(np.diff(probabilities) >= 0)
+
+    def test_extreme_decision_values_stable(self, gpu_engine):
+        values = np.array([-1e4, -1.0, 1.0, 1e4])
+        labels = np.array([-1.0, -1.0, 1.0, 1.0])
+        model = fit_sigmoid(gpu_engine, values, labels)
+        probabilities = model.predict(values)
+        assert np.all(np.isfinite(probabilities))
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_imbalanced_classes(self, gpu_engine):
+        rng = np.random.default_rng(5)
+        values = np.concatenate([rng.normal(-2, 1, 290), rng.normal(2, 1, 10)])
+        labels = np.concatenate([-np.ones(290), np.ones(10)])
+        model = fit_sigmoid(gpu_engine, values, labels)
+        assert model.converged
+        # The prior shows up through the target smoothing.
+        assert model.predict(np.array([0.0]))[0] < 0.5
+
+    def test_label_value_mismatch(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            fit_sigmoid(gpu_engine, np.ones(3), np.ones(2))
+
+    def test_empty_input(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            fit_sigmoid(gpu_engine, np.array([]), np.array([]))
+
+    def test_random_decisions_give_flat_sigmoid(self, gpu_engine):
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=400)
+        labels = np.where(rng.random(400) > 0.5, 1.0, -1.0)
+        model = fit_sigmoid(gpu_engine, values, labels)
+        probabilities = model.predict(np.linspace(-3, 3, 7))
+        assert np.all(np.abs(probabilities - 0.5) < 0.2)
+
+
+class TestPredict:
+    def test_sigmoid_formula(self):
+        values = np.array([0.0, 1.0])
+        out = sigmoid_predict(values, a=-1.0, b=0.0)
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(1.0 / (1.0 + np.exp(-1.0)))
+
+    def test_no_overflow(self):
+        out = sigmoid_predict(np.array([-1e6, 1e6]), a=-1.0, b=0.0)
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+
+@given(st.integers(0, 10_000), st.floats(0.5, 4.0))
+@settings(max_examples=25, deadline=None)
+def test_fit_probabilities_calibrated_on_midpoint(seed, gap):
+    """P(y=1 | v=midpoint) should be near 1/2 for symmetric data."""
+    from repro.gpusim import make_engine, scaled_tesla_p100
+
+    engine = make_engine(scaled_tesla_p100())
+    values, labels = make_decisions(n=200, gap=gap, seed=seed)
+    model = fit_sigmoid(engine, values, labels)
+    midpoint_probability = model.predict(np.array([0.0]))[0]
+    assert 0.3 < midpoint_probability < 0.7

@@ -1,0 +1,90 @@
+"""Unit tests for solver-shared state helpers and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.solvers import bias_from_f, dual_objective, lower_mask, optimality_gap, upper_mask
+from repro.solvers.base import validate_binary_problem
+
+
+class TestMasks:
+    def test_index_sets_match_paper_definitions(self):
+        """Check I_up = I1 u I2 u I3 and I_low = I1 u I4 u I5 (Section 2.1.1)."""
+        penalty = 2.0
+        y = np.array([+1, +1, +1, -1, -1, -1], dtype=np.float64)
+        alpha = np.array([1.0, 0.0, 2.0, 1.0, 0.0, 2.0])
+        # categories:   I1   I2   I4   I1   I5   I3
+        up = upper_mask(y, alpha, penalty)
+        low = lower_mask(y, alpha, penalty)
+        assert up.tolist() == [True, True, False, True, False, True]
+        assert low.tolist() == [True, False, True, True, True, False]
+
+    def test_free_svs_in_both_sets(self):
+        y = np.array([1.0, -1.0])
+        alpha = np.array([0.5, 0.5])
+        assert upper_mask(y, alpha, 1.0).all()
+        assert lower_mask(y, alpha, 1.0).all()
+
+
+class TestGapAndBias:
+    def test_gap_zero_when_sets_empty(self):
+        y = np.array([1.0, 1.0])
+        alpha = np.array([2.0, 2.0])  # both at C with y=+1: I_up empty
+        assert optimality_gap(np.array([0.5, -0.5]), y, alpha, 2.0) == 0.0
+
+    def test_gap_positive_for_violator(self):
+        y = np.array([1.0, -1.0])
+        alpha = np.zeros(2)
+        f = -y  # initial indicators
+        assert optimality_gap(f, y, alpha, 1.0) == pytest.approx(2.0)
+
+    def test_bias_averages_the_bound_estimates(self):
+        y = np.array([1.0, -1.0])
+        alpha = np.array([0.5, 0.5])  # both free
+        f = np.array([-0.4, -0.6])
+        assert bias_from_f(f, y, alpha, 1.0) == pytest.approx(0.5)
+
+    def test_bias_zero_when_degenerate(self):
+        y = np.array([1.0, 1.0])
+        alpha = np.array([2.0, 2.0])
+        assert bias_from_f(np.array([1.0, 2.0]), y, alpha, 2.0) == 0.0
+
+
+class TestDualObjective:
+    def test_zero_at_alpha_zero(self):
+        y = np.array([1.0, -1.0])
+        assert dual_objective(np.zeros(2), y, -y) == 0.0
+
+    def test_matches_explicit_quadratic_form(self, rng):
+        n = 10
+        y = np.where(rng.random(n) > 0.5, 1.0, -1.0)
+        x = rng.normal(size=(n, 3))
+        kernel = x @ x.T
+        alpha = rng.uniform(0, 1, n)
+        q = (y[:, None] * y[None, :]) * kernel
+        explicit = alpha.sum() - 0.5 * alpha @ q @ alpha
+        f = (alpha * y) @ kernel - y  # Eq. 3
+        assert dual_objective(alpha, y, f) == pytest.approx(explicit)
+
+
+class TestValidation:
+    def test_accepts_pm_one(self):
+        labels = validate_binary_problem([1, -1, 1], 1.0)
+        assert labels.dtype == np.float64
+
+    def test_rejects_other_labels(self):
+        with pytest.raises(ValidationError):
+            validate_binary_problem([0, 1], 1.0)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValidationError, match="single class"):
+            validate_binary_problem([1, 1, 1], 1.0)
+
+    def test_rejects_bad_penalty(self):
+        with pytest.raises(ValidationError):
+            validate_binary_problem([1, -1], 0.0)
+
+    def test_rejects_single_instance(self):
+        with pytest.raises(ValidationError):
+            validate_binary_problem([1], 1.0)

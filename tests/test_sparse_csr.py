@@ -1,0 +1,200 @@
+"""Unit tests for the from-scratch CSR matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SparseFormatError
+from repro.sparse import CSRMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense_matrix):
+        csr = CSRMatrix.from_dense(dense_matrix)
+        assert np.array_equal(csr.toarray(), dense_matrix)
+
+    def test_from_dense_counts_only_nonzeros(self, dense_matrix):
+        csr = CSRMatrix.from_dense(dense_matrix)
+        assert csr.nnz == np.count_nonzero(dense_matrix)
+
+    def test_from_dense_tolerance_drops_small_values(self):
+        dense = np.array([[1.0, 1e-9], [0.0, 2.0]])
+        csr = CSRMatrix.from_dense(dense, tolerance=1e-6)
+        assert csr.nnz == 2
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.from_dense(np.ones(4))
+
+    def test_from_rows_sorts_columns(self):
+        csr = CSRMatrix.from_rows([(np.array([3, 1]), np.array([30.0, 10.0]))], 5)
+        cols, vals = csr.row(0)
+        assert cols.tolist() == [1, 3]
+        assert vals.tolist() == [10.0, 30.0]
+
+    def test_from_rows_rejects_duplicate_columns(self):
+        with pytest.raises(SparseFormatError, match="duplicate"):
+            CSRMatrix.from_rows([(np.array([2, 2]), np.array([1.0, 2.0]))], 5)
+
+    def test_from_rows_rejects_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.from_rows([(np.array([1, 2]), np.array([1.0]))], 5)
+
+    def test_from_rows_empty_rows(self):
+        csr = CSRMatrix.from_rows(
+            [(np.array([], dtype=np.int64), np.array([])), (np.array([0]), np.array([5.0]))],
+            3,
+        )
+        assert csr.nnz == 1
+        assert csr.row_dense(0).tolist() == [0.0, 0.0, 0.0]
+        assert csr.row_dense(1).tolist() == [5.0, 0.0, 0.0]
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.empty((4, 3))
+        assert csr.nnz == 0
+        assert np.array_equal(csr.toarray(), np.zeros((4, 3)))
+
+    def test_zero_row_matrix(self):
+        csr = CSRMatrix.empty((0, 3))
+        assert csr.toarray().shape == (0, 3)
+
+    def test_vstack(self, rng):
+        a = CSRMatrix.from_dense(rng.normal(size=(3, 4)))
+        b = CSRMatrix.from_dense(rng.normal(size=(2, 4)))
+        stacked = CSRMatrix.vstack([a, b])
+        assert np.allclose(
+            stacked.toarray(), np.vstack([a.toarray(), b.toarray()])
+        )
+
+    def test_vstack_rejects_width_mismatch(self):
+        a = CSRMatrix.empty((1, 3))
+        b = CSRMatrix.empty((1, 4))
+        with pytest.raises(SparseFormatError, match="column mismatch"):
+            CSRMatrix.vstack([a, b])
+
+    def test_vstack_requires_input(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.vstack([])
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseFormatError, match="indptr"):
+            CSRMatrix([1.0], [0], [0, 1, 1], (1, 2))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(SparseFormatError, match="start at 0"):
+            CSRMatrix([1.0], [0], [1, 1], (1, 2))
+
+    def test_indptr_must_be_monotone(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSRMatrix([1.0, 2.0], [0, 1], [0, 2, 1], (2, 2))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="out of range"):
+            CSRMatrix([1.0], [5], [0, 1], (1, 2))
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSRMatrix([1.0, 2.0], [1, 0], [0, 2], (1, 3))
+
+    def test_data_index_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([1.0, 2.0], [0], [0, 2], (1, 3))
+
+
+class TestAccess:
+    def test_row_negative_index(self, csr_matrix, dense_matrix):
+        assert np.array_equal(csr_matrix.row_dense(-1), dense_matrix[-1])
+
+    def test_row_out_of_range(self, csr_matrix):
+        with pytest.raises(IndexError):
+            csr_matrix.row(99)
+
+    def test_take_rows_order_and_repeats(self, csr_matrix, dense_matrix):
+        sub = csr_matrix.take_rows([3, 0, 3])
+        assert np.array_equal(sub.toarray(), dense_matrix[[3, 0, 3]])
+
+    def test_take_rows_empty_selection(self, csr_matrix):
+        sub = csr_matrix.take_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, csr_matrix.shape[1])
+
+    def test_density_and_nbytes(self, csr_matrix):
+        assert 0 < csr_matrix.density < 1
+        assert csr_matrix.nbytes > 0
+
+    def test_copy_is_independent(self, csr_matrix):
+        clone = csr_matrix.copy()
+        clone.data[0] = 1e9
+        assert csr_matrix.data[0] != 1e9
+
+
+class TestLinearAlgebra:
+    def test_dot_vec(self, csr_matrix, dense_matrix, rng):
+        v = rng.normal(size=dense_matrix.shape[1])
+        assert np.allclose(csr_matrix.dot_vec(v), dense_matrix @ v)
+
+    def test_dot_vec_shape_check(self, csr_matrix):
+        with pytest.raises(SparseFormatError):
+            csr_matrix.dot_vec(np.ones(3))
+
+    def test_dot_dense(self, csr_matrix, dense_matrix, rng):
+        b = rng.normal(size=(dense_matrix.shape[1], 5))
+        assert np.allclose(csr_matrix.dot_dense(b), dense_matrix @ b)
+
+    def test_dot_dense_chunked(self, rng):
+        dense = rng.normal(size=(50, 6))
+        dense[rng.random((50, 6)) < 0.5] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.normal(size=(6, 4))
+        assert np.allclose(csr.dot_dense(b, chunk_rows=7), dense @ b)
+
+    def test_dot_dense_shape_check(self, csr_matrix):
+        with pytest.raises(SparseFormatError):
+            csr_matrix.dot_dense(np.ones((3, 2)))
+
+    def test_matmul_transpose(self, rng):
+        a_dense = rng.normal(size=(4, 9)) * (rng.random((4, 9)) < 0.5)
+        b_dense = rng.normal(size=(6, 9)) * (rng.random((6, 9)) < 0.5)
+        a = CSRMatrix.from_dense(a_dense)
+        b = CSRMatrix.from_dense(b_dense)
+        assert np.allclose(a.matmul_transpose(b), a_dense @ b_dense.T)
+
+    def test_matmul_transpose_with_empty_rows(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 0.0], [2.0, 0.0]]))
+        expected = a.toarray() @ b.toarray().T
+        assert np.allclose(a.matmul_transpose(b), expected)
+
+    def test_matmul_transpose_dim_check(self, csr_matrix):
+        other = CSRMatrix.empty((2, csr_matrix.shape[1] + 1))
+        with pytest.raises(SparseFormatError):
+            csr_matrix.matmul_transpose(other)
+
+    def test_row_norms_sq(self, csr_matrix, dense_matrix):
+        assert np.allclose(csr_matrix.row_norms_sq(), (dense_matrix**2).sum(axis=1))
+
+    def test_row_norms_with_trailing_empty_rows(self):
+        dense = np.array([[1.0, 2.0], [0.0, 0.0], [0.0, 0.0]])
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.row_norms_sq(), [5.0, 0.0, 0.0])
+
+    def test_scale_rows(self, csr_matrix, dense_matrix):
+        factors = np.arange(1, dense_matrix.shape[0] + 1, dtype=np.float64)
+        scaled = csr_matrix.scale_rows(factors)
+        assert np.allclose(scaled.toarray(), dense_matrix * factors[:, None])
+
+    def test_scale_rows_shape_check(self, csr_matrix):
+        with pytest.raises(SparseFormatError):
+            csr_matrix.scale_rows(np.ones(2))
+
+    def test_prune_removes_explicit_zeros(self):
+        csr = CSRMatrix([1.0, 0.0, 2.0], [0, 1, 2], [0, 2, 3], (2, 3))
+        pruned = csr.prune()
+        assert pruned.nnz == 2
+        assert np.array_equal(pruned.toarray(), csr.toarray())
+
+    def test_allclose(self, csr_matrix):
+        assert csr_matrix.allclose(csr_matrix.copy())
+        other = csr_matrix.copy()
+        other.data[0] += 1.0
+        assert not csr_matrix.allclose(other)

@@ -1,0 +1,139 @@
+"""Unit tests for epsilon-SVR and the one-class SVM."""
+
+import numpy as np
+import pytest
+
+from repro import SVR, NotFittedError, OneClassSVM, ValidationError
+
+
+@pytest.fixture(scope="module")
+def sine_problem():
+    rng = np.random.default_rng(0)
+    x = np.sort(rng.uniform(-3, 3, 200)).reshape(-1, 1)
+    y = np.sin(x).ravel() + rng.normal(0, 0.05, 200)
+    return x, y
+
+
+class TestSVR:
+    def test_fits_a_smooth_function(self, sine_problem):
+        x, y = sine_problem
+        svr = SVR(C=10.0, epsilon_tube=0.1, gamma=1.0).fit(x, y)
+        assert svr.score(x, y) > 0.95
+
+    def test_predictions_mostly_within_the_tube(self, sine_problem):
+        """Epsilon-insensitive loss: training residuals concentrate in the tube."""
+        x, y = sine_problem
+        svr = SVR(C=10.0, epsilon_tube=0.15, gamma=1.0).fit(x, y)
+        residuals = np.abs(svr.predict(x) - y)
+        assert np.mean(residuals <= 0.15 + 0.05) > 0.9
+
+    def test_wider_tube_means_fewer_support_vectors(self, sine_problem):
+        x, y = sine_problem
+        narrow = SVR(C=10.0, epsilon_tube=0.02, gamma=1.0).fit(x, y)
+        wide = SVR(C=10.0, epsilon_tube=0.3, gamma=1.0).fit(x, y)
+        assert wide.support_.size < narrow.support_.size
+
+    def test_dual_coefficients_bounded_by_c(self, sine_problem):
+        x, y = sine_problem
+        svr = SVR(C=2.0, epsilon_tube=0.05, gamma=1.0).fit(x, y)
+        assert np.all(np.abs(svr.dual_coef_) <= 2.0 + 1e-9)
+        # The equality constraint: sum(alpha - alpha*) = 0.
+        assert abs(svr.dual_coef_.sum()) < 1e-9
+
+    def test_linear_kernel_recovers_a_line(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-2, 2, (100, 2))
+        y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 0.5
+        svr = SVR(C=100.0, epsilon_tube=0.01, kernel="linear").fit(x, y)
+        assert svr.score(x, y) > 0.999
+
+    def test_multifeature_regression(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(150, 4))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1] ** 2
+        svr = SVR(C=10.0, epsilon_tube=0.1, gamma=0.5).fit(x, y)
+        assert svr.score(x, y) > 0.9
+
+    def test_validation(self, sine_problem):
+        x, y = sine_problem
+        with pytest.raises(ValidationError):
+            SVR(epsilon_tube=-0.1)
+        with pytest.raises(ValidationError):
+            SVR().fit(x, y[:10])
+        with pytest.raises(ValidationError):
+            SVR().fit(x, np.full(200, np.nan))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SVR().predict(np.ones((2, 1)))
+
+    def test_feature_count_checked(self, sine_problem):
+        x, y = sine_problem
+        svr = SVR(C=1.0, gamma=1.0).fit(x, y)
+        with pytest.raises(ValidationError):
+            svr.predict(np.ones((2, 5)))
+
+    def test_training_report_populated(self, sine_problem):
+        x, y = sine_problem
+        svr = SVR(C=1.0, gamma=1.0).fit(x, y)
+        assert svr.training_report_.simulated_seconds > 0
+        svr.predict(x)
+        assert svr.prediction_report_.n_instances == 200
+
+    def test_constant_targets(self):
+        x = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = np.full(30, 2.5)
+        svr = SVR(C=1.0, epsilon_tube=0.1, gamma=1.0).fit(x, y)
+        assert np.allclose(svr.predict(x), 2.5, atol=0.2)
+
+
+class TestOneClassSVM:
+    @pytest.fixture(scope="class")
+    def clouds(self):
+        rng = np.random.default_rng(1)
+        inliers = rng.normal(0, 1, (270, 3))
+        outliers = rng.uniform(4, 7, (30, 3)) * rng.choice([-1, 1], (30, 3))
+        return inliers, outliers
+
+    def test_detects_outliers(self, clouds):
+        inliers, outliers = clouds
+        clf = OneClassSVM(nu=0.1, gamma=0.3).fit(inliers)
+        assert np.mean(clf.predict(outliers) == -1) > 0.95
+        assert np.mean(clf.predict(inliers) == 1) > 0.8
+
+    def test_nu_property(self, clouds):
+        """At most ~nu training points are outliers; at least ~nu are SVs."""
+        inliers, _ = clouds
+        for nu in (0.05, 0.2):
+            clf = OneClassSVM(nu=nu, gamma=0.3).fit(inliers)
+            outlier_fraction = float(np.mean(clf.predict(inliers) == -1))
+            sv_fraction = clf.support_.size / inliers.shape[0]
+            assert outlier_fraction <= nu + 0.08
+            assert sv_fraction >= nu - 0.05
+
+    def test_sum_alpha_equals_nu_n(self, clouds):
+        inliers, _ = clouds
+        nu = 0.15
+        clf = OneClassSVM(nu=nu, gamma=0.3).fit(inliers)
+        assert clf.dual_coef_.sum() == pytest.approx(nu * inliers.shape[0], rel=1e-9)
+        assert np.all(clf.dual_coef_ >= 0)
+        assert np.all(clf.dual_coef_ <= 1.0 + 1e-12)
+
+    def test_decision_function_sign_matches_predict(self, clouds):
+        inliers, outliers = clouds
+        clf = OneClassSVM(nu=0.1, gamma=0.3).fit(inliers)
+        both = np.vstack([inliers[:20], outliers[:20]])
+        values = clf.decision_function(both)
+        assert np.array_equal(clf.predict(both), np.where(values >= 0, 1, -1))
+
+    def test_validation(self, clouds):
+        with pytest.raises(ValidationError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValidationError):
+            OneClassSVM(nu=1.5)
+        with pytest.raises(ValidationError, match="too few"):
+            OneClassSVM(nu=0.01).fit(np.ones((5, 2)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().predict(np.ones((2, 2)))

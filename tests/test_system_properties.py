@@ -1,0 +1,141 @@
+"""System-level property tests (hypothesis) and failure injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GMPSVC, ValidationError
+from repro.baselines import LibSVMClassifier
+from repro.data import gaussian_blobs
+from repro.exceptions import DeviceMemoryError
+from repro.gpusim import DeviceAllocator, make_engine, scaled_tesla_p100
+from repro.kernels import GaussianKernel, KernelRowComputer
+from repro.solvers import BatchSMOSolver
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_classes=st.integers(2, 4),
+    penalty=st.sampled_from([0.5, 5.0, 50.0]),
+)
+@settings(max_examples=12, deadline=None)
+def test_gmp_and_libsvm_learn_the_same_classifier(seed, n_classes, penalty):
+    """The Table 4 claim as a property over random problems."""
+    x, y = gaussian_blobs(40 * n_classes, 4, n_classes, seed=seed)
+    gmp = GMPSVC(C=penalty, gamma=0.5, working_set_size=16).fit(x, y)
+    libsvm = LibSVMClassifier(C=penalty, gamma=0.5).fit(x, y)
+    for ours, theirs in zip(gmp.model_.records, libsvm.model_.records):
+        assert abs(ours.bias - theirs.bias) < 1e-2
+        assert ours.objective == pytest.approx(theirs.objective, rel=1e-3)
+
+
+@given(seed=st.integers(0, 10_000), n_classes=st.integers(2, 5))
+@settings(max_examples=12, deadline=None)
+def test_probabilities_always_form_a_distribution(seed, n_classes):
+    x, y = gaussian_blobs(30 * n_classes, 3, n_classes, seed=seed)
+    clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+    proba = clf.predict_proba(x)
+    assert np.all(np.isfinite(proba))
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.all((proba >= 0) & (proba <= 1))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_simulated_time_is_positive_and_deterministic(seed):
+    x, y = gaussian_blobs(80, 3, 2, seed=seed)
+    first = GMPSVC(C=2.0, gamma=0.5, working_set_size=16).fit(x, y)
+    second = GMPSVC(C=2.0, gamma=0.5, working_set_size=16).fit(x, y)
+    assert first.training_report_.simulated_seconds > 0
+    assert (
+        first.training_report_.simulated_seconds
+        == second.training_report_.simulated_seconds
+    )
+
+
+class TestDegenerateData:
+    def test_duplicate_instances(self):
+        x, y = gaussian_blobs(60, 4, 2, seed=1)
+        x = np.vstack([x, x[:10]])
+        y = np.concatenate([y, y[:10]])
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_identical_points_with_conflicting_labels(self):
+        rng = np.random.default_rng(0)
+        x = np.repeat(rng.normal(size=(6, 3)), 4, axis=0)
+        y = np.tile([0, 0, 1, 1], 6)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            clf = GMPSVC(C=1.0, gamma=0.5, working_set_size=8).fit(x, y)
+        proba = clf.predict_proba(x)
+        assert np.all(np.isfinite(proba))
+
+    def test_constant_feature_columns(self):
+        x, y = gaussian_blobs(60, 3, 2, seed=2)
+        x = np.hstack([x, np.ones((60, 2))])  # two constant columns
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_single_feature(self):
+        rng = np.random.default_rng(3)
+        x = np.concatenate([rng.normal(-2, 0.5, 30), rng.normal(2, 0.5, 30)])
+        y = np.concatenate([np.zeros(30), np.ones(30)])
+        clf = GMPSVC(C=5.0, gamma=1.0, working_set_size=8).fit(x.reshape(-1, 1), y)
+        assert clf.score(x.reshape(-1, 1), y) > 0.95
+
+    def test_extreme_penalty_values(self):
+        x, y = gaussian_blobs(60, 3, 2, seed=4)
+        for penalty in (1e-3, 1e4):
+            clf = GMPSVC(C=penalty, gamma=0.5, working_set_size=16).fit(x, y)
+            assert np.all(np.isfinite(clf.predict_proba(x)))
+
+    def test_extreme_gamma(self):
+        x, y = gaussian_blobs(60, 3, 2, seed=5)
+        for gamma in (1e-4, 50.0):
+            clf = GMPSVC(C=1.0, gamma=gamma, working_set_size=16).fit(x, y)
+            assert np.all(np.isfinite(clf.decision_function(x)))
+
+    def test_imbalanced_classes(self):
+        rng = np.random.default_rng(6)
+        x = np.vstack([rng.normal(-1, 1, (95, 4)), rng.normal(2, 0.5, (5, 4))])
+        y = np.concatenate([np.zeros(95), np.ones(5)])
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+
+class TestDeviceFailureInjection:
+    def test_buffer_allocation_fails_on_tiny_device(self):
+        """A working set bigger than device memory must OOM loudly."""
+        x, y = gaussian_blobs(200, 4, 2, seed=7)
+        device = scaled_tesla_p100().with_memory(10_000)  # 10 kB "GPU"
+        engine = make_engine(device)
+        rows = KernelRowComputer(engine, GaussianKernel(0.5), x)
+        solver = BatchSMOSolver(
+            penalty=1.0, working_set_size=64, register_buffer_memory=True
+        )
+        with pytest.raises(DeviceMemoryError):
+            solver.solve(rows, np.where(y == 0, -1.0, 1.0))
+
+    def test_allocator_recovers_after_oom(self):
+        allocator = DeviceAllocator(1000)
+        buf = allocator.allocate(900)
+        with pytest.raises(DeviceMemoryError):
+            allocator.allocate(200)
+        buf.free()
+        allocator.allocate(950)  # succeeds after the release
+
+    def test_tiny_device_limits_sharing_but_training_succeeds(self):
+        x, y = gaussian_blobs(150, 4, 3, seed=8)
+        device = scaled_tesla_p100().with_memory(256 * 1024)  # 256 kB
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16, device=device)
+        clf.fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_invalid_labels_rejected_before_any_device_work(self):
+        clf = GMPSVC()
+        with pytest.raises(ValidationError):
+            clf.fit(np.ones((4, 2)), [np.nan, 1, 0, 1])

@@ -1,0 +1,220 @@
+"""Unit tests for the configurable training/prediction pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PredictorConfig, predict_labels_model, predict_proba_model
+from repro.core.trainer import TrainerConfig, train_multiclass
+from repro.data import gaussian_blobs
+from repro.exceptions import NotFittedError, ValidationError
+from repro.gpusim import scaled_tesla_p100, xeon_e5_2640v4
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def problem():
+    x, y = gaussian_blobs(150, 5, 3, seed=4)
+    return x, y, GaussianKernel(gamma=0.4)
+
+
+def train(problem, **overrides):
+    x, y, kernel = problem
+    config = TrainerConfig(
+        device=overrides.pop("device", scaled_tesla_p100()),
+        working_set_size=32,
+        **overrides,
+    )
+    return train_multiclass(config, x, y, kernel, 10.0)
+
+
+class TestTrainerConfigurations:
+    def test_batched_and_classic_agree(self, problem):
+        model_b, _ = train(problem, solver="batched")
+        model_c, _ = train(
+            problem, solver="classic", share_kernel_values=False, concurrent=False
+        )
+        for rb, rc in zip(model_b.records, model_c.records):
+            assert rb.bias == pytest.approx(rc.bias, abs=5e-3)
+            assert rb.objective == pytest.approx(rc.objective, rel=1e-4)
+
+    def test_sharing_changes_nothing_numerically(self, problem):
+        with_sharing, _ = train(problem, share_kernel_values=True)
+        without, _ = train(problem, share_kernel_values=False)
+        for a, b in zip(with_sharing.records, without.records):
+            assert a.bias == pytest.approx(b.bias, abs=1e-9)
+            assert a.objective == pytest.approx(b.objective, rel=1e-9)
+
+    def test_sharing_reduces_total_flops(self, problem):
+        _, report_shared = train(problem, share_kernel_values=True)
+        _, report_plain = train(problem, share_kernel_values=False)
+        assert report_shared.counters.flops < report_plain.counters.flops
+        assert report_shared.sharing_hit_rate > 0
+
+    def test_concurrency_reduces_simulated_time(self, problem):
+        _, fast = train(problem, concurrent=True)
+        _, slow = train(problem, concurrent=False)
+        assert fast.simulated_seconds < slow.simulated_seconds
+        assert fast.max_concurrency > 1
+        assert fast.concurrency_speedup > 1.0
+
+    def test_cpu_device(self, problem):
+        model, report = train(problem, device=xeon_e5_2640v4(40))
+        assert "Xeon" in report.device_name
+        assert model.n_classes == 3
+
+    def test_classic_cache_config(self, problem):
+        _, report = train(
+            problem,
+            solver="classic",
+            share_kernel_values=False,
+            classic_cache_bytes=10**6,
+        )
+        assert report.n_binary_svms == 3
+
+    def test_force_dense(self, problem):
+        from repro.data import binary01_features
+
+        x, y = binary01_features(80, 40, 2, active_per_row=6, seed=5)
+        config_sparse = TrainerConfig(
+            device=scaled_tesla_p100(), working_set_size=32,
+            share_kernel_values=False, concurrent=False,
+        )
+        config_dense = TrainerConfig(
+            device=scaled_tesla_p100(), working_set_size=32,
+            share_kernel_values=False, concurrent=False, force_dense=True,
+        )
+        kernel = GaussianKernel(0.5)
+        model_s, report_s = train_multiclass(config_sparse, x, y, kernel, 10.0)
+        model_d, report_d = train_multiclass(config_dense, x, y, kernel, 10.0)
+        assert report_d.counters.flops > report_s.counters.flops
+        assert model_d.records[0].bias == pytest.approx(
+            model_s.records[0].bias, abs=1e-6
+        )
+
+    def test_probability_false_skips_sigmoids(self, problem):
+        model, _ = train(problem, probability=False)
+        assert all(rec.sigmoid is None for rec in model.records)
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ValidationError):
+            TrainerConfig(device=scaled_tesla_p100(), solver="quantum")
+
+    def test_report_statistics(self, problem):
+        _, report = train(problem)
+        assert report.total_iterations > 0
+        assert report.kernel_rows_computed > 0
+        assert report.peak_task_memory_bytes > 0
+        assert len(report.per_svm) == 3
+        breakdown = report.fraction_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def model(self):
+        x, y = gaussian_blobs(150, 5, 3, seed=4)
+        config = TrainerConfig(device=scaled_tesla_p100(), working_set_size=32)
+        model, _ = train_multiclass(config, x, y, GaussianKernel(0.4), 10.0)
+        return model, x, y
+
+    def test_proba_shared_equals_unshared(self, model):
+        mdl, x, _ = model
+        shared, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), sv_sharing=True), mdl, x
+        )
+        unshared, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), sv_sharing=False), mdl, x
+        )
+        assert np.allclose(shared, unshared, atol=1e-10)
+
+    def test_sharing_is_faster(self, model):
+        mdl, x, _ = model
+        _, fast = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), sv_sharing=True), mdl, x
+        )
+        _, slow = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), sv_sharing=False), mdl, x
+        )
+        assert fast.simulated_seconds < slow.simulated_seconds
+
+    def test_batched_prediction_equals_full(self, model):
+        mdl, x, _ = model
+        full, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100()), mdl, x
+        )
+        chunked, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), batch_size=17), mdl, x
+        )
+        assert np.allclose(full, chunked, atol=1e-12)
+
+    def test_coupling_methods_agree_on_labels(self, model):
+        mdl, x, _ = model
+        eq15, _ = predict_labels_model(
+            PredictorConfig(device=scaled_tesla_p100(), coupling_method="eq15"), mdl, x
+        )
+        iterative, _ = predict_labels_model(
+            PredictorConfig(device=scaled_tesla_p100(), coupling_method="iterative"),
+            mdl,
+            x,
+        )
+        assert np.mean(eq15 == iterative) > 0.99
+
+    def test_voting_prediction(self, model):
+        mdl, x, y = model
+        labels, report = predict_labels_model(
+            PredictorConfig(device=scaled_tesla_p100()), mdl, x, use_probability=False
+        )
+        assert np.mean(labels == y) > 0.9
+        assert report.n_instances == x.shape[0]
+
+    def test_proba_requires_probabilistic_model(self):
+        x, y = gaussian_blobs(80, 4, 2, seed=1)
+        config = TrainerConfig(
+            device=scaled_tesla_p100(), working_set_size=32, probability=False
+        )
+        model, _ = train_multiclass(config, x, y, GaussianKernel(0.4), 10.0)
+        with pytest.raises(NotFittedError):
+            predict_proba_model(PredictorConfig(device=scaled_tesla_p100()), model, x)
+
+    def test_prediction_breakdown_categories(self, model):
+        mdl, x, _ = model
+        _, report = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100()), mdl, x
+        )
+        breakdown = report.breakdown()
+        assert "decision_values" in breakdown
+        assert "sigmoid" in breakdown
+        assert "coupling" in breakdown
+
+
+class TestAutoBatching:
+    def test_auto_batch_respects_device_memory(self):
+        from repro.core.predictor import _resolve_batch
+        from repro.gpusim import scaled_tesla_p100
+        from repro.data import gaussian_blobs
+        from repro import GMPSVC
+
+        x, y = gaussian_blobs(200, 4, 3, seed=15)
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+        tiny = scaled_tesla_p100().with_memory(
+            clf.model_.sv_pool.n_pool * 8 * 4 * 3  # room for ~3 rows
+        )
+        config = PredictorConfig(device=tiny)
+        batch = _resolve_batch(config, clf.model_, 200)
+        assert 1 <= batch <= 3
+
+    def test_memory_constrained_prediction_matches_unconstrained(self):
+        from repro.gpusim import scaled_tesla_p100
+        from repro.data import gaussian_blobs
+        from repro import GMPSVC
+
+        x, y = gaussian_blobs(200, 4, 3, seed=15)
+        clf = GMPSVC(C=5.0, gamma=0.5, working_set_size=16).fit(x, y)
+        full = clf.predict_proba(x)
+        tiny = scaled_tesla_p100().with_memory(
+            max(clf.model_.sv_pool.n_pool * 8 * 4 * 5, 200_000)
+        )
+        constrained, _ = predict_proba_model(
+            PredictorConfig(device=tiny), clf.model_, x
+        )
+        assert np.allclose(full, constrained, atol=1e-12)

@@ -1,0 +1,163 @@
+"""Unit tests for violator selection and the inner working-set solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kernels import GaussianKernel
+from repro.solvers import select_new_violators, solve_subproblem
+from repro.solvers.subproblem import inner_iteration_budget
+
+
+class TestViolatorSelection:
+    def setup_method(self):
+        # Hand-built state: f ascending 0..9, all alphas free (both sets).
+        self.f = np.arange(10, dtype=np.float64)
+        self.y = np.array([1.0, -1.0] * 5)
+        self.alpha = np.full(10, 0.5)
+        self.penalty = 1.0
+
+    def test_selects_extremes(self, gpu_engine):
+        chosen = select_new_violators(
+            gpu_engine, self.f, self.y, self.alpha, self.penalty, 4
+        )
+        assert set(chosen.tolist()) == {0, 1, 8, 9}
+
+    def test_exclusion_respected(self, gpu_engine):
+        chosen = select_new_violators(
+            gpu_engine,
+            self.f,
+            self.y,
+            self.alpha,
+            self.penalty,
+            4,
+            exclude=np.array([0, 9]),
+        )
+        assert set(chosen.tolist()) == {1, 2, 7, 8}
+
+    def test_eligibility_respected(self, gpu_engine):
+        # Instance 0 has y=+1, alpha=C: cannot increase -> not in I_up.
+        alpha = self.alpha.copy()
+        alpha[0] = self.penalty
+        chosen = select_new_violators(
+            gpu_engine, self.f, self.y, alpha, self.penalty, 2
+        )
+        assert 0 not in chosen[:1]
+
+    def test_no_double_selection(self, gpu_engine):
+        chosen = select_new_violators(
+            gpu_engine, self.f, self.y, self.alpha, self.penalty, 20
+        )
+        assert len(set(chosen.tolist())) == len(chosen)
+
+    def test_q_validation(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            select_new_violators(
+                gpu_engine, self.f, self.y, self.alpha, self.penalty, 1
+            )
+
+    def test_empty_when_all_excluded(self, gpu_engine):
+        chosen = select_new_violators(
+            gpu_engine,
+            self.f,
+            self.y,
+            self.alpha,
+            self.penalty,
+            4,
+            exclude=np.arange(10),
+        )
+        assert chosen.size == 0
+
+
+class TestIterationBudget:
+    def test_adaptive_scales_with_delta(self):
+        near = inner_iteration_budget(64, delta=1e-3, epsilon=1e-3, rule="adaptive")
+        far = inner_iteration_budget(64, delta=10.0, epsilon=1e-3, rule="adaptive")
+        assert near == 64
+        assert far < near
+        assert far >= 1
+
+    def test_fixed(self):
+        assert inner_iteration_budget(64, 5.0, 1e-3, "fixed") == 32
+
+    def test_to_convergence_is_effectively_unbounded(self):
+        assert inner_iteration_budget(64, 5.0, 1e-3, "to_convergence") >= 10**5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            inner_iteration_budget(1, 1.0, 1e-3, "fixed")
+        with pytest.raises(ValidationError):
+            inner_iteration_budget(64, 1.0, 1e-3, "mystery")
+
+    def test_nonpositive_delta(self):
+        assert inner_iteration_budget(64, 0.0, 1e-3, "adaptive") >= 1
+
+
+class TestSubproblem:
+    def make_state(self, gpu_engine, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        x[: n // 2] -= 1.5
+        x[n // 2 :] += 1.5
+        y = np.concatenate([-np.ones(n // 2), np.ones(n // 2)])
+        kernel = GaussianKernel(0.5).pairwise(gpu_engine, x, x, category="k")
+        return kernel, np.ones(n), y, np.zeros(n), -y
+
+    def test_improves_objective(self, gpu_engine):
+        kernel, diag, y, alpha, f = self.make_state(gpu_engine)
+        result = solve_subproblem(
+            gpu_engine, kernel, diag, y, alpha, f, 5.0,
+            epsilon=1e-3, max_iterations=1000,
+        )
+        assert result.iterations > 0
+        assert result.local_gap <= 1e-3
+        assert np.any(result.alpha > 0)
+
+    def test_respects_iteration_budget(self, gpu_engine):
+        kernel, diag, y, alpha, f = self.make_state(gpu_engine)
+        result = solve_subproblem(
+            gpu_engine, kernel, diag, y, alpha, f, 5.0,
+            epsilon=1e-9, max_iterations=2,
+        )
+        assert result.iterations <= 2
+
+    def test_does_not_mutate_inputs(self, gpu_engine):
+        kernel, diag, y, alpha, f = self.make_state(gpu_engine)
+        alpha_copy, f_copy = alpha.copy(), f.copy()
+        solve_subproblem(
+            gpu_engine, kernel, diag, y, alpha, f, 5.0,
+            epsilon=1e-3, max_iterations=100,
+        )
+        assert np.array_equal(alpha, alpha_copy)
+        assert np.array_equal(f, f_copy)
+
+    def test_preserves_equality_constraint(self, gpu_engine):
+        kernel, diag, y, alpha, f = self.make_state(gpu_engine, seed=3)
+        result = solve_subproblem(
+            gpu_engine, kernel, diag, y, alpha, f, 5.0,
+            epsilon=1e-3, max_iterations=500,
+        )
+        assert abs(result.alpha @ y - alpha @ y) < 1e-9
+
+    def test_shape_validation(self, gpu_engine):
+        with pytest.raises(ValidationError):
+            solve_subproblem(
+                gpu_engine,
+                np.ones((2, 3)),
+                np.ones(3),
+                np.array([1.0, -1.0, 1.0]),
+                np.zeros(3),
+                np.zeros(3),
+                1.0,
+                epsilon=1e-3,
+                max_iterations=10,
+            )
+
+    def test_single_launch_charged(self, gpu_engine):
+        kernel, diag, y, alpha, f = self.make_state(gpu_engine)
+        launches_before = gpu_engine.counters.kernel_launches
+        solve_subproblem(
+            gpu_engine, kernel, diag, y, alpha, f, 5.0,
+            epsilon=1e-3, max_iterations=100,
+        )
+        assert gpu_engine.counters.kernel_launches == launches_before + 1
