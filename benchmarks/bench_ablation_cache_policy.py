@@ -15,7 +15,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 POLICIES = ["fifo", "lru", "lfu"]
 DATASETS = ["adult", "mnist"]
@@ -63,7 +67,9 @@ def test_ablation_cache_policy(benchmark):
         title="Ablation — buffer replacement policy (training, simulated seconds)",
         row_label="dataset",
     )
-    common.record_table("ablation cache policy", text)
+    common.record_table(
+        "ablation cache policy", text, metrics={"train_s": times, "bias": biases}
+    )
     for dataset in DATASETS:
         # Same classifier regardless of policy.
         reference = biases[dataset]["fifo"]

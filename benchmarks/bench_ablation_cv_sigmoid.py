@@ -18,7 +18,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["adult", "connect-4"]
 
@@ -68,7 +72,7 @@ def test_ablation_cv_sigmoid(benchmark):
         title="Ablation — sigmoid targets: direct (paper) vs 5-fold CV (LibSVM -b 1)",
         row_label="dataset",
     )
-    common.record_table("ablation cv sigmoid", text)
+    common.record_table("ablation cv sigmoid", text, metrics=rows)
     for dataset, row in rows.items():
         # CV multiplies training cost several-fold...
         assert row["cv cost"] > 2.0

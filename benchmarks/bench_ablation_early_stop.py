@@ -16,7 +16,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 RULES = ["adaptive", "fixed", "to_convergence"]
 DATASETS = ["adult", "mnist"]
@@ -54,7 +58,7 @@ def test_ablation_early_stop(benchmark):
         title="Ablation — inner-solver termination rule",
         row_label="dataset/rule",
     )
-    common.record_table("ablation early stop", text)
+    common.record_table("ablation early stop", text, metrics=rows)
     for dataset in DATASETS:
         biases = [rows[f"{dataset}/{rule}"]["bias"] for rule in RULES]
         assert max(biases) - min(biases) < 5e-3  # same classifier

@@ -15,7 +15,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 DATASET = "news20"
 
@@ -62,7 +66,7 @@ def test_ablation_sharing(benchmark):
         title=f"Ablation — kernel/SV sharing on {DATASET}",
         row_label="variant",
     )
-    common.record_table("ablation sharing", text)
+    common.record_table("ablation sharing", text, metrics=rows)
     # Kernel sharing reduces training FLOPs.
     assert rows["both shared"]["GFLOPs"] < rows["none shared"]["GFLOPs"]
     # SV sharing reduces prediction time substantially on 20 classes.

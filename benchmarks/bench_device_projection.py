@@ -16,7 +16,11 @@ from repro.data import load_dataset
 from repro.gpusim import scaled_tesla_p100, scaled_tesla_v100
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["adult", "mnist", "news20"]
 
@@ -62,7 +66,7 @@ def test_device_projection(benchmark):
         title="Device projection — GMP-SVM on V100 vs P100 (simulated)",
         row_label="dataset",
     )
-    common.record_table("device projection v100", text)
+    common.record_table("device projection v100", text, metrics=rows)
     for dataset, row in rows.items():
         # "should further improve the efficiency" — bounded by the
         # bandwidth (1.25x) / FLOPS (1.6x) ratios.

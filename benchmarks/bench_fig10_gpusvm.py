@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 
 def build_rows() -> dict[str, dict[str, float]]:
@@ -33,7 +37,7 @@ def test_fig10_gpusvm(benchmark):
         common.BINARY_DATASETS,
         title="Figure 10 — training time, GMP-SVM vs GPUSVM (simulated seconds)",
     )
-    common.record_table("fig10 gpusvm", text)
+    common.record_table("fig10 gpusvm", text, metrics=rows)
     speedups = rows["speedup"]
     for dataset in common.BINARY_DATASETS:
         assert speedups[dataset] > 1.0

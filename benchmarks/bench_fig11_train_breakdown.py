@@ -14,7 +14,11 @@ from __future__ import annotations
 from repro.perf import TRAIN_GROUPS
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 COMPONENTS = ["kernel values", "subproblem", "other"]
 
@@ -36,7 +40,7 @@ def test_fig11_train_breakdown(benchmark):
         title="Figure 11 — GMP-SVM training time breakdown (%)",
         row_label="dataset",
     )
-    common.record_table("fig11 training breakdown", text)
+    common.record_table("fig11 training breakdown", text, metrics=rows)
     for dataset, fractions in rows.items():
         total = sum(fractions.values())
         assert abs(total - 100.0) < 1e-6

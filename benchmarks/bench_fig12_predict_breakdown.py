@@ -11,7 +11,11 @@ from __future__ import annotations
 from repro.perf import PREDICT_GROUPS
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 COMPONENTS = ["decision values", "sigmoid", "multi-class probability"]
 
@@ -35,7 +39,7 @@ def test_fig12_predict_breakdown(benchmark):
         title="Figure 12 — GMP-SVM prediction time breakdown (%)",
         row_label="dataset",
     )
-    common.record_table("fig12 prediction breakdown", text)
+    common.record_table("fig12 prediction breakdown", text, metrics=rows)
     for dataset, fractions in rows.items():
         dominant = max(fractions, key=fractions.get)
         assert dominant == "decision values"

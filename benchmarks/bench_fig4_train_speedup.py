@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from repro.perf import speedup_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 COMPARED = ["libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm"]
 
@@ -38,7 +42,17 @@ def build_table() -> str:
 
 def test_fig4_train_speedup(benchmark):
     text = common.run_benchmark_once(benchmark, build_table)
-    common.record_table("fig4 training speedup", text)
+    # run_system is cached per process, so re-reading the timings for the
+    # machine-readable metrics costs nothing.
+    speedups = {
+        system: {
+            d: common.run_system(system, d).train_seconds
+            / common.run_system("gmp-svm", d).train_seconds
+            for d in common.ALL_DATASETS
+        }
+        for system in COMPARED
+    }
+    common.record_table("fig4 training speedup", text, metrics=speedups)
     for dataset in common.ALL_DATASETS:
         gmp = common.run_system("gmp-svm", dataset).train_seconds
         assert common.run_system("libsvm", dataset).train_seconds / gmp > 10

@@ -12,7 +12,11 @@ from __future__ import annotations
 from repro.perf import speedup_table
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 COMPARED = ["libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm"]
 
@@ -38,7 +42,15 @@ def build_table() -> str:
 
 def test_fig5_predict_speedup(benchmark):
     text = common.run_benchmark_once(benchmark, build_table)
-    common.record_table("fig5 prediction speedup", text)
+    speedups = {
+        system: {
+            d: common.run_system(system, d).predict_seconds
+            / common.run_system("gmp-svm", d).predict_seconds
+            for d in common.ALL_DATASETS
+        }
+        for system in COMPARED
+    }
+    common.record_table("fig5 prediction speedup", text, metrics=speedups)
     for dataset in common.BINARY_DATASETS:
         gmp = common.run_system("gmp-svm", dataset).predict_seconds
         baseline = common.run_system("gpu-baseline", dataset).predict_seconds

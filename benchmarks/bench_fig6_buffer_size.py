@@ -14,7 +14,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 BUFFER_SIZES = [32, 64, 128, 256, 512]
 
@@ -49,7 +53,7 @@ def test_fig6_buffer_size(benchmark):
         title="Figure 6 — training time vs GPU buffer size (simulated seconds)",
         row_label="dataset",
     )
-    common.record_table("fig6 buffer size", text)
+    common.record_table("fig6 buffer size", text, metrics=rows)
     for dataset, timings in rows.items():
         best = min(timings.values())
         # Medium buffers are competitive with the best configuration...

@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 
 def build_rows() -> dict[str, dict[str, float]]:
@@ -29,7 +33,7 @@ def test_fig8_gtsvm(benchmark):
         common.ALL_DATASETS,
         title="Figure 8 — training time, GMP-SVM vs GTSVM (simulated seconds)",
     )
-    common.record_table("fig8 gtsvm", text)
+    common.record_table("fig8 gtsvm", text, metrics=rows)
     for dataset in common.ALL_DATASETS:
         assert rows["speedup"][dataset] > 1.5  # GMP-SVM consistently wins
     import numpy as np

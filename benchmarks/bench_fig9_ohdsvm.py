@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 
 def build_rows() -> dict[str, dict[str, float]]:
@@ -30,7 +34,7 @@ def test_fig9_ohdsvm(benchmark):
         common.BINARY_DATASETS,
         title="Figure 9 — training time, GMP-SVM vs OHD-SVM (simulated seconds)",
     )
-    common.record_table("fig9 ohdsvm", text)
+    common.record_table("fig9 ohdsvm", text, metrics=rows)
     for dataset in common.BINARY_DATASETS:
         assert rows["speedup"][dataset] > 1.0  # consistent win
 

@@ -16,7 +16,11 @@ from repro import GMPSVC
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["connect-4", "mnist", "news20"]
 
@@ -60,7 +64,7 @@ def test_ova_vs_ovo(benchmark):
         title="Extension — pairwise (paper) vs one-vs-all decomposition",
         row_label="dataset",
     )
-    common.record_table("extension ova vs ovo", text)
+    common.record_table("extension ova vs ovo", text, metrics=rows)
     for dataset, row in rows.items():
         # Both decompositions produce competent classifiers; neither wins
         # uniformly (Hsu & Lin favour pairwise, Rifkin & Klautau defend

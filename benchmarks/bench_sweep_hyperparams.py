@@ -19,7 +19,11 @@ from repro.core.predictor import predict_labels_model
 from repro.data import load_dataset
 from repro.perf.speedup import format_table
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 C_VALUES = [0.01, 1.0, 100.0]
 GAMMA_VALUES = [0.03, 0.5, 10.0]
@@ -71,7 +75,7 @@ def test_sweep_hyperparams(benchmark):
         title="Hyper-parameter sweep — LibSVM vs GMP-SVM classifier gap",
         row_label="configuration",
     )
-    common.record_table("sweep hyperparameters", text)
+    common.record_table("sweep hyperparameters", text, metrics=rows)
     for name, result in rows.items():
         assert result["bias diff"] < 1e-2, name
         assert result["err diff"] <= 0.01, name

@@ -7,7 +7,11 @@ slowest by 1-2 orders of magnitude.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["cifar-10", "mnist", "mnist8m"]
 
@@ -29,7 +33,17 @@ def build_table() -> str:
 
 def test_table1_headline(benchmark):
     text = common.run_benchmark_once(benchmark, build_table)
-    common.record_table("table1 headline", text)
+    metrics = {
+        system: {
+            f"{dataset}:{phase}": getattr(
+                common.run_system(system, dataset), f"{phase}_seconds"
+            )
+            for dataset in DATASETS
+            for phase in ("train", "predict")
+        }
+        for system in common.MAIN_SYSTEMS
+    }
+    common.record_table("table1 headline", text, metrics=metrics)
     # Shape assertions from the paper's narrative.
     for dataset in DATASETS:
         gmp = common.run_system("gmp-svm", dataset)

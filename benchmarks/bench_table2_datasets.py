@@ -5,7 +5,11 @@ from __future__ import annotations
 from repro.data import DATASETS, load_dataset
 from repro.sparse import ops as mops
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 
 def build_table() -> str:
@@ -36,7 +40,17 @@ def build_table() -> str:
 
 def test_table2_datasets(benchmark):
     text = common.run_benchmark_once(benchmark, build_table)
-    common.record_table("table2 datasets", text)
+    metrics = {
+        name: {
+            "classes": spec.n_classes,
+            "paper_n": spec.paper_cardinality,
+            "dimension": spec.dimension,
+            "C": spec.penalty,
+            "gamma": spec.gamma,
+        }
+        for name, spec in DATASETS.items()
+    }
+    common.record_table("table2 datasets", text, metrics=metrics)
     assert len(DATASETS) == 9
     # Paper hyper-parameters preserved exactly.
     assert DATASETS["adult"].penalty == 100.0 and DATASETS["adult"].gamma == 0.5

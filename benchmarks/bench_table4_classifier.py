@@ -8,7 +8,11 @@ to about three decimals and decision-rule errors match exactly.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks import common
+
+pytestmark = pytest.mark.slow
 
 
 def build_table() -> str:
@@ -35,7 +39,19 @@ def build_table() -> str:
 
 def test_table4_classifier(benchmark):
     text = common.run_benchmark_once(benchmark, build_table)
-    common.record_table("table4 classifier comparison", text)
+    metrics = {}
+    for dataset in common.ALL_DATASETS:
+        libsvm = common.run_system("libsvm", dataset)
+        gmp = common.run_system("gmp-svm", dataset)
+        metrics[dataset] = {
+            "bias_libsvm": libsvm.last_bias,
+            "bias_gmp": gmp.last_bias,
+            "train_err_libsvm": libsvm.train_error,
+            "train_err_gmp": gmp.train_error,
+            "test_err_libsvm": libsvm.test_error,
+            "test_err_gmp": gmp.test_error,
+        }
+    common.record_table("table4 classifier comparison", text, metrics=metrics)
     for dataset in common.ALL_DATASETS:
         libsvm = common.run_system("libsvm", dataset)
         gmp = common.run_system("gmp-svm", dataset)

@@ -1,0 +1,151 @@
+"""CI regression gate: diff a ``BENCH_*.json`` against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_smoke.json \
+        --candidate BENCH_smoke.json \
+        --rtol 0.25
+
+Every metric present in the baseline must exist in the candidate and
+match within tolerance: ``|candidate - baseline| <= atol + rtol *
+|baseline|``.  Per-metric tolerance overrides (``--metric-rtol
+total_iterations=0.5``) accommodate metrics that legitimately wobble
+across platforms.  Exit status: 0 when all metrics pass, 1 on any
+regression or missing metric, 2 on unreadable/invalid input files.
+
+The gate is deliberately symmetric — an *improvement* beyond tolerance
+also fails, because it means the committed baseline is stale and should
+be refreshed in the same PR that changed the performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+EXPECTED_KIND = "bench"
+
+
+def _invalid_input(message: str) -> SystemExit:
+    """Exit status 2: the inputs are unusable (vs 1, a real regression)."""
+    print(f"check_regression: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_bench(path: object) -> dict:
+    """Read one ``BENCH_*.json`` payload, validating its shape and schema."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise _invalid_input(f"cannot read {path}: {exc}")
+    schema = payload.get("schema_version", "")
+    if payload.get("kind") != EXPECTED_KIND or not schema.startswith("repro.bench/"):
+        raise _invalid_input(
+            f"{path} is not a repro.bench payload "
+            f"(kind={payload.get('kind')!r}, schema={schema!r})"
+        )
+    if not isinstance(payload.get("metrics"), dict):
+        raise _invalid_input(f"{path} has no metrics mapping")
+    return payload
+
+
+def compare_metrics(
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    *,
+    rtol: float,
+    atol: float,
+    metric_rtol: Optional[dict[str, float]] = None,
+) -> list[str]:
+    """Return a list of human-readable failures (empty means all pass)."""
+    overrides = metric_rtol or {}
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base = float(baseline[name])
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate")
+            continue
+        cand = float(candidate[name])
+        tolerance = atol + overrides.get(name, rtol) * abs(base)
+        if abs(cand - base) > tolerance:
+            failures.append(
+                f"{name}: baseline {base:.6g} vs candidate {cand:.6g} "
+                f"(|diff| {abs(cand - base):.3g} > tolerance {tolerance:.3g})"
+            )
+    return failures
+
+
+def _parse_overrides(items: Sequence[str]) -> dict[str, float]:
+    overrides: dict[str, float] = {}
+    for item in items:
+        name, _, value = item.partition("=")
+        if not name or not value:
+            raise _invalid_input(f"bad --metric-rtol {item!r} (want NAME=FLOAT)")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise _invalid_input(f"bad --metric-rtol value in {item!r}")
+    return overrides
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Compare candidate metrics against the baseline; 0 = within tolerance."""
+    parser = argparse.ArgumentParser(
+        prog="check_regression",
+        description="Diff benchmark JSON against a committed baseline.",
+    )
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--candidate", required=True, help="freshly emitted BENCH_*.json")
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.15,
+        help="default relative tolerance per metric (default 0.15)",
+    )
+    parser.add_argument(
+        "--atol",
+        type=float,
+        default=1e-12,
+        help="absolute tolerance floor (default 1e-12)",
+    )
+    parser.add_argument(
+        "--metric-rtol",
+        action="append",
+        default=[],
+        metavar="NAME=FLOAT",
+        help="per-metric relative-tolerance override (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_bench(args.baseline)
+    candidate = load_bench(args.candidate)
+    failures = compare_metrics(
+        baseline["metrics"],
+        candidate["metrics"],
+        rtol=args.rtol,
+        atol=args.atol,
+        metric_rtol=_parse_overrides(args.metric_rtol),
+    )
+    checked = len(baseline["metrics"])
+    if failures:
+        print(
+            f"check_regression: FAIL — {len(failures)}/{checked} metric(s) "
+            f"out of tolerance for {baseline.get('name', '?')}:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"check_regression: OK — {checked} metric(s) within tolerance "
+        f"for {baseline.get('name', '?')}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

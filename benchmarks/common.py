@@ -150,8 +150,14 @@ def run_system(system: str, dataset_name: str) -> SystemRun:
     )
 
 
-def record_table(title: str, text: str) -> None:
-    """Queue a table for the end-of-run summary and persist it to disk."""
+def record_table(title: str, text: str, metrics: dict | None = None) -> None:
+    """Queue a table for the end-of-run summary and persist it to disk.
+
+    ``metrics`` optionally carries the numbers behind the rendered table
+    (flat or ``{row: {col: value}}``); when given, a machine-readable
+    ``BENCH_<slug>.json`` is written next to the ``.txt`` so CI and
+    analysis tooling never have to parse fixed-width text.
+    """
     _recorded_tables.append((title, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = (
@@ -162,6 +168,10 @@ def record_table(title: str, text: str) -> None:
         .replace(")", "")
     )
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
+    if metrics is not None:
+        from benchmarks.emit_json import write_bench_json
+
+        write_bench_json(slug, metrics)
 
 
 def recorded_tables() -> list[tuple[str, str]]:

@@ -1,0 +1,156 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` emission.
+
+Two consumers motivate this module:
+
+- every ``bench_*`` module records its result tables through
+  :func:`benchmarks.common.record_table`, which forwards the underlying
+  numbers here so a ``BENCH_<name>.json`` lands next to the legacy
+  ``.txt`` rendering;
+- CI runs ``python benchmarks/emit_json.py smoke --emit-json PATH`` to
+  produce a small deterministic measurement that
+  ``benchmarks/check_regression.py`` diffs against the committed
+  baseline in ``benchmarks/baselines/``.
+
+Every file carries ``schema_version`` (see
+:mod:`repro.telemetry.schema`), the benchmark name, and a flat
+``metrics`` mapping of metric name to float — nested result tables are
+flattened to ``"row/column"`` keys so the regression gate can compare
+them one number at a time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES_DIR = Path(__file__).parent / "baselines"
+
+
+def _schema_version() -> str:
+    from repro.telemetry.schema import BENCH_SCHEMA_VERSION
+
+    return BENCH_SCHEMA_VERSION
+
+
+def flatten_metrics(rows: Mapping[str, object]) -> dict[str, float]:
+    """Flatten ``{row: {col: value}}`` (or flat) tables to ``row/col`` keys.
+
+    Non-numeric leaves are skipped; numeric leaves are coerced to float.
+    """
+    flat: dict[str, float] = {}
+
+    def visit(prefix: str, value: object) -> None:
+        if isinstance(value, Mapping):
+            for key, sub in value.items():
+                visit(f"{prefix}/{key}" if prefix else str(key), sub)
+        elif isinstance(value, bool):
+            flat[prefix] = float(value)
+        elif isinstance(value, (int, float)):
+            flat[prefix] = float(value)
+
+    visit("", rows)
+    return flat
+
+
+def write_bench_json(
+    name: str,
+    metrics: Mapping[str, object],
+    *,
+    path: Optional[object] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``metrics`` may be flat or nested (nested tables are flattened).
+    Default location: ``benchmarks/results/BENCH_<name>.json``.
+    """
+    target = (
+        Path(path) if path is not None else RESULTS_DIR / f"BENCH_{name}.json"
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": _schema_version(),
+        "kind": "bench",
+        "name": name,
+        "metrics": flatten_metrics(metrics),
+    }
+    target.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def run_smoke() -> dict[str, float]:
+    """A small deterministic GMP-SVM train+predict measurement.
+
+    Fixed synthetic data and hyperparameters, so the resulting metrics
+    are reproducible across runs and comparable across commits (within
+    the regression gate's tolerances).
+    """
+    import numpy as np
+
+    from repro import GMPSVC
+    from repro.data import gaussian_blobs
+
+    x, y = gaussian_blobs(n=240, n_features=6, n_classes=3, seed=7)
+    x_train, y_train = x[:180], y[:180]
+    x_test, y_test = x[180:], y[180:]
+    clf = GMPSVC(C=10.0, gamma=0.3, working_set_size=32)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf.fit(x_train, y_train)
+        predictions = clf.predict(x_test)
+    train_report = clf.training_report_
+    predict_report = clf.prediction_report_
+    return {
+        "train_simulated_seconds": train_report.simulated_seconds,
+        "predict_simulated_seconds": predict_report.simulated_seconds,
+        "buffer_hit_rate": train_report.buffer_hit_rate,
+        "sharing_hit_rate": train_report.sharing_hit_rate,
+        "total_iterations": float(train_report.total_iterations),
+        "kernel_rows_computed": float(train_report.kernel_rows_computed),
+        "n_binary_svms": float(train_report.n_binary_svms),
+        "max_concurrency": float(train_report.max_concurrency),
+        "test_accuracy": float(np.mean(predictions == y_test)),
+    }
+
+
+BENCH_RUNNERS = {"smoke": run_smoke}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run a named benchmark and emit its ``BENCH_<name>.json``."""
+    parser = argparse.ArgumentParser(
+        prog="emit_json",
+        description="Run a benchmark and write machine-readable JSON results.",
+    )
+    parser.add_argument(
+        "bench",
+        nargs="?",
+        default="smoke",
+        choices=sorted(BENCH_RUNNERS),
+        help="which benchmark to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--emit-json",
+        metavar="PATH",
+        default=None,
+        help="output path (default: benchmarks/results/BENCH_<name>.json)",
+    )
+    args = parser.parse_args(argv)
+    metrics = BENCH_RUNNERS[args.bench]()
+    target = write_bench_json(args.bench, metrics, path=args.emit_json)
+    print(f"wrote {target}")
+    for key in sorted(metrics):
+        print(f"  {key:28s} {metrics[key]:.6g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.exceptions import (
 )
 from repro.model.persistence import load_model, save_model
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
+from repro.telemetry import Tracer
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,7 @@ __all__ = [
     "SVR",
     "SolverError",
     "SparseFormatError",
+    "Tracer",
     "ValidationError",
     "__version__",
     "dump_libsvm",

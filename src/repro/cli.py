@@ -10,6 +10,10 @@ Flags follow LibSVM's conventions where they overlap (``-t`` kernel type,
 ``-b`` probability, ``-h`` shrinking for the libsvm system), plus
 ``--system`` to pick any of the reproduced implementations and
 ``--report`` to print the simulated-cost breakdown.
+
+Observability flags (both tools): ``--report-json PATH`` writes the
+schema-versioned JSON report snapshot and ``--trace PATH`` writes a JSONL
+span trace of the run (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.core.predictor import PredictorConfig, predict_labels_model, predict_
 from repro.exceptions import ReproError
 from repro.gpusim.device import scaled_tesla_p100
 from repro.sparse import load_libsvm
+from repro.telemetry import Tracer
 
 __all__ = ["train_main", "predict_main"]
 
@@ -67,6 +72,10 @@ def _train_parser() -> argparse.ArgumentParser:
                         help="GPU buffer rows / working-set size (gmp-svm, cmp-svm)")
     parser.add_argument("--report", action="store_true",
                         help="print the simulated-cost report after training")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="write the training report as schema-versioned JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL span trace of the run")
     parser.add_argument("-q", "--quiet", action="store_true")
     return parser
 
@@ -95,9 +104,11 @@ def _build_cli_classifier(args: argparse.Namespace):
 def train_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-train``; returns a process exit code."""
     args = _train_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
     try:
         data, labels = load_libsvm(args.training_file)
         classifier = _build_cli_classifier(args)
+        classifier.tracer = tracer
         classifier.fit(data, labels)
         model_path = (
             args.model_file
@@ -105,6 +116,11 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             else f"{args.training_file}.model"
         )
         classifier.save(model_path)
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(classifier.training_report_.to_json(indent=2) + "\n")
+        if tracer is not None:
+            tracer.write_jsonl(args.trace)
     except (ReproError, OSError) as exc:
         print(f"repro-train: error: {exc}", file=sys.stderr)
         return 1
@@ -136,6 +152,10 @@ def _predict_parser() -> argparse.ArgumentParser:
                         help="where to write predictions (default: stdout)")
     parser.add_argument("-b", "--probability", type=int, default=0, choices=(0, 1),
                         help="1 = output per-class probabilities")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="write the prediction report as schema-versioned JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL span trace of the run")
     parser.add_argument("-q", "--quiet", action="store_true")
     return parser
 
@@ -143,12 +163,13 @@ def _predict_parser() -> argparse.ArgumentParser:
 def predict_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-predict``; returns a process exit code."""
     args = _predict_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
     try:
         model = load_model(args.model_file)
         data, labels = load_libsvm(
             args.test_file, n_features=model.sv_pool.pool_data.shape[1]
         )
-        config = PredictorConfig(device=scaled_tesla_p100())
+        config = PredictorConfig(device=scaled_tesla_p100(), tracer=tracer)
         if args.probability:
             probabilities, report = predict_proba_model(config, model, data)
             positions = np.argmax(probabilities, axis=1)
@@ -158,6 +179,11 @@ def predict_main(argv: Optional[Sequence[str]] = None) -> int:
                 config, model, data, use_probability=False
             )
             probabilities = None
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json(indent=2) + "\n")
+        if tracer is not None:
+            tracer.write_jsonl(args.trace)
     except (ReproError, OSError) as exc:
         print(f"repro-predict: error: {exc}", file=sys.stderr)
         return 1

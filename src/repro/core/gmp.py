@@ -109,6 +109,11 @@ class GMPSVC:
         self.model_ = None
         self.training_report_ = None
         self.prediction_report_ = None
+        # Optional repro.telemetry.Tracer; assign one before fit/predict to
+        # record hierarchical spans of the run (``repro-train --trace``).
+        # Plain attribute (not a constructor parameter) so every baseline
+        # subclass inherits it without signature changes.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Configuration plumbing
@@ -165,8 +170,10 @@ class GMPSVC:
         """Train on ``(X, y)``; X may be dense or a CSRMatrix."""
         data, labels = check_fit_inputs(X, y)
         kernel = self._build_kernel(mops.n_cols(data))
+        config = self._trainer_config()
+        config.tracer = self.tracer
         self.model_, self.training_report_ = train_multiclass(
-            self._trainer_config(), data, labels, kernel, float(self.C)
+            config, data, labels, kernel, float(self.C)
         )
         self.n_features_in_ = mops.n_cols(data)
         self.classes_ = self.model_.classes
@@ -181,8 +188,10 @@ class GMPSVC:
         """Predicted class labels (argmax probability when available)."""
         model = self._require_fitted()
         data = check_predict_inputs(X, self.n_features_in_)
+        config = self._predictor_config()
+        config.tracer = self.tracer
         labels, self.prediction_report_ = predict_labels_model(
-            self._predictor_config(), model, data
+            config, model, data
         )
         return labels
 
@@ -190,8 +199,10 @@ class GMPSVC:
         """Multi-class probabilities, shape ``(m, n_classes)``."""
         model = self._require_fitted()
         data = check_predict_inputs(X, self.n_features_in_)
+        config = self._predictor_config()
+        config.tracer = self.tracer
         probabilities, self.prediction_report_ = predict_proba_model(
-            self._predictor_config(), model, data
+            config, model, data
         )
         return probabilities
 

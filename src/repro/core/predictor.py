@@ -29,6 +29,7 @@ from repro.perf.report import PredictionReport
 from repro.probability.pairwise import couple_batch
 from repro.probability.platt import sigmoid_predict
 from repro.sparse import ops as mops
+from repro.telemetry.tracer import Tracer, maybe_span
 
 __all__ = [
     "PredictorConfig",
@@ -52,6 +53,9 @@ class PredictorConfig:
     # maximum number of blocks that the GPU can support, we divide the
     # blocks into a few groups and launch one group of blocks at a time").
     batch_size: Optional[int] = None
+    # Optional hierarchical span tracer; off (None) by default, in which
+    # case prediction does no telemetry bookkeeping.
+    tracer: Optional[Tracer] = None
 
     def make_engine(self) -> Engine:
         """Engine bound to this configuration's device and efficiencies."""
@@ -97,21 +101,37 @@ def predict_proba_model(
     probabilities = np.empty((m, k))
 
     batch = _resolve_batch(config, model, m)
-    for start in range(0, m, batch):
-        stop = min(start + batch, m)
-        chunk = _slice_rows(test_data, start, stop)
-        decisions = decision_matrix(
-            engine, model, chunk, sv_sharing=config.sv_sharing
-        )
-        if model.strategy == "ova":
-            probabilities[start:stop] = _ova_probabilities(
-                engine, model, decisions
-            )
-        else:
-            r_batch = _pairwise_estimates(engine, model, decisions)
-            probabilities[start:stop] = couple_batch(
-                engine, r_batch, method=config.coupling_method
-            )
+    with maybe_span(
+        config.tracer,
+        "predict_proba",
+        clock=engine.clock,
+        n_instances=m,
+        batch_size=batch,
+        sv_sharing=config.sv_sharing,
+    ) as predict_span:
+        for start in range(0, m, batch):
+            stop = min(start + batch, m)
+            chunk = _slice_rows(test_data, start, stop)
+            with maybe_span(
+                config.tracer,
+                "predict_batch",
+                clock=engine.clock,
+                start=start,
+                stop=stop,
+            ):
+                decisions = decision_matrix(
+                    engine, model, chunk, sv_sharing=config.sv_sharing
+                )
+                if model.strategy == "ova":
+                    probabilities[start:stop] = _ova_probabilities(
+                        engine, model, decisions
+                    )
+                else:
+                    r_batch = _pairwise_estimates(engine, model, decisions)
+                    probabilities[start:stop] = couple_batch(
+                        engine, r_batch, method=config.coupling_method
+                    )
+        predict_span.set(simulated_seconds=engine.clock.elapsed_s)
 
     report = PredictionReport(
         simulated_seconds=engine.clock.elapsed_s,
@@ -147,13 +167,21 @@ def predict_labels_model(
 
     engine = config.make_engine()
     engine.transfer(mops.matrix_nbytes(test_data), category="transfer")
-    decisions = decision_matrix(
-        engine, model, test_data, sv_sharing=config.sv_sharing
-    )
-    if model.strategy == "ova":
-        positions = ova_positions(decisions)
-    else:
-        positions = ovo_vote(decisions, model.pairs, model.n_classes)
+    with maybe_span(
+        config.tracer,
+        "predict_labels",
+        clock=engine.clock,
+        n_instances=mops.n_rows(test_data),
+        sv_sharing=config.sv_sharing,
+    ) as predict_span:
+        decisions = decision_matrix(
+            engine, model, test_data, sv_sharing=config.sv_sharing
+        )
+        if model.strategy == "ova":
+            positions = ova_positions(decisions)
+        else:
+            positions = ovo_vote(decisions, model.pairs, model.n_classes)
+        predict_span.set(simulated_seconds=engine.clock.elapsed_s)
     report = PredictionReport(
         simulated_seconds=engine.clock.elapsed_s,
         clock=engine.clock,

@@ -49,6 +49,7 @@ from repro.solvers.batch_smo import BatchSMOSolver
 from repro.solvers.shrinking import ShrinkingSMOSolver
 from repro.solvers.smo import ClassicSMOSolver
 from repro.sparse import ops as mops
+from repro.telemetry.tracer import Tracer, maybe_span
 
 __all__ = ["TrainerConfig", "train_multiclass"]
 
@@ -93,6 +94,13 @@ class TrainerConfig:
     # GPUSVM-style dense storage (Figure 10's pathology).
     force_dense: bool = False
     max_iterations: Optional[int] = None
+    # Telemetry: an optional hierarchical span tracer (spans cover the
+    # whole run, every pair solve and the concurrency packing), and a
+    # switch for per-round solver telemetry in the report even when no
+    # tracer is attached.  Both default off; the hot paths then do no
+    # telemetry bookkeeping at all.
+    tracer: Optional[Tracer] = None
+    collect_round_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.solver not in ("batched", "classic"):
@@ -112,8 +120,35 @@ def train_multiclass(
 ) -> tuple[MPSVMModel, TrainingReport]:
     """Train a (probabilistic) multi-class SVM under ``config``.
 
-    Returns the fitted model and the simulated-cost report.
+    Returns the fitted model and the simulated-cost report.  When
+    ``config.tracer`` is set, the run is recorded as a
+    ``train_multiclass`` root span over per-pair ``solve_pair`` spans.
     """
+    tracer = config.tracer
+    if tracer is None:
+        return _train_multiclass_impl(config, data, y, kernel, penalty)
+    with tracer.span("train_multiclass", n_instances=mops.n_rows(data)) as span:
+        model, report = _train_multiclass_impl(config, data, y, kernel, penalty)
+        span.set(
+            n_classes=int(model.n_classes),
+            n_binary_svms=report.n_binary_svms,
+            total_iterations=report.total_iterations,
+            simulated_seconds=report.simulated_seconds,
+            buffer_hit_rate=report.buffer_hit_rate,
+            sharing_hit_rate=report.sharing_hit_rate,
+            max_concurrency=report.max_concurrency,
+        )
+        return model, report
+
+
+def _train_multiclass_impl(
+    config: TrainerConfig,
+    data: mops.MatrixLike,
+    y: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+) -> tuple[MPSVMModel, TrainingReport]:
+    tracer = config.tracer
     labels = np.asarray(y).ravel()
     classes, partition = class_partition(labels)
     if config.force_dense:
@@ -124,6 +159,10 @@ def train_multiclass(
         flop_efficiency=config.flop_efficiency,
         bandwidth_efficiency=config.bandwidth_efficiency,
     )
+    if tracer is not None:
+        # Give clock-less spans (the train_multiclass root above all) the
+        # master engine's simulated time axis.
+        tracer.bind_clock(master.clock)
     # Ship the training data to the device once (PCIe).
     master.transfer(mops.matrix_nbytes(data), category="transfer")
 
@@ -174,71 +213,79 @@ def train_multiclass(
             bandwidth_efficiency=config.bandwidth_efficiency,
             counters=master.counters,
         )
-        if shared is not None and shared_computer is not None:
-            rows = _SharedPairRows(engine, shared, shared_computer, problem)
-            pair_data = None
-        else:
-            pair_data = mops.take_rows(data, problem.global_indices)
-            rows = KernelRowComputer(engine, kernel, pair_data)
+        with maybe_span(
+            tracer,
+            "solve_pair",
+            clock=engine.clock,
+            pair=(problem.s, problem.t),
+            n=problem.n,
+        ) as pair_span:
+            if shared is not None and shared_computer is not None:
+                rows = _SharedPairRows(engine, shared, shared_computer, problem)
+                pair_data = None
+            else:
+                pair_data = mops.take_rows(data, problem.global_indices)
+                rows = KernelRowComputer(engine, kernel, pair_data)
 
-        penalty_vector = _class_weighted_penalties(
-            config, classes, problem, penalty
-        )
-        result, task_mem = _solve_pair(
-            config, engine, rows, problem.labels, penalty,
-            penalty_vector=penalty_vector,
-        )
-        total_iterations += result.iterations
-        total_rows_computed += result.kernel_rows_computed
-        peak_task_mem = max(peak_task_mem, task_mem)
-
-        # Training-set decision values come free from the indicators:
-        # v_i = f_i + y_i + b (Eq. 3 vs Eq. 11).
-        decisions = result.f + problem.labels + result.bias
-        engine.elementwise("decision_values", problem.n, flops_per_element=2)
-        sigmoid = None
-        if config.probability:
-            sigmoid_decisions = decisions
-            if config.probability_cv_folds > 1:
-                # LibSVM's -b 1 methodology: fit the sigmoid on held-out
-                # decision values from a stratified cross-validation
-                # (the paper's Figure 1 uses the direct values above).
-                if pair_data is None:
-                    pair_data = mops.take_rows(data, problem.global_indices)
-                try:
-                    sigmoid_decisions = _cv_decision_values(
-                        config, engine, kernel, pair_data, problem.labels,
-                        penalty, penalty_vector=penalty_vector,
-                    )
-                except _CVFallback:
-                    sigmoid_decisions = decisions
-            sigmoid = fit_sigmoid(
-                engine,
-                sigmoid_decisions,
-                problem.labels,
-                parallel_line_search=config.parallel_line_search,
+            penalty_vector = _class_weighted_penalties(
+                config, classes, problem, penalty
             )
-        train_error = float(np.mean(np.sign(decisions) != problem.labels))
-
-        support = result.support_indices
-        coefficients = result.alpha[support] * problem.labels[support]
-        global_sv = problem.global_indices[support]
-        pool_entries.append((problem.s, problem.t, global_sv, coefficients, result.bias))
-        per_svm_records.append(
-            BinarySVMRecord(
-                s=problem.s,
-                t=problem.t,
-                global_sv_indices=global_sv,
-                coefficients=coefficients,
-                bias=result.bias,
-                sigmoid=sigmoid,
-                iterations=result.iterations,
-                objective=result.objective,
-                training_error=train_error,
+            result, task_mem = _solve_pair(
+                config, engine, rows, problem.labels, penalty,
+                penalty_vector=penalty_vector,
             )
-        )
-        per_svm_stats.append(
-            {
+            total_iterations += result.iterations
+            total_rows_computed += result.kernel_rows_computed
+            peak_task_mem = max(peak_task_mem, task_mem)
+
+            # Training-set decision values come free from the indicators:
+            # v_i = f_i + y_i + b (Eq. 3 vs Eq. 11).
+            decisions = result.f + problem.labels + result.bias
+            engine.elementwise("decision_values", problem.n, flops_per_element=2)
+            sigmoid = None
+            if config.probability:
+                sigmoid_decisions = decisions
+                if config.probability_cv_folds > 1:
+                    # LibSVM's -b 1 methodology: fit the sigmoid on held-out
+                    # decision values from a stratified cross-validation
+                    # (the paper's Figure 1 uses the direct values above).
+                    if pair_data is None:
+                        pair_data = mops.take_rows(data, problem.global_indices)
+                    try:
+                        sigmoid_decisions = _cv_decision_values(
+                            config, engine, kernel, pair_data, problem.labels,
+                            penalty, penalty_vector=penalty_vector,
+                        )
+                    except _CVFallback:
+                        sigmoid_decisions = decisions
+                sigmoid = fit_sigmoid(
+                    engine,
+                    sigmoid_decisions,
+                    problem.labels,
+                    parallel_line_search=config.parallel_line_search,
+                )
+            train_error = float(np.mean(np.sign(decisions) != problem.labels))
+
+            support = result.support_indices
+            coefficients = result.alpha[support] * problem.labels[support]
+            global_sv = problem.global_indices[support]
+            pool_entries.append(
+                (problem.s, problem.t, global_sv, coefficients, result.bias)
+            )
+            per_svm_records.append(
+                BinarySVMRecord(
+                    s=problem.s,
+                    t=problem.t,
+                    global_sv_indices=global_sv,
+                    coefficients=coefficients,
+                    bias=result.bias,
+                    sigmoid=sigmoid,
+                    iterations=result.iterations,
+                    objective=result.objective,
+                    training_error=train_error,
+                )
+            )
+            svm_stats = {
                 "pair": (problem.s, problem.t),
                 "n": problem.n,
                 "iterations": result.iterations,
@@ -248,15 +295,25 @@ def train_multiclass(
                 "buffer_hit_rate": result.buffer_hit_rate,
                 "simulated_seconds": engine.clock.elapsed_s,
             }
-        )
-        tasks.append(
-            ScheduledTask.from_clock(
-                f"svm_{problem.s}_{problem.t}",
-                engine.clock,
-                mem_bytes=task_mem,
-                blocks=config.blocks_per_svm,
+            if result.round_trace is not None:
+                svm_stats["round_trace"] = result.round_trace
+            per_svm_stats.append(svm_stats)
+            pair_span.set(
+                iterations=result.iterations,
+                rounds=result.rounds,
+                converged=result.converged,
+                n_support=int(support.size),
+                buffer_hit_rate=result.buffer_hit_rate,
+                simulated_seconds=engine.clock.elapsed_s,
             )
-        )
+            tasks.append(
+                ScheduledTask.from_clock(
+                    f"svm_{problem.s}_{problem.t}",
+                    engine.clock,
+                    mem_bytes=task_mem,
+                    blocks=config.blocks_per_svm,
+                )
+            )
 
     # Combine per-task time: concurrent packing or plain serial sum.
     combined = SimClock()
@@ -269,7 +326,7 @@ def train_multiclass(
                 config.device.global_mem_bytes - mops.matrix_nbytes(data), 1
             ),
         )
-        plan = scheduler.plan(tasks)
+        plan = scheduler.plan(tasks, tracer=tracer)
         combined.merge(plan.aggregate_clock())
         max_concurrency = plan.max_concurrency
         concurrency_speedup = plan.speedup
@@ -359,6 +416,8 @@ def _solve_pair(
             buffer_policy=config.buffer_policy,
             inner_rule=config.inner_rule,
             register_buffer_memory=False,  # tracked via the task estimate
+            tracer=config.tracer,
+            record_rounds=config.collect_round_telemetry,
         )
         resident_rows = config.buffer_rows or 2 * config.working_set_size
         buffer_bytes = min(resident_rows, n) * n * FLOAT_BYTES

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 from repro.exceptions import ValidationError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.device import DeviceSpec
+from repro.telemetry.tracer import Tracer, maybe_span
 
 __all__ = ["TaskCost", "ScheduledTask", "SchedulePlan", "Wave", "ConcurrentScheduler"]
 
@@ -180,26 +181,44 @@ class ConcurrentScheduler:
             raise ValidationError("memory budget must be positive")
         self.mem_budget_bytes = int(budget)
 
-    def plan(self, tasks: Sequence[ScheduledTask]) -> SchedulePlan:
+    def plan(
+        self,
+        tasks: Sequence[ScheduledTask],
+        *,
+        tracer: Optional[Tracer] = None,
+    ) -> SchedulePlan:
         """First-fit-decreasing packing by serial time.
 
         A task whose memory footprint alone exceeds the budget still gets a
         wave of its own: the underlying solvers stream through memory via
         their kernel buffers, so a lone oversized task degrades to serial
         execution rather than failing.
+
+        With ``tracer`` set, the packing is recorded as a
+        ``scheduler.plan`` span carrying wave count, concurrency and
+        speedup attributes.
         """
-        pending = sorted(tasks, key=lambda t: t.cost.serial_s, reverse=True)
-        waves: list[Wave] = []
-        for task in pending:
-            placed = False
-            for wave in waves:
-                if self._fits(wave, task):
-                    wave.tasks.append(task)
-                    placed = True
-                    break
-            if not placed:
-                waves.append(Wave(tasks=[task]))
-        return SchedulePlan(waves=waves)
+        with maybe_span(tracer, "scheduler.plan", n_tasks=len(tasks)) as span:
+            pending = sorted(tasks, key=lambda t: t.cost.serial_s, reverse=True)
+            waves: list[Wave] = []
+            for task in pending:
+                placed = False
+                for wave in waves:
+                    if self._fits(wave, task):
+                        wave.tasks.append(task)
+                        placed = True
+                        break
+                if not placed:
+                    waves.append(Wave(tasks=[task]))
+            plan = SchedulePlan(waves=waves)
+            span.set(
+                waves=len(plan.waves),
+                max_concurrency=plan.max_concurrency,
+                speedup=plan.speedup,
+                makespan_s=plan.makespan_s,
+                serial_s=plan.serial_s,
+            )
+            return plan
 
     def _fits(self, wave: Wave, task: ScheduledTask) -> bool:
         if self.max_concurrent is not None and len(wave.tasks) >= self.max_concurrent:

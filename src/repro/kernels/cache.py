@@ -24,6 +24,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.gpusim.engine import FLOAT_BYTES
 from repro.gpusim.memory import DeviceAllocator, DeviceBuffer
+from repro.telemetry.tracer import Tracer, maybe_span
 
 __all__ = ["KernelBuffer", "BufferStats"]
 
@@ -49,6 +50,35 @@ class BufferStats:
         """Fraction of lookups served from the buffer."""
         return self.hits / self.requests if self.requests else 0.0
 
+    def snapshot(self) -> "BufferStats":
+        """An independent copy of the current counts."""
+        return BufferStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            inserts=self.inserts,
+        )
+
+    def since(self, earlier: "BufferStats") -> "BufferStats":
+        """Counts accumulated between an earlier snapshot and now."""
+        return BufferStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            inserts=self.inserts - earlier.inserts,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe counts plus derived rates (requests, hit_rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class KernelBuffer:
     """Fixed-capacity store of kernel-matrix rows with pluggable eviction."""
@@ -61,6 +91,7 @@ class KernelBuffer:
         policy: str = "fifo",
         allocator: Optional[DeviceAllocator] = None,
         tag: str = "kernel-buffer",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if capacity_rows < 1:
             raise ValidationError("capacity_rows must be >= 1")
@@ -71,6 +102,7 @@ class KernelBuffer:
         self.capacity_rows = int(capacity_rows)
         self.row_length = int(row_length)
         self.policy = policy
+        self.tracer = tracer
         self.stats = BufferStats()
         self._storage = np.empty((self.capacity_rows, self.row_length))
         self._slot_of: dict[int, int] = {}
@@ -146,14 +178,23 @@ class KernelBuffer:
             else:
                 out[pos] = row
         if missing_ids:
-            rows = np.asarray(compute_missing(np.asarray(missing_ids, dtype=np.int64)))
-            if rows.shape != (len(missing_ids), self.row_length):
-                raise ValidationError(
-                    f"compute_missing returned shape {rows.shape}, expected "
-                    f"{(len(missing_ids), self.row_length)}"
+            with maybe_span(self.tracer, "kernel_buffer.fill") as span:
+                rows = np.asarray(
+                    compute_missing(np.asarray(missing_ids, dtype=np.int64))
                 )
-            out[missing_pos] = rows
-            self.put_batch(missing_ids, rows)
+                if rows.shape != (len(missing_ids), self.row_length):
+                    raise ValidationError(
+                        f"compute_missing returned shape {rows.shape}, expected "
+                        f"{(len(missing_ids), self.row_length)}"
+                    )
+                out[missing_pos] = rows
+                evictions_before = self.stats.evictions
+                self.put_batch(missing_ids, rows)
+                span.set(
+                    missing=len(missing_ids),
+                    hits=len(ids) - len(missing_ids),
+                    evictions=self.stats.evictions - evictions_before,
+                )
         return out
 
     # ------------------------------------------------------------------

@@ -3,15 +3,25 @@
 All times are *simulated* device seconds from the cost model (DESIGN.md
 Section 6); wall-clock time of the NumPy host computation is a separate
 measurement owned by pytest-benchmark.
+
+Both reports serialize: :meth:`TrainingReport.to_dict` /
+:meth:`TrainingReport.to_json` (and the prediction equivalents) emit a
+flat, JSON-native snapshot stamped with
+:data:`~repro.telemetry.schema.REPORT_SCHEMA_VERSION`, which is what
+``repro-train --report-json`` writes and what the benchmark regression
+gate consumes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Optional
 
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import OpCounters
+from repro.telemetry.schema import REPORT_SCHEMA_VERSION
+from repro.telemetry.tracer import _json_safe
 
 __all__ = ["TrainingReport", "PredictionReport"]
 
@@ -43,6 +53,41 @@ class TrainingReport:
         """Fractions of total time per (optionally grouped) category."""
         return self.clock.fraction_breakdown(grouping=grouping)
 
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Mean kernel-buffer hit rate across the trained binary SVMs."""
+        rates = [
+            svm["buffer_hit_rate"]
+            for svm in self.per_svm
+            if "buffer_hit_rate" in svm
+        ]
+        return float(sum(rates) / len(rates)) if rates else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat, JSON-native, schema-versioned snapshot of this report."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kind": "training_report",
+            "device_name": self.device_name,
+            "simulated_seconds": self.simulated_seconds,
+            "breakdown": self.breakdown(),
+            "fraction_breakdown": self.fraction_breakdown(),
+            "counters": asdict(self.counters),
+            "n_binary_svms": self.n_binary_svms,
+            "total_iterations": self.total_iterations,
+            "kernel_rows_computed": self.kernel_rows_computed,
+            "max_concurrency": self.max_concurrency,
+            "concurrency_speedup": self.concurrency_speedup,
+            "sharing_hit_rate": self.sharing_hit_rate,
+            "buffer_hit_rate": self.buffer_hit_rate,
+            "peak_task_memory_bytes": self.peak_task_memory_bytes,
+            "per_svm": _json_safe(self.per_svm),
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot serialized to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
 
 @dataclass
 class PredictionReport:
@@ -64,3 +109,21 @@ class PredictionReport:
     ) -> dict[str, float]:
         """Fractions of total time per (optionally grouped) category."""
         return self.clock.fraction_breakdown(grouping=grouping)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat, JSON-native, schema-versioned snapshot of this report."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kind": "prediction_report",
+            "device_name": self.device_name,
+            "simulated_seconds": self.simulated_seconds,
+            "breakdown": self.breakdown(),
+            "fraction_breakdown": self.fraction_breakdown(),
+            "counters": asdict(self.counters),
+            "n_instances": self.n_instances,
+            "sv_sharing": self.sv_sharing,
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot serialized to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

@@ -139,6 +139,9 @@ class SolverResult:
     buffer_hit_rate: float = 0.0
     diagnostics: dict = field(default_factory=dict)
     f: Optional[np.ndarray] = None
+    # Per-round solver telemetry (delta trajectory, violator counts, buffer
+    # activity); populated only when the solver was asked to record it.
+    round_trace: Optional[list[dict]] = None
 
     @property
     def support_indices(self) -> np.ndarray:

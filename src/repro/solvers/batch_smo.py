@@ -44,6 +44,7 @@ from repro.solvers.base import (
 )
 from repro.solvers.subproblem import inner_iteration_budget, solve_subproblem
 from repro.solvers.working_set import select_new_violators
+from repro.telemetry.tracer import Tracer, maybe_span
 
 __all__ = ["BatchSMOSolver"]
 
@@ -64,6 +65,8 @@ class BatchSMOSolver:
         max_rounds: Optional[int] = None,
         category_prefix: str = "",
         register_buffer_memory: bool = True,
+        tracer: Optional[Tracer] = None,
+        record_rounds: bool = False,
     ) -> None:
         if epsilon <= 0:
             raise ValidationError(f"epsilon must be positive, got {epsilon}")
@@ -78,7 +81,13 @@ class BatchSMOSolver:
         self.inner_rule = inner_rule
         self.max_rounds = max_rounds
         self.register_buffer_memory = register_buffer_memory
-        self._cat = lambda name: f"{category_prefix}{name}"
+        self.tracer = tracer
+        self.record_rounds = record_rounds
+        self._category_prefix = category_prefix
+
+    def _cat(self, name: str) -> str:
+        """Clock category for ``name`` under this solver's prefix."""
+        return f"{self._category_prefix}{name}"
 
     def solve(
         self,
@@ -152,7 +161,23 @@ class BatchSMOSolver:
             policy=self.buffer_policy,
             allocator=engine.allocator if self.register_buffer_memory else None,
             tag="kernel-buffer",
+            tracer=self.tracer,
         )
+        # Per-round telemetry is opt-in: with no tracer and record_rounds
+        # False the hot loop takes a single falsy check per round.
+        round_trace: Optional[list[dict]] = (
+            [] if (self.record_rounds or self.tracer is not None) else None
+        )
+        # Entered/exited manually so the existing try/finally keeps its
+        # shape; exceptions still close the span via the finally block.
+        solve_span = maybe_span(
+            self.tracer,
+            "solver.batch_smo",
+            clock=engine.clock,
+            n=n,
+            working_set_size=ws_size,
+            new_per_round=q,
+        ).__enter__()
         try:
             while rounds < max_rounds:
                 up = upper_mask(labels, alpha, penalty)
@@ -194,6 +219,9 @@ class BatchSMOSolver:
                     break  # no violators selectable at all
                 ws_idx = np.concatenate([retained, new]) if retained.size else new
 
+                stats_before = (
+                    buffer.stats.snapshot() if round_trace is not None else None
+                )
                 k_rows = buffer.fetch(
                     ws_idx,
                     lambda ids: rows.rows(ids, category=self._cat("kernel_values")),
@@ -222,6 +250,22 @@ class BatchSMOSolver:
                 delta_alpha = sub.alpha - alpha[ws_idx]
                 changed = np.abs(delta_alpha) > 0
                 rounds += 1
+                if round_trace is not None:
+                    since = buffer.stats.since(stats_before)
+                    round_trace.append(
+                        {
+                            "round": rounds,
+                            "delta": float(delta),
+                            "retained": int(retained.size),
+                            "new_violators": int(new.size),
+                            "inner_iterations": int(sub.iterations),
+                            "changed": int(changed.sum()),
+                            "buffer_hits": since.hits,
+                            "buffer_misses": since.misses,
+                            "buffer_evictions": since.evictions,
+                            "buffer_inserts": since.inserts,
+                        }
+                    )
                 if not changed.any():
                     stalled += 1
                     if stalled == 1 and retained.size:
@@ -257,6 +301,12 @@ class BatchSMOSolver:
                     stacklevel=2,
                 )
             stats = buffer.stats
+            solve_span.set(
+                rounds=rounds,
+                iterations=inner_total,
+                converged=converged,
+                buffer_hit_rate=stats.hit_rate,
+            )
             return SolverResult(
                 alpha=alpha,
                 bias=bias_from_f(f, labels, alpha, penalty),
@@ -274,6 +324,8 @@ class BatchSMOSolver:
                     "new_per_round": q,
                 },
                 f=f,
+                round_trace=round_trace,
             )
         finally:
+            solve_span.__exit__(None, None, None)
             buffer.free()

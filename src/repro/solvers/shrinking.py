@@ -64,7 +64,11 @@ class ShrinkingSMOSolver:
         self.max_iterations = max_iterations
         self.shrink_interval = shrink_interval
         self.cache_bytes = cache_bytes
-        self._cat = lambda name: f"{category_prefix}{name}"
+        self._category_prefix = category_prefix
+
+    def _cat(self, name: str) -> str:
+        """Clock category for ``name`` under this solver's prefix."""
+        return f"{self._category_prefix}{name}"
 
     def solve(
         self,

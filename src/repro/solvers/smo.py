@@ -55,7 +55,11 @@ class ClassicSMOSolver:
         self.epsilon = float(epsilon)
         self.max_iterations = max_iterations
         self.buffer = buffer
-        self._cat = lambda name: f"{category_prefix}{name}"
+        self._category_prefix = category_prefix
+
+    def _cat(self, name: str) -> str:
+        """Clock category for ``name`` under this solver's prefix."""
+        return f"{self._category_prefix}{name}"
 
     def solve(
         self,

@@ -1,0 +1,28 @@
+"""Structured telemetry: hierarchical traces and versioned JSON schemas.
+
+The subsystem has two halves:
+
+- :mod:`repro.telemetry.tracer` — an opt-in hierarchical span tracer with
+  dual wall/simulated timestamps, wired through the trainer, predictor,
+  batched solver, kernel buffer and concurrency scheduler;
+- :mod:`repro.telemetry.schema` — the version strings stamped into every
+  serialized artifact (reports, JSONL traces, benchmark JSON) so the CI
+  regression gate and downstream tooling can validate what they consume.
+"""
+
+from repro.telemetry.schema import (
+    BENCH_SCHEMA_VERSION,
+    REPORT_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+)
+from repro.telemetry.tracer import NULL_SPAN, Span, Tracer, maybe_span
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "NULL_SPAN",
+    "REPORT_SCHEMA_VERSION",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "maybe_span",
+]

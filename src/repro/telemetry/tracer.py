@@ -1,0 +1,264 @@
+"""Hierarchical span tracing with dual wall-clock / simulated timestamps.
+
+A :class:`Tracer` records a tree of named *spans*.  Every span carries two
+independent time axes:
+
+- **wall time** — ``time.perf_counter`` seconds of the NumPy host
+  computation, measured from the tracer's creation;
+- **simulated time** — device seconds read from a
+  :class:`~repro.gpusim.clock.SimClock` (per span, so nested spans may be
+  timed against different engines' clocks).
+
+Spans nest through an explicit stack: entering a span makes it the parent
+of any span opened before it exits, which yields the component hierarchy
+the paper's breakdown figures are built from (training -> pair -> round ->
+buffer fill).  Finished spans become flat JSON-safe records suitable for
+JSONL export; parent links (``parent_id``/``depth``) preserve the tree.
+
+Tracing is strictly opt-in.  Hot paths receive ``Optional[Tracer]`` and
+use :func:`maybe_span`, which returns a shared, stateless no-op span when
+the tracer is ``None`` — the disabled path allocates nothing and records
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.gpusim.clock import SimClock
+from repro.telemetry.schema import TRACE_SCHEMA_VERSION
+
+__all__ = ["Span", "Tracer", "maybe_span", "NULL_SPAN"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and tuples) into JSON-native types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+class Span:
+    """One timed region of the trace; a re-entrant-unsafe context manager.
+
+    Spans are created by :meth:`Tracer.span` and finalized on ``__exit__``,
+    at which point a flat record is appended to the owning tracer.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "wall_start_s",
+        "wall_s",
+        "sim_start_s",
+        "sim_s",
+        "_tracer",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        clock: Optional[SimClock],
+        attrs: dict[str, Any],
+    ) -> None:
+        if not name:
+            raise ValidationError("span name must be a non-empty string")
+        self._tracer = tracer
+        self._clock = clock
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.wall_start_s = 0.0
+        self.wall_s = 0.0
+        self.sim_start_s = 0.0
+        self.sim_s = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def _sim_now(self) -> float:
+        clock = self._clock if self._clock is not None else self._tracer._clock
+        return clock.elapsed_s if clock is not None else 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._take_id()
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self.wall_start_s = tracer._wall_now()
+        self.sim_start_s = self._sim_now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        tracer = self._tracer
+        self.wall_s = tracer._wall_now() - self.wall_start_s
+        self.sim_s = self._sim_now() - self.sim_start_s
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupt the stack
+            tracer._stack = [s for s in tracer._stack if s is not self]
+        tracer._finish(self)
+        return False
+
+    def to_record(self) -> dict[str, Any]:
+        """The span as a flat, JSON-safe, schema-versioned dict."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "kind": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "wall_start_s": self.wall_start_s,
+            "wall_s": self.wall_s,
+            "sim_start_s": self.sim_start_s,
+            "sim_s": self.sim_s,
+            "attrs": _json_safe(self.attrs),
+        }
+
+
+class _NullSpan:
+    """The shared no-op span returned by :func:`maybe_span` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Discard attributes; returns self for chaining."""
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans and exports them as schema-versioned JSONL.
+
+    Parameters
+    ----------
+    clock:
+        Default :class:`SimClock` for spans that do not bind their own;
+        may be (re)bound later with :meth:`bind_clock`.
+    wall_clock:
+        Monotonic second counter (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[SimClock] = None,
+        wall_clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.records: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+        self._clock = clock
+        self._wall = wall_clock
+        self._origin = wall_clock()
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        """Live tracers always record; the off state is ``tracer is None``."""
+        return True
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def bind_clock(self, clock: Optional[SimClock]) -> None:
+        """Set the default simulated clock for subsequently opened spans."""
+        self._clock = clock
+
+    def _wall_now(self) -> float:
+        return self._wall() - self._origin
+
+    def _take_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _finish(self, span: Span) -> None:
+        self.records.append(span.to_record())
+
+    def span(
+        self, name: str, *, clock: Optional[SimClock] = None, **attrs: Any
+    ) -> Span:
+        """Open a span; use as ``with tracer.span("solve") as s: ...``."""
+        return Span(self, name, clock, dict(attrs))
+
+    def event(
+        self, name: str, *, clock: Optional[SimClock] = None, **attrs: Any
+    ) -> None:
+        """Record an instantaneous (zero-duration) span."""
+        with self.span(name, clock=clock, **attrs):
+            pass
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Finished-span records in completion order (children first)."""
+        return list(self.records)
+
+    def to_jsonl(self) -> str:
+        """All finished spans as one JSON-Lines string."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self.records
+        )
+
+    def write_jsonl(self, path: object) -> None:
+        """Write the JSONL trace to ``path`` (one span per line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+    def clear(self) -> None:
+        """Drop every finished record (open spans are unaffected)."""
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(records={len(self.records)}, open={len(self._stack)})"
+
+
+def maybe_span(
+    tracer: Optional[Tracer],
+    name: str,
+    *,
+    clock: Optional[SimClock] = None,
+    **attrs: Any,
+):
+    """A live span when ``tracer`` is set, else the shared no-op span.
+
+    This is the one tracing entry point hot paths call: with tracing
+    disabled it returns the :data:`NULL_SPAN` singleton — no allocation,
+    no clock reads, no bookkeeping.
+    """
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, clock=clock, **attrs)

@@ -119,3 +119,70 @@ class TestPredict:
         test, _, tmp = trained
         assert predict_main([str(test), str(tmp / "missing.model")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservability:
+    @pytest.fixture
+    def artifacts(self, svm_files):
+        """Train with --report-json and --trace; return all the paths."""
+        import json
+
+        train, test, tmp = svm_files
+        model = tmp / "model"
+        report_path = tmp / "train_report.json"
+        trace_path = tmp / "train_trace.jsonl"
+        code = train_main([
+            "-q", "-c", "10", "-g", "0.4",
+            "--report-json", str(report_path),
+            "--trace", str(trace_path),
+            str(train), str(model),
+        ])
+        assert code == 0
+        return test, model, tmp, report_path, trace_path, json
+
+    def test_train_report_json(self, artifacts):
+        *_, report_path, __, json = artifacts
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"].startswith("repro.report/")
+        assert report["kind"] == "training_report"
+        assert report["n_binary_svms"] == 3
+        assert report["total_iterations"] > 0
+        assert 0.0 <= report["buffer_hit_rate"] <= 1.0
+        assert report["breakdown"]  # per-category simulated seconds
+        assert len(report["per_svm"]) == 3
+
+    def test_train_trace_jsonl(self, artifacts):
+        *_, trace_path, json = artifacts
+        lines = trace_path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records
+        for record in records:
+            assert record["schema_version"].startswith("repro.trace/")
+        names = {r["name"] for r in records}
+        assert "train_multiclass" in names
+        assert "solve_pair" in names
+
+    def test_predict_report_and_trace(self, artifacts, tmp_path):
+        test, model, tmp, *_, json = artifacts
+        report_path = tmp_path / "predict_report.json"
+        trace_path = tmp_path / "predict_trace.jsonl"
+        code = predict_main([
+            "-q",
+            "--report-json", str(report_path),
+            "--trace", str(trace_path),
+            str(test), str(model),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "prediction_report"
+        assert report["n_instances"] == 40
+        names = {
+            json.loads(line)["name"]
+            for line in trace_path.read_text().strip().splitlines()
+        }
+        assert "predict_labels" in names
+
+    def test_flags_off_writes_nothing(self, svm_files):
+        train, _, tmp = svm_files
+        assert train_main(["-q", str(train), str(tmp / "m")]) == 0
+        assert not list(tmp.glob("*.json")) and not list(tmp.glob("*.jsonl"))

@@ -188,3 +188,74 @@ def test_buffer_invariants(ids, capacity, policy):
         stored = buf.get(rid)
         assert np.allclose(stored, float(rid))
     assert buf.stats.requests >= len(ids)
+
+
+class TestBufferStats:
+    def test_accounting_under_forced_eviction(self):
+        def compute(ids):
+            return np.vstack([row(i) for i in ids])
+
+        buf = KernelBuffer(2, 4, policy="lru")
+        buf.fetch([0, 1], compute)   # 2 misses, 2 inserts
+        buf.fetch([0, 2], compute)   # 1 hit, 1 miss; 2 -> evicts 1
+        buf.fetch([3, 4], compute)   # 2 misses -> evicts 0 and 2
+        stats = buf.stats
+        assert stats.hits == 1
+        assert stats.misses == 5
+        assert stats.inserts == 5
+        assert stats.evictions == 3
+        assert stats.requests == 6
+        assert stats.hit_rate == pytest.approx(1 / 6)
+
+    @pytest.mark.parametrize("policy", ["fifo", "lru", "lfu"])
+    def test_eviction_count_matches_overflow(self, policy):
+        buf = KernelBuffer(3, 4, policy=policy)
+        for i in range(10):
+            buf.put_batch([i], row(i)[None, :])
+        assert buf.stats.inserts == 10
+        assert buf.stats.evictions == 7
+        assert buf.size == 3
+
+    def test_snapshot_is_independent_copy(self):
+        buf = KernelBuffer(2, 4)
+        before = buf.stats.snapshot()
+        buf.fetch([0], lambda ids: np.vstack([row(i) for i in ids]))
+        assert before.misses == 0
+        assert buf.stats.misses == 1
+
+    def test_since_reports_per_round_deltas(self):
+        def compute(ids):
+            return np.vstack([row(i) for i in ids])
+
+        buf = KernelBuffer(2, 4)
+        buf.fetch([0, 1], compute)
+        checkpoint = buf.stats.snapshot()
+        buf.fetch([1, 2], compute)  # 1 hit, 1 miss, 1 eviction
+        delta = buf.stats.since(checkpoint)
+        assert delta.hits == 1
+        assert delta.misses == 1
+        assert delta.evictions == 1
+        assert delta.inserts == 1
+
+    def test_as_dict_is_json_safe(self):
+        buf = KernelBuffer(2, 4)
+        buf.fetch([0], lambda ids: np.vstack([row(i) for i in ids]))
+        payload = buf.stats.as_dict()
+        import json
+
+        json.dumps(payload)
+        assert payload["requests"] == 1
+        assert payload["hit_rate"] == 0.0
+
+
+class TestBufferTracing:
+    def test_fetch_emits_fill_spans(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        buf = KernelBuffer(4, 4, tracer=tracer)
+        buf.fetch([0, 1], lambda ids: np.vstack([row(i) for i in ids]))
+        buf.fetch([0, 1], lambda ids: np.vstack([row(i) for i in ids]))
+        fills = [r for r in tracer.to_records() if r["name"] == "kernel_buffer.fill"]
+        assert len(fills) == 1  # all-hit fetches never open a span
+        assert fills[0]["attrs"]["missing"] == 2

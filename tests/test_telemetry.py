@@ -1,0 +1,222 @@
+"""Tests for the telemetry subsystem: tracer, spans, and report serialization."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, Tracer
+from repro.data import gaussian_blobs
+from repro.exceptions import ValidationError
+from repro.gpusim.clock import SimClock, TimeCharge
+from repro.telemetry import (
+    BENCH_SCHEMA_VERSION,
+    NULL_SPAN,
+    REPORT_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    maybe_span,
+)
+
+
+class FakeWall:
+    """A deterministic wall clock the tests can advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpans:
+    def test_records_wall_duration(self):
+        wall = FakeWall()
+        tracer = Tracer(wall_clock=wall)
+        with tracer.span("outer"):
+            wall.now += 2.5
+        (record,) = tracer.to_records()
+        assert record["name"] == "outer"
+        assert record["wall_s"] == pytest.approx(2.5)
+        assert record["wall_start_s"] == pytest.approx(0.0)
+
+    def test_nesting_links_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+            assert inner.parent_id == outer.span_id
+        inner_rec, outer_rec = tracer.to_records()
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert inner_rec["depth"] == 1 and outer_rec["depth"] == 0
+        assert outer_rec["parent_id"] is None
+        assert tracer.depth == 0
+
+    def test_dual_clocks_simulated_axis(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("charged"):
+            clock.charge("kernel_values", TimeCharge(compute_s=0.25))
+        (record,) = tracer.to_records()
+        assert record["sim_s"] == pytest.approx(0.25)
+
+    def test_span_clock_overrides_tracer_clock(self):
+        default = SimClock()
+        local = SimClock()
+        tracer = Tracer(clock=default)
+        with tracer.span("local", clock=local):
+            default.charge("a", TimeCharge(compute_s=1.0))
+            local.charge("b", TimeCharge(compute_s=0.125))
+        (record,) = tracer.to_records()
+        assert record["sim_s"] == pytest.approx(0.125)
+
+    def test_attrs_set_and_numpy_coercion(self):
+        tracer = Tracer()
+        with tracer.span("s", n=np.int64(7)) as span:
+            span.set(rate=np.float32(0.5), ids=np.arange(3))
+        (record,) = tracer.to_records()
+        assert record["attrs"]["n"] == 7
+        assert record["attrs"]["rate"] == pytest.approx(0.5)
+        assert record["attrs"]["ids"] == [0, 1, 2]
+        # must survive stdlib json round-tripping
+        json.dumps(record)
+
+    def test_event_is_instant_span(self):
+        tracer = Tracer()
+        tracer.event("marker", reason="test")
+        (record,) = tracer.to_records()
+        assert record["name"] == "marker"
+        assert record["wall_s"] >= 0.0
+
+    def test_empty_name_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValidationError):
+            tracer.span("")
+
+    def test_clear_drops_records(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.clear()
+        assert tracer.to_records() == []
+
+
+class TestDisabledTracing:
+    def test_maybe_span_returns_shared_null(self):
+        assert maybe_span(None, "anything", n=3) is NULL_SPAN
+        assert maybe_span(None, "other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with maybe_span(None, "x") as span:
+            assert span.set(a=1) is span
+
+    def test_maybe_span_live_when_tracer_given(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "live", n=1):
+            pass
+        assert tracer.to_records()[0]["name"] == "live"
+
+
+class TestJsonlExport:
+    def test_every_line_is_schema_versioned(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("inner")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema_version"] == TRACE_SCHEMA_VERSION
+            assert record["kind"] == "span"
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Tracer().write_jsonl(path)
+        assert path.read_text() == ""
+
+
+@pytest.fixture(scope="module")
+def traced_classifier():
+    """One small traced train+predict run shared by the report tests."""
+    x, y = gaussian_blobs(150, 5, 3, seed=3)
+    clf = GMPSVC(C=10.0, gamma=0.4)
+    clf.tracer = Tracer()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf.fit(x[:120], y[:120])
+        clf.predict(x[120:])
+    return clf
+
+
+class TestTrainingTrace:
+    def test_span_hierarchy_covers_training(self, traced_classifier):
+        names = {r["name"] for r in traced_classifier.tracer.to_records()}
+        assert {"train_multiclass", "solve_pair", "solver.batch_smo"} <= names
+
+    def test_root_span_carries_summary_attrs(self, traced_classifier):
+        (root,) = [
+            r
+            for r in traced_classifier.tracer.to_records()
+            if r["name"] == "train_multiclass"
+        ]
+        assert root["attrs"]["n_binary_svms"] == 3
+        assert root["attrs"]["total_iterations"] > 0
+        assert root["sim_s"] > 0.0
+
+    def test_round_telemetry_collected_when_traced(self, traced_classifier):
+        report = traced_classifier.training_report_
+        for svm in report.per_svm:
+            trace = svm["round_trace"]
+            assert len(trace) > 0
+            first = trace[0]
+            assert first["round"] == 1
+            assert first["delta"] > 0
+            assert first["buffer_misses"] >= 0
+
+    def test_round_telemetry_off_by_default(self):
+        x, y = gaussian_blobs(80, 4, 2, seed=4)
+        clf = GMPSVC(C=1.0, gamma=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            clf.fit(x, y)
+        for svm in clf.training_report_.per_svm:
+            assert "round_trace" not in svm
+
+
+class TestReportSerialization:
+    def test_training_report_round_trip(self, traced_classifier):
+        report = traced_classifier.training_report_
+        parsed = json.loads(report.to_json())
+        assert parsed["schema_version"] == REPORT_SCHEMA_VERSION
+        assert parsed["kind"] == "training_report"
+        assert parsed["simulated_seconds"] == pytest.approx(
+            report.simulated_seconds
+        )
+        assert parsed["n_binary_svms"] == report.n_binary_svms
+        assert parsed["total_iterations"] == report.total_iterations
+        assert parsed["buffer_hit_rate"] == pytest.approx(report.buffer_hit_rate)
+        assert parsed["breakdown"] == pytest.approx(report.breakdown())
+        assert len(parsed["per_svm"]) == report.n_binary_svms
+
+    def test_prediction_report_round_trip(self, traced_classifier):
+        report = traced_classifier.prediction_report_
+        parsed = json.loads(report.to_json(indent=2))
+        assert parsed["schema_version"] == REPORT_SCHEMA_VERSION
+        assert parsed["kind"] == "prediction_report"
+        assert parsed["n_instances"] == 30
+        assert parsed["simulated_seconds"] == pytest.approx(
+            report.simulated_seconds
+        )
+
+    def test_fraction_breakdown_sums_to_one(self, traced_classifier):
+        parsed = traced_classifier.training_report_.to_dict()
+        assert sum(parsed["fraction_breakdown"].values()) == pytest.approx(1.0)
+
+    def test_schema_versions_are_distinct_namespaces(self):
+        assert REPORT_SCHEMA_VERSION.startswith("repro.report/")
+        assert TRACE_SCHEMA_VERSION.startswith("repro.trace/")
+        assert BENCH_SCHEMA_VERSION.startswith("repro.bench/")
