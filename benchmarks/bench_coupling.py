@@ -1,0 +1,53 @@
+"""Batched vs per-instance prediction probability math (this repo's win).
+
+The paper launches the sigmoid and the Eq.-15 coupling for all test
+instances concurrently (Section 3.2 Phase (iii), Figure 12); the batched
+``couple_batch`` realises that on the host too — one einsum builds every
+Q, one stacked elimination solves them, one engine charge covers the
+batch.  This bench measures the win over the per-instance loop at
+m=2000, k=10 and holds the two paths to float64 round-off parity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import common
+from benchmarks.emit_json import run_coupling
+from repro.perf.speedup import format_table
+
+pytestmark = pytest.mark.slow
+
+MIN_WALL_SPEEDUP = 5.0
+MAX_PARITY_ERROR = 1e-12
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    metrics = run_coupling()
+    return {"m=2000 k=10": metrics}
+
+
+def test_coupling_batching_speedup(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    metrics = rows["m=2000 k=10"]
+    text = format_table(
+        rows,
+        [
+            "loop_wall_seconds",
+            "batched_wall_seconds",
+            "wall_speedup",
+            "simulated_speedup",
+            "max_abs_parity_error",
+        ],
+        title="Batched coupling + sigmoid vs per-instance loop",
+        row_label="problem",
+    )
+    common.record_table("coupling", text, metrics=metrics)
+    assert metrics["wall_speedup"] >= MIN_WALL_SPEEDUP
+    assert metrics["max_abs_parity_error"] <= MAX_PARITY_ERROR
+    assert metrics["simulated_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    for name, value in sorted(build_rows()["m=2000 k=10"].items()):
+        print(f"{name:28s} {value:.6g}")

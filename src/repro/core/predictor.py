@@ -200,7 +200,12 @@ def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
     (``batch x n_pool`` float64); it is held to a quarter of device memory,
     mirroring the paper's group-at-a-time launching.
     """
-    if config.batch_size:
+    if config.batch_size is not None:
+        if config.batch_size <= 0:
+            raise ValidationError(
+                f"batch_size must be a positive integer or None (derive from "
+                f"device memory), got {config.batch_size}"
+            )
         return config.batch_size
     block_budget = config.device.global_mem_bytes // 4
     per_row = max(model.sv_pool.n_pool * 8, 1)
@@ -210,19 +215,23 @@ def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
 def _pairwise_estimates(
     engine: Engine, model: MPSVMModel, decisions: np.ndarray
 ) -> np.ndarray:
-    """Local probabilities r[s, t] per instance, shape ``(m, k, k)``."""
+    """Local probabilities r[s, t] per instance, shape ``(m, k, k)``.
+
+    All k(k-1)/2 pair sigmoids are applied in one broadcast pass over the
+    decision matrix using the model's stacked (A, B) arrays — one launch
+    for the whole batch instead of one per pair (Phase (iii)(2) of the
+    paper runs these concurrently).  Elementwise math is identical to the
+    per-column loop it replaces.
+    """
     m = decisions.shape[0]
     k = model.n_classes
+    a, b = model.sigmoid_params()
+    s_pos, t_pos = model.pair_positions()
+    engine.elementwise("sigmoid", m * a.size, flops_per_element=6, arrays_read=1)
+    p = sigmoid_predict(decisions, a, b)
     r = np.full((m, k, k), 0.5)
-    for column, record in enumerate(model.records):
-        if record.sigmoid is None:
-            raise ValidationError(
-                f"binary SVM ({record.s},{record.t}) has no sigmoid"
-            )
-        engine.elementwise("sigmoid", m, flops_per_element=6, arrays_read=1)
-        p = sigmoid_predict(decisions[:, column], record.sigmoid.a, record.sigmoid.b)
-        r[:, record.s, record.t] = p
-        r[:, record.t, record.s] = 1.0 - p
+    r[:, s_pos, t_pos] = p
+    r[:, t_pos, s_pos] = 1.0 - p
     return r
 
 
@@ -232,23 +241,24 @@ def _ova_probabilities(
     """Normalised per-class sigmoid estimates (the OvA heuristic).
 
     One-vs-all has no pairwise coupling problem; each class's sigmoid
-    gives an independent P(class | x), renormalised onto the simplex.
+    gives an independent P(class | x), renormalised onto the simplex in a
+    single broadcast pass.  Rows whose sigmoids all underflow to zero
+    carry no information, so they fall back to the uniform distribution
+    instead of a zero vector.
     """
     m, k = decisions.shape
+    a, b = model.sigmoid_params()
+    class_pos, _ = model.pair_positions()
+    engine.elementwise("sigmoid", m * k, flops_per_element=6, arrays_read=1)
     raw = np.empty((m, k))
-    for column, record in enumerate(model.records):
-        if record.sigmoid is None:
-            raise ValidationError(
-                f"one-vs-all SVM for class {record.s} has no sigmoid"
-            )
-        engine.elementwise("sigmoid", m, flops_per_element=6, arrays_read=1)
-        raw[:, record.s] = sigmoid_predict(
-            decisions[:, column], record.sigmoid.a, record.sigmoid.b
-        )
+    raw[:, class_pos] = sigmoid_predict(decisions, a, b)
     engine.elementwise("coupling", m * k, flops_per_element=2, arrays_read=1)
     totals = raw.sum(axis=1, keepdims=True)
-    totals[totals == 0] = 1.0
-    return raw / totals
+    degenerate = totals[:, 0] == 0
+    totals[degenerate] = 1.0
+    probabilities = raw / totals
+    probabilities[degenerate] = 1.0 / k
+    return probabilities
 
 
 def _slice_rows(data: mops.MatrixLike, start: int, stop: int) -> mops.MatrixLike:

@@ -9,14 +9,28 @@ them, which keeps the simulation auditable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field
 
 __all__ = ["OpCounters"]
+
+_INT_FIELDS = (
+    "flops",
+    "bytes_read",
+    "bytes_written",
+    "shared_bytes",
+    "kernel_launches",
+    "pcie_bytes",
+)
 
 
 @dataclass
 class OpCounters:
-    """Mutable tally of device events."""
+    """Mutable tally of device events.
+
+    Besides the fixed hardware counters, ``events`` tallies named
+    algorithm-level occurrences (e.g. ``coupling_ridge_retries``) that
+    telemetry consumers want alongside the hardware numbers.
+    """
 
     flops: int = 0
     bytes_read: int = 0
@@ -24,6 +38,7 @@ class OpCounters:
     shared_bytes: int = 0
     kernel_launches: int = 0
     pcie_bytes: int = 0
+    events: dict[str, int] = field(default_factory=dict)
 
     def record(
         self,
@@ -49,6 +64,14 @@ class OpCounters:
         self.kernel_launches += kernel_launches
         self.pcie_bytes += pcie_bytes
 
+    def count_event(self, name: str, count: int = 1) -> None:
+        """Tally ``count`` occurrences of the named algorithm-level event."""
+        if not name:
+            raise ValueError("event name must be a non-empty string")
+        if count < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.events[name] = self.events.get(name, 0) + count
+
     @property
     def bytes_total(self) -> int:
         """DRAM bytes read plus written."""
@@ -56,29 +79,35 @@ class OpCounters:
 
     def merge(self, other: "OpCounters") -> None:
         """Fold another tally into this one."""
-        for field in fields(self):
-            setattr(
-                self,
-                field.name,
-                getattr(self, field.name) + getattr(other, field.name),
-            )
+        for name in _INT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name, count in other.events.items():
+            self.events[name] = self.events.get(name, 0) + count
 
     def snapshot(self) -> "OpCounters":
         """An immutable-by-convention copy of the current counts."""
         return OpCounters(
-            **{field.name: getattr(self, field.name) for field in fields(self)}
+            **{name: getattr(self, name) for name in _INT_FIELDS},
+            events=dict(self.events),
         )
 
     def since(self, earlier: "OpCounters") -> "OpCounters":
         """Difference between this tally and an earlier snapshot."""
+        events = {
+            name: count - earlier.events.get(name, 0)
+            for name, count in self.events.items()
+            if count != earlier.events.get(name, 0)
+        }
         return OpCounters(
             **{
-                field.name: getattr(self, field.name) - getattr(earlier, field.name)
-                for field in fields(self)
-            }
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in _INT_FIELDS
+            },
+            events=events,
         )
 
     def reset(self) -> None:
         """Zero every counter."""
-        for field in fields(self):
-            setattr(self, field.name, 0)
+        for name in _INT_FIELDS:
+            setattr(self, name, 0)
+        self.events.clear()

@@ -319,6 +319,15 @@ class Engine:
         )
         return np.argsort(values, kind="stable")
 
+    def note_event(self, name: str, count: int = 1) -> None:
+        """Tally a named algorithm-level event (no time is charged).
+
+        Events surface in :attr:`counters` (and therefore in report
+        snapshots) so telemetry can expose occurrences like coupling ridge
+        retries without inventing a time category for them.
+        """
+        self.counters.count_event(name, count)
+
     def transfer(self, nbytes: int, *, category: str = "transfer") -> None:
         """Host<->device PCIe transfer (no-op for CPU devices)."""
         if nbytes < 0:

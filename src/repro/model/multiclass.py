@@ -52,6 +52,10 @@ class MPSVMModel:
             raise ValidationError(
                 "probability=True but some records lack a fitted sigmoid"
             )
+        # Lazily-materialized stacked prediction arrays (see sigmoid_params
+        # / pair_positions); built on first use, not persisted.
+        self._sigmoid_params: tuple[np.ndarray, np.ndarray] | None = None
+        self._pair_positions: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def n_classes(self) -> int:
@@ -72,6 +76,45 @@ class MPSVMModel:
     def bias_of_last_svm(self) -> float:
         """Bias of the last binary SVM — the quantity Table 4 reports."""
         return self.records[-1].bias
+
+    def sigmoid_params(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked sigmoid parameters ``(A, B)`` in record order.
+
+        The batched prediction path applies every pair sigmoid in one
+        broadcast pass, so the per-record scalars are materialized once as
+        two ``(n_records,)`` float64 arrays and cached on the model.
+        Raises :class:`~repro.exceptions.ValidationError` if any record
+        lacks a fitted sigmoid.
+        """
+        if self._sigmoid_params is None:
+            n = len(self.records)
+            a = np.empty(n)
+            b = np.empty(n)
+            for index, rec in enumerate(self.records):
+                if rec.sigmoid is None:
+                    what = (
+                        f"binary SVM ({rec.s},{rec.t})"
+                        if self.strategy == "ovo"
+                        else f"one-vs-all SVM for class {rec.s}"
+                    )
+                    raise ValidationError(f"{what} has no sigmoid")
+                a[index] = rec.sigmoid.a
+                b[index] = rec.sigmoid.b
+            self._sigmoid_params = (a, b)
+        return self._sigmoid_params
+
+    def pair_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(s, t)`` class-position arrays in record order (cached).
+
+        For one-vs-all models the ``t`` array holds the REST sentinel and
+        only ``s`` (the class position) is meaningful.
+        """
+        if self._pair_positions is None:
+            self._pair_positions = (
+                np.array([rec.s for rec in self.records], dtype=np.int64),
+                np.array([rec.t for rec in self.records], dtype=np.int64),
+            )
+        return self._pair_positions
 
     def record_for(self, s: int, t: int) -> BinarySVMRecord:
         """The record of the binary SVM for class pair (s, t)."""

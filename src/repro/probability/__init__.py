@@ -7,10 +7,14 @@
   (Problem 14 / Eq. 15) solved by Gaussian elimination, plus LibSVM's
   iterative method as a cross-check.
 - :mod:`repro.probability.linalg` — the from-scratch dense linear-algebra
-  kernels (Gaussian elimination with partial pivoting) the coupling uses.
+  kernels (Gaussian elimination with partial pivoting, scalar and batched)
+  the coupling uses.
 """
 
-from repro.probability.linalg import gaussian_elimination
+from repro.probability.linalg import (
+    gaussian_elimination,
+    gaussian_elimination_batch,
+)
 from repro.probability.pairwise import (
     couple_batch,
     couple_probabilities,
@@ -24,6 +28,7 @@ __all__ = [
     "couple_probabilities",
     "fit_sigmoid",
     "gaussian_elimination",
+    "gaussian_elimination_batch",
     "pairwise_matrix_from_estimates",
     "sigmoid_predict",
 ]

@@ -17,11 +17,12 @@ step is taken, which is bitwise the same answer as the sequential search.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ConvergenceWarning, ValidationError
 from repro.gpusim.engine import Engine
 
 __all__ = ["SigmoidModel", "fit_sigmoid", "sigmoid_predict"]
@@ -48,7 +49,13 @@ class SigmoidModel:
 
 
 def sigmoid_predict(decision_values: np.ndarray, a: float, b: float) -> np.ndarray:
-    """Stable evaluation of ``1 / (1 + exp(A v + B))`` (Eq. 12)."""
+    """Stable evaluation of ``1 / (1 + exp(A v + B))`` (Eq. 12).
+
+    ``a`` and ``b`` may also be arrays that broadcast against
+    ``decision_values`` — passing an ``(m, n)`` decision matrix with the
+    stacked per-pair ``(A, B)`` vectors evaluates every pair sigmoid of a
+    test batch in one pass, elementwise-identical to the per-column calls.
+    """
     values = np.asarray(decision_values, dtype=np.float64)
     fapb = a * values + b
     out = np.empty_like(fapb)
@@ -91,6 +98,13 @@ def fit_sigmoid(
     parallel_line_search:
         Score all backtracking candidates in one batched pass (the GMP-SVM
         variant) instead of one at a time (the GPU-baseline variant).
+
+    The returned model's ``converged`` flag is truthful: it is only True
+    when the gradient-norm stopping test passed.  ``max_iterations=0``
+    (no Newton step taken) therefore reports ``converged=False``, and a
+    failed backtracking line search or an exhausted iteration budget emits
+    :class:`~repro.exceptions.ConvergenceWarning` (LibSVM prints the same
+    diagnostics) while still returning the best (A, B) found.
     """
     values = np.asarray(decision_values, dtype=np.float64).ravel()
     y = np.asarray(labels, dtype=np.float64).ravel()
@@ -98,6 +112,8 @@ def fit_sigmoid(
         raise ValidationError(f"{values.size} decision values for {y.size} labels")
     if values.size == 0:
         raise ValidationError("cannot fit a sigmoid on zero instances")
+    if max_iterations < 0:
+        raise ValidationError(f"max_iterations must be >= 0, got {max_iterations}")
     n = values.size
     n_pos = int(np.count_nonzero(y > 0))
     n_neg = n - n_pos
@@ -159,13 +175,29 @@ def fit_sigmoid(
             category=category,
         )
         if step is None:
-            # Line search failed; LibSVM reports this and stops.
+            # LibSVM: "Line search fails in two-class probability estimates".
+            warnings.warn(
+                "line search failed in sigmoid (Platt) fitting at iteration "
+                f"{iteration}; returning the last (A, B) iterate",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
             break
         a += step * da
         b += step * db
         fapb = values * a + b
         engine.elementwise(category, n, flops_per_element=2, arrays_read=1)
         fval = _objective(fapb, targets)
+    else:
+        if max_iterations > 0:
+            # LibSVM: "Reaching maximal iterations in two-class probability
+            # estimates".
+            warnings.warn(
+                f"sigmoid (Platt) fitting hit the {max_iterations}-iteration "
+                "cap before the gradient test passed",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
 
     return SigmoidModel(a=a, b=b, iterations=iteration, converged=converged)
 

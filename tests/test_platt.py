@@ -116,11 +116,21 @@ class TestPredict:
 @given(st.integers(0, 10_000), st.floats(0.5, 4.0))
 @settings(max_examples=25, deadline=None)
 def test_fit_probabilities_calibrated_on_midpoint(seed, gap):
-    """P(y=1 | v=midpoint) should be near 1/2 for symmetric data."""
+    """P(y=1 | v=0) is near 1/2 when the sample is symmetric under v -> -v.
+
+    The positive decision values are the mirrored negatives, so the Platt
+    objective is symmetric in B and its optimum has P(0) = 1/2 exactly.  A
+    free random draw of finite size does not have this property — chance
+    asymmetry can push the fitted midpoint past any fixed band (with the
+    old draw, seed=5031/gap=2.0 reached 0.712 against a bound of 0.7).
+    """
     from repro.gpusim import make_engine, scaled_tesla_p100
 
     engine = make_engine(scaled_tesla_p100())
-    values, labels = make_decisions(n=200, gap=gap, seed=seed)
+    rng = np.random.default_rng(seed)
+    negatives = rng.normal(-gap, 1.0, 100)
+    values = np.concatenate([negatives, -negatives])
+    labels = np.concatenate([-np.ones(100), np.ones(100)])
     model = fit_sigmoid(engine, values, labels)
     midpoint_probability = model.predict(np.array([0.0]))[0]
-    assert 0.3 < midpoint_probability < 0.7
+    assert 0.4 < midpoint_probability < 0.6
