@@ -176,7 +176,70 @@ def run_coupling(m: int = 2000, k: int = 10, seed: int = 13) -> dict[str, float]
     }
 
 
-BENCH_RUNNERS = {"smoke": run_smoke, "coupling": run_coupling}
+def run_train_interleave() -> dict[str, float]:
+    """Interleaved wave driver vs the sequential pair loop, deterministic side.
+
+    Trains the same k = 10 synthetic workload once per mode and reports
+    the simulated timelines, the wave-trace-derived concurrency numbers
+    and a bitwise model-parity flag.  Everything here is exactly
+    reproducible, so the regression gate can pin it; the wall-clock
+    speedup of the host code is measured by
+    ``benchmarks/bench_train_interleave.py`` and deliberately kept out of
+    this gated payload (it depends on machine load).
+    """
+    import numpy as np
+
+    from repro.core.trainer import TrainerConfig, train_multiclass
+    from repro.data import gaussian_blobs
+    from repro.gpusim.device import scaled_tesla_p100
+    from repro.kernels.functions import kernel_from_name
+
+    x, y = gaussian_blobs(n=500, n_features=96, n_classes=10, seed=7)
+    kernel = kernel_from_name("gaussian", gamma=1.0 / 96)
+
+    def fit(concurrent: bool):
+        config = TrainerConfig(
+            device=scaled_tesla_p100(),
+            solver="batched",
+            concurrent=concurrent,
+            concurrency_mode="interleaved",
+            share_kernel_values=True,
+            probability=False,
+            working_set_size=32,
+            blocks_per_svm=2,
+        )
+        return train_multiclass(config, x, y, kernel, 10.0)
+
+    model_seq, report_seq = fit(False)
+    model_int, report_int = fit(True)
+    parity = all(
+        np.array_equal(a.coefficients, b.coefficients)
+        and np.array_equal(a.global_sv_indices, b.global_sv_indices)
+        and a.bias == b.bias
+        for a, b in zip(model_seq.records, model_int.records)
+    )
+    trace = report_int.wave_trace or []
+    return {
+        "sequential_simulated_seconds": report_seq.simulated_seconds,
+        "interleaved_simulated_seconds": report_int.simulated_seconds,
+        "simulated_speedup": (
+            report_seq.simulated_seconds / report_int.simulated_seconds
+        ),
+        "max_concurrency": float(report_int.max_concurrency),
+        "concurrency_speedup": report_int.concurrency_speedup,
+        "n_waves": float(len(trace)),
+        "prefetch_segments": float(sum(w["prefetch_segments"] for w in trace)),
+        "sharing_hit_rate": report_int.sharing_hit_rate,
+        "total_iterations": float(report_int.total_iterations),
+        "model_parity": float(parity),
+    }
+
+
+BENCH_RUNNERS = {
+    "smoke": run_smoke,
+    "coupling": run_coupling,
+    "train_interleave": run_train_interleave,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -29,11 +29,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.interleave import PairMember, run_interleaved
 from repro.exceptions import ConvergenceWarning, ValidationError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.engine import FLOAT_BYTES, Engine, make_engine
-from repro.gpusim.scheduler import ConcurrentScheduler, ScheduledTask
+from repro.gpusim.scheduler import ConcurrentScheduler, ScheduledTask, WaveLimits
 from repro.kernels.cache import KernelBuffer
 from repro.kernels.functions import KernelFunction
 from repro.kernels.rows import KernelRowComputer
@@ -63,7 +64,16 @@ class TrainerConfig:
     flop_efficiency: Optional[float] = None  # None -> device-kind default
     bandwidth_efficiency: float = 1.0  # program-level access-pattern quality
     concurrent: bool = True  # MP-SVM-level concurrency (Section 3.3.2)
+    # How concurrency is realised: "interleaved" steps the batched solvers
+    # in lockstep waves with fused kernel launches (the timeline comes
+    # from the executed wave trace); "posthoc" keeps the legacy repacking
+    # of serial solver clocks by ConcurrentScheduler.plan.  Classic-solver
+    # systems always use the post-hoc model (no resumable stepper).
+    concurrency_mode: str = "interleaved"
     share_kernel_values: bool = True  # Figure 3 block sharing
+    # Device-byte cap of the cross-SVM segment share; None keeps the
+    # default of a quarter of device memory.
+    share_budget_bytes: Optional[int] = None
     parallel_line_search: bool = True  # Section 3.3.2 (ii)
     probability: bool = True
     decomposition: str = "ovo"  # "ovo" (pairwise, the paper) or "ova"
@@ -108,6 +118,25 @@ class TrainerConfig:
         if self.decomposition not in ("ovo", "ova"):
             raise ValidationError(
                 f"decomposition must be ovo/ova, got {self.decomposition!r}"
+            )
+        if self.concurrency_mode not in ("interleaved", "posthoc"):
+            raise ValidationError(
+                "concurrency_mode must be interleaved/posthoc, "
+                f"got {self.concurrency_mode!r}"
+            )
+        # Both bounds feed the wave-packing rules; non-positive values
+        # would silently corrupt SM/concurrency accounting.
+        if self.blocks_per_svm <= 0:
+            raise ValidationError(
+                f"blocks_per_svm must be >= 1, got {self.blocks_per_svm}"
+            )
+        if self.max_concurrent_svms is not None and self.max_concurrent_svms <= 0:
+            raise ValidationError(
+                f"max_concurrent_svms must be >= 1, got {self.max_concurrent_svms}"
+            )
+        if self.share_budget_bytes is not None and self.share_budget_bytes <= 0:
+            raise ValidationError(
+                f"share_budget_bytes must be positive, got {self.share_budget_bytes}"
             )
 
 
@@ -180,7 +209,11 @@ def _train_multiclass_impl(
         shared = SharedClassPairKernels(
             shared_computer,
             partition,
-            max_bytes=config.device.global_mem_bytes // 4,
+            max_bytes=(
+                config.share_budget_bytes
+                if config.share_budget_bytes is not None
+                else config.device.global_mem_bytes // 4
+            ),
         )
 
     tasks: list[ScheduledTask] = []
@@ -201,12 +234,132 @@ def _train_multiclass_impl(
             if weight <= 0:
                 raise ValidationError("class weights must be positive")
 
-    problems = (
+    problems = list(
         pair_problems(classes, partition)
         if config.decomposition == "ovo"
         else ova_problems(classes, partition)
     )
-    for problem in problems:
+
+    # The interleaved driver needs resumable sessions, which only the
+    # batched solver provides; a single pair has nothing to interleave.
+    use_interleaved = (
+        config.concurrent
+        and config.concurrency_mode == "interleaved"
+        and config.solver == "batched"
+        and len(problems) > 1
+    )
+
+    schedule_source = "serial"
+    wave_trace: Optional[list[dict]] = None
+
+    if use_interleaved:
+        members: list[PairMember] = []
+        for index, problem in enumerate(problems):
+            engine = make_engine(
+                config.device,
+                flop_efficiency=config.flop_efficiency,
+                bandwidth_efficiency=config.bandwidth_efficiency,
+                counters=master.counters,
+            )
+            if shared is not None and shared_computer is not None:
+                rows = _SharedPairRows(engine, shared, shared_computer, problem)
+            else:
+                rows = KernelRowComputer(
+                    engine, kernel, mops.take_rows(data, problem.global_indices)
+                )
+            penalty_vector = _class_weighted_penalties(
+                config, classes, problem, penalty
+            )
+            # Sessions cannot keep a per-pair span open across waves
+            # (spans are stack-nested), so they run untraced; the
+            # solve_pair/solver.batch_smo spans are emitted at
+            # finalization below with the same attributes.
+            solver = _batched_solver(
+                config,
+                penalty,
+                tracer=None,
+                record_rounds=(
+                    config.collect_round_telemetry or tracer is not None
+                ),
+            )
+            session = solver.start(
+                rows, problem.labels, penalty_vector=penalty_vector
+            )
+            members.append(
+                PairMember(
+                    index=index,
+                    problem=problem,
+                    engine=engine,
+                    session=session,
+                    mem_bytes=_batched_task_bytes(config, problem.n),
+                    blocks=config.blocks_per_svm,
+                )
+            )
+        limits = WaveLimits(
+            num_sms=config.device.num_sms,
+            mem_budget_bytes=max(
+                config.device.global_mem_bytes - mops.matrix_nbytes(data), 1
+            ),
+            max_concurrent=config.max_concurrent_svms,
+        )
+        outcome = run_interleaved(
+            members,
+            limits,
+            shared=shared,
+            tracer=tracer,
+            span_clock=master.clock,
+        )
+
+        # Finalize in problem order — model assembly (records, SV pool,
+        # sigmoids) must not depend on the order sessions terminated.
+        finalize_clock = SimClock()
+        for member in members:
+            engine = member.engine
+            problem = member.problem
+            result = member.result
+            before = engine.clock.copy()
+            with maybe_span(
+                tracer,
+                "solve_pair",
+                clock=engine.clock,
+                pair=(problem.s, problem.t),
+                n=problem.n,
+            ) as pair_span:
+                diagnostics = result.diagnostics or {}
+                with maybe_span(
+                    tracer,
+                    "solver.batch_smo",
+                    clock=engine.clock,
+                    n=problem.n,
+                    working_set_size=diagnostics.get("working_set_size"),
+                    new_per_round=diagnostics.get("new_per_round"),
+                ) as solver_span:
+                    solver_span.set(
+                        rounds=result.rounds,
+                        iterations=result.iterations,
+                        converged=result.converged,
+                        buffer_hit_rate=result.buffer_hit_rate,
+                    )
+                penalty_vector = _class_weighted_penalties(
+                    config, classes, problem, penalty
+                )
+                record, pool_entry, svm_stats = _finalize_pair(
+                    config, engine, problem, result, data, kernel, penalty,
+                    penalty_vector=penalty_vector, pair_span=pair_span,
+                )
+            per_svm_records.append(record)
+            pool_entries.append(pool_entry)
+            per_svm_stats.append(svm_stats)
+            total_iterations += result.iterations
+            total_rows_computed += result.kernel_rows_computed
+            peak_task_mem = max(peak_task_mem, member.mem_bytes)
+            finalize_clock.merge(engine.clock.since(before))
+        interleave_outcome = outcome
+        interleave_finalize = finalize_clock
+        schedule_source = "wave_trace"
+        wave_trace = outcome.wave_trace
+
+    for problem in ([] if use_interleaved else problems):
         engine = make_engine(
             config.device,
             flop_efficiency=config.flop_efficiency,
@@ -238,74 +391,14 @@ def _train_multiclass_impl(
             total_rows_computed += result.kernel_rows_computed
             peak_task_mem = max(peak_task_mem, task_mem)
 
-            # Training-set decision values come free from the indicators:
-            # v_i = f_i + y_i + b (Eq. 3 vs Eq. 11).
-            decisions = result.f + problem.labels + result.bias
-            engine.elementwise("decision_values", problem.n, flops_per_element=2)
-            sigmoid = None
-            if config.probability:
-                sigmoid_decisions = decisions
-                if config.probability_cv_folds > 1:
-                    # LibSVM's -b 1 methodology: fit the sigmoid on held-out
-                    # decision values from a stratified cross-validation
-                    # (the paper's Figure 1 uses the direct values above).
-                    if pair_data is None:
-                        pair_data = mops.take_rows(data, problem.global_indices)
-                    try:
-                        sigmoid_decisions = _cv_decision_values(
-                            config, engine, kernel, pair_data, problem.labels,
-                            penalty, penalty_vector=penalty_vector,
-                        )
-                    except _CVFallback:
-                        sigmoid_decisions = decisions
-                sigmoid = fit_sigmoid(
-                    engine,
-                    sigmoid_decisions,
-                    problem.labels,
-                    parallel_line_search=config.parallel_line_search,
-                )
-            train_error = float(np.mean(np.sign(decisions) != problem.labels))
-
-            support = result.support_indices
-            coefficients = result.alpha[support] * problem.labels[support]
-            global_sv = problem.global_indices[support]
-            pool_entries.append(
-                (problem.s, problem.t, global_sv, coefficients, result.bias)
+            record, pool_entry, svm_stats = _finalize_pair(
+                config, engine, problem, result, data, kernel, penalty,
+                penalty_vector=penalty_vector, pair_span=pair_span,
+                pair_data=pair_data,
             )
-            per_svm_records.append(
-                BinarySVMRecord(
-                    s=problem.s,
-                    t=problem.t,
-                    global_sv_indices=global_sv,
-                    coefficients=coefficients,
-                    bias=result.bias,
-                    sigmoid=sigmoid,
-                    iterations=result.iterations,
-                    objective=result.objective,
-                    training_error=train_error,
-                )
-            )
-            svm_stats = {
-                "pair": (problem.s, problem.t),
-                "n": problem.n,
-                "iterations": result.iterations,
-                "rounds": result.rounds,
-                "converged": result.converged,
-                "n_support": int(support.size),
-                "buffer_hit_rate": result.buffer_hit_rate,
-                "simulated_seconds": engine.clock.elapsed_s,
-            }
-            if result.round_trace is not None:
-                svm_stats["round_trace"] = result.round_trace
+            per_svm_records.append(record)
+            pool_entries.append(pool_entry)
             per_svm_stats.append(svm_stats)
-            pair_span.set(
-                iterations=result.iterations,
-                rounds=result.rounds,
-                converged=result.converged,
-                n_support=int(support.size),
-                buffer_hit_rate=result.buffer_hit_rate,
-                simulated_seconds=engine.clock.elapsed_s,
-            )
             tasks.append(
                 ScheduledTask.from_clock(
                     f"svm_{problem.s}_{problem.t}",
@@ -315,10 +408,16 @@ def _train_multiclass_impl(
                 )
             )
 
-    # Combine per-task time: concurrent packing or plain serial sum.
+    # Combine per-task time: the executed wave trace (interleaved),
+    # post-hoc concurrent packing, or plain serial sum.
     combined = SimClock()
     combined.merge(master.clock)
-    if config.concurrent and len(tasks) > 1:
+    if use_interleaved:
+        combined.merge(interleave_outcome.timeline)
+        combined.merge(interleave_finalize)
+        max_concurrency = interleave_outcome.max_concurrency
+        concurrency_speedup = interleave_outcome.concurrency_speedup
+    elif config.concurrent and len(tasks) > 1:
         scheduler = ConcurrentScheduler(
             config.device,
             max_concurrent=config.max_concurrent_svms,
@@ -330,6 +429,7 @@ def _train_multiclass_impl(
         combined.merge(plan.aggregate_clock())
         max_concurrency = plan.max_concurrency
         concurrency_speedup = plan.speedup
+        schedule_source = "posthoc"
     else:
         for task in tasks:
             if task.clock is not None:
@@ -361,8 +461,96 @@ def _train_multiclass_impl(
         sharing_hit_rate=shared.stats.hit_rate if shared is not None else 0.0,
         peak_task_memory_bytes=peak_task_mem,
         per_svm=per_svm_stats,
+        schedule_source=schedule_source,
+        wave_trace=wave_trace,
     )
     return model, report
+
+
+def _finalize_pair(
+    config: TrainerConfig,
+    engine: Engine,
+    problem,
+    result,
+    data: mops.MatrixLike,
+    kernel: KernelFunction,
+    penalty: float,
+    *,
+    penalty_vector: Optional[np.ndarray] = None,
+    pair_span=None,
+    pair_data: Optional[mops.MatrixLike] = None,
+):
+    """Post-solve assembly of one binary SVM: sigmoid, record, pool entry.
+
+    Shared by the sequential loop and the interleaved driver so that
+    model assembly is one code path regardless of execution schedule.
+    Returns ``(BinarySVMRecord, pool_entry, svm_stats)``.
+    """
+    # Training-set decision values come free from the indicators:
+    # v_i = f_i + y_i + b (Eq. 3 vs Eq. 11).
+    decisions = result.f + problem.labels + result.bias
+    engine.elementwise("decision_values", problem.n, flops_per_element=2)
+    sigmoid = None
+    if config.probability:
+        sigmoid_decisions = decisions
+        if config.probability_cv_folds > 1:
+            # LibSVM's -b 1 methodology: fit the sigmoid on held-out
+            # decision values from a stratified cross-validation
+            # (the paper's Figure 1 uses the direct values above).
+            if pair_data is None:
+                pair_data = mops.take_rows(data, problem.global_indices)
+            try:
+                sigmoid_decisions = _cv_decision_values(
+                    config, engine, kernel, pair_data, problem.labels,
+                    penalty, penalty_vector=penalty_vector,
+                )
+            except _CVFallback:
+                sigmoid_decisions = decisions
+        sigmoid = fit_sigmoid(
+            engine,
+            sigmoid_decisions,
+            problem.labels,
+            parallel_line_search=config.parallel_line_search,
+        )
+    train_error = float(np.mean(np.sign(decisions) != problem.labels))
+
+    support = result.support_indices
+    coefficients = result.alpha[support] * problem.labels[support]
+    global_sv = problem.global_indices[support]
+    pool_entry = (problem.s, problem.t, global_sv, coefficients, result.bias)
+    record = BinarySVMRecord(
+        s=problem.s,
+        t=problem.t,
+        global_sv_indices=global_sv,
+        coefficients=coefficients,
+        bias=result.bias,
+        sigmoid=sigmoid,
+        iterations=result.iterations,
+        objective=result.objective,
+        training_error=train_error,
+    )
+    svm_stats = {
+        "pair": (problem.s, problem.t),
+        "n": problem.n,
+        "iterations": result.iterations,
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "n_support": int(support.size),
+        "buffer_hit_rate": result.buffer_hit_rate,
+        "simulated_seconds": engine.clock.elapsed_s,
+    }
+    if result.round_trace is not None:
+        svm_stats["round_trace"] = result.round_trace
+    if pair_span is not None:
+        pair_span.set(
+            iterations=result.iterations,
+            rounds=result.rounds,
+            converged=result.converged,
+            n_support=int(support.size),
+            buffer_hit_rate=result.buffer_hit_rate,
+            simulated_seconds=engine.clock.elapsed_s,
+        )
+    return record, pool_entry, svm_stats
 
 
 def _class_weighted_penalties(
@@ -389,6 +577,39 @@ def _class_weighted_penalties(
     return penalty * np.where(problem.labels > 0, pos_weight, neg_weight)
 
 
+def _batched_solver(
+    config: TrainerConfig,
+    penalty: float,
+    *,
+    tracer: Optional[Tracer],
+    record_rounds: bool,
+) -> BatchSMOSolver:
+    """The batched solver under ``config``'s geometry."""
+    return BatchSMOSolver(
+        penalty=penalty,
+        epsilon=config.epsilon,
+        working_set_size=config.working_set_size,
+        new_per_round=config.new_per_round,
+        buffer_rows=config.buffer_rows,
+        buffer_policy=config.buffer_policy,
+        inner_rule=config.inner_rule,
+        register_buffer_memory=False,  # tracked via the task estimate
+        tracer=tracer,
+        record_rounds=record_rounds,
+    )
+
+
+def _batched_task_bytes(config: TrainerConfig, n: int) -> int:
+    """Device bytes one batched-solver task keeps resident.
+
+    Solver state (alpha, f, labels, diagonal) plus the kernel buffer —
+    the wave-packing rules bound concurrency from this estimate.
+    """
+    state_bytes = 4 * n * FLOAT_BYTES
+    resident_rows = config.buffer_rows or 2 * config.working_set_size
+    return state_bytes + min(resident_rows, n) * n * FLOAT_BYTES
+
+
 def _solve_pair(
     config: TrainerConfig,
     engine: Engine,
@@ -407,22 +628,14 @@ def _solve_pair(
     n = rows.n
     state_bytes = 4 * n * FLOAT_BYTES  # alpha, f, labels, diagonal resident
     if config.solver == "batched":
-        solver = BatchSMOSolver(
-            penalty=penalty,
-            epsilon=config.epsilon,
-            working_set_size=config.working_set_size,
-            new_per_round=config.new_per_round,
-            buffer_rows=config.buffer_rows,
-            buffer_policy=config.buffer_policy,
-            inner_rule=config.inner_rule,
-            register_buffer_memory=False,  # tracked via the task estimate
+        solver = _batched_solver(
+            config,
+            penalty,
             tracer=config.tracer,
             record_rounds=config.collect_round_telemetry,
         )
-        resident_rows = config.buffer_rows or 2 * config.working_set_size
-        buffer_bytes = min(resident_rows, n) * n * FLOAT_BYTES
         result = solver.solve(rows, labels, penalty_vector=penalty_vector)
-        return result, state_bytes + buffer_bytes
+        return result, _batched_task_bytes(config, n)
 
     if config.classic_shrinking:
         solver = ShrinkingSMOSolver(

@@ -152,6 +152,24 @@ class SimClock:
         clone._compute = dict(self._compute)
         return clone
 
+    def since(self, earlier: "SimClock") -> "SimClock":
+        """Per-category charges accumulated after ``earlier`` was copied.
+
+        ``earlier`` must be a snapshot of this clock's past (every charge
+        it holds is still present here); the interleaved wave driver uses
+        this to slice one solver round out of a shared timeline.
+        """
+        delta = SimClock()
+        for category, seconds in self._latency.items():
+            diff = seconds - earlier._latency.get(category, 0.0)
+            if diff > 0:
+                delta._latency[category] = diff
+        for category, seconds in self._compute.items():
+            diff = seconds - earlier._compute.get(category, 0.0)
+            if diff > 0:
+                delta._compute[category] = diff
+        return delta
+
     def reset(self) -> None:
         """Drop every charge."""
         self._latency.clear()

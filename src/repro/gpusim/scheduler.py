@@ -29,7 +29,61 @@ from repro.gpusim.clock import SimClock
 from repro.gpusim.device import DeviceSpec
 from repro.telemetry.tracer import Tracer, maybe_span
 
-__all__ = ["TaskCost", "ScheduledTask", "SchedulePlan", "Wave", "ConcurrentScheduler"]
+__all__ = [
+    "TaskCost",
+    "ScheduledTask",
+    "SchedulePlan",
+    "Wave",
+    "WaveLimits",
+    "ConcurrentScheduler",
+]
+
+
+@dataclass(frozen=True)
+class WaveLimits:
+    """The packing rules bounding one concurrent wave.
+
+    Shared by the post-hoc :class:`ConcurrentScheduler` and the
+    execution-level interleaved driver (:mod:`repro.core.interleave`) so
+    both enforce identical SM/memory/concurrency bounds.
+    """
+
+    num_sms: int
+    mem_budget_bytes: int
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValidationError("num_sms must be >= 1")
+        if self.mem_budget_bytes <= 0:
+            raise ValidationError("memory budget must be positive")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValidationError("max_concurrent must be >= 1")
+
+    def admits(
+        self,
+        *,
+        count: int,
+        blocks: int,
+        mem_bytes: int,
+        task_blocks: int,
+        task_mem_bytes: int,
+    ) -> bool:
+        """Whether a task joins a wave already holding ``count`` tasks.
+
+        An empty wave admits anything: a task whose footprint alone
+        exceeds the budget degrades to running serially (its solver
+        streams through memory via the kernel buffer) rather than failing.
+        """
+        if count == 0:
+            return True
+        if self.max_concurrent is not None and count >= self.max_concurrent:
+            return False
+        if blocks + task_blocks > self.num_sms:
+            return False
+        if mem_bytes + task_mem_bytes > self.mem_budget_bytes:
+            return False
+        return True
 
 
 @dataclass(frozen=True)
@@ -169,17 +223,18 @@ class ConcurrentScheduler:
         mem_budget_bytes: Optional[int] = None,
     ) -> None:
         self.device = device
-        if max_concurrent is not None and max_concurrent < 1:
-            raise ValidationError("max_concurrent must be >= 1")
-        self.max_concurrent = max_concurrent
         budget = (
             mem_budget_bytes
             if mem_budget_bytes is not None
             else device.global_mem_bytes
         )
-        if budget <= 0:
-            raise ValidationError("memory budget must be positive")
-        self.mem_budget_bytes = int(budget)
+        self.limits = WaveLimits(
+            num_sms=device.num_sms,
+            mem_budget_bytes=int(budget),
+            max_concurrent=max_concurrent,
+        )
+        self.max_concurrent = max_concurrent
+        self.mem_budget_bytes = self.limits.mem_budget_bytes
 
     def plan(
         self,
@@ -221,10 +276,10 @@ class ConcurrentScheduler:
             return plan
 
     def _fits(self, wave: Wave, task: ScheduledTask) -> bool:
-        if self.max_concurrent is not None and len(wave.tasks) >= self.max_concurrent:
-            return False
-        if wave.blocks + task.cost.blocks > self.device.num_sms:
-            return False
-        if wave.mem_bytes + task.cost.mem_bytes > self.mem_budget_bytes:
-            return False
-        return True
+        return self.limits.admits(
+            count=len(wave.tasks),
+            blocks=wave.blocks,
+            mem_bytes=wave.mem_bytes,
+            task_blocks=task.cost.blocks,
+            task_mem_bytes=task.cost.mem_bytes,
+        )

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.gpusim.engine import FLOAT_BYTES
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import OpCounters
+from repro.gpusim.engine import FLOAT_BYTES, Engine
+from repro.gpusim.memory import DeviceAllocator
 from repro.kernels.rows import KernelRowComputer
 from repro.sparse import ops as mops
 
@@ -56,12 +59,22 @@ def naive_block_count(n_classes: int) -> int:
 
 @dataclass
 class SharingStats:
-    """Segment-level reuse accounting."""
+    """Segment-level reuse accounting.
+
+    The ``prefetch_*`` fields track the interleaved driver's fused wave
+    launches (:meth:`SharedClassPairKernels.prefetch`): how many fused
+    launches ran, how many segments they computed, and how many member
+    demands were deduplicated against another wave member's computation
+    of the same segment (the cross-solver sharing win).
+    """
 
     segment_hits: int = 0
     segment_misses: int = 0
     values_reused: int = 0
     values_computed: int = 0
+    prefetch_launches: int = 0
+    prefetch_segments: int = 0
+    prefetch_dedup_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -99,6 +112,10 @@ class SharedClassPairKernels:
         self.stats = SharingStats()
         self._segments: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self._resident_bytes = 0
+        # Segments computed by a fused prefetch whose owning request has
+        # not consumed them yet: the owner's consuming fetch is accounted
+        # as the miss it would have been, not as a reuse hit.
+        self._prefetched_fresh: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -132,6 +149,104 @@ class SharedClassPairKernels:
         )
         return result[0]
 
+    def prefetch(
+        self,
+        requests: Sequence[tuple[np.ndarray, int, int]],
+        *,
+        category: str = "kernel_values",
+    ) -> int:
+        """Fuse a wave's kernel-row demand into one batched launch.
+
+        ``requests`` holds one ``(global_ids, class_s, class_t)`` triple per
+        concurrently-active binary SVM.  The union of segments missing from
+        the share is computed as a *single* fused kernel launch on the
+        device — the numerics run per class pair (each kernel value is the
+        same per-element product regardless of batch composition, so the
+        results are bitwise identical to per-solver computation), but the
+        simulated cost is charged to the engine once with the summed
+        FLOPs/bytes and a single launch overhead.  Segments one member
+        computes are immediately reusable by every other member of the wave
+        (``prefetch_dedup_hits``).
+
+        Returns the number of segments computed.  A no-op when sharing is
+        disabled (the ablation: each solver computes privately).
+        """
+        if not self.enabled or not requests:
+            return 0
+        demanded_ids: list[np.ndarray] = []
+        demanded_classes: list[np.ndarray] = []
+        for global_ids, class_s, class_t in requests:
+            self._check_class(class_s)
+            self._check_class(class_t)
+            ids = np.asarray(global_ids, dtype=np.int64)
+            for class_label in (class_s, class_t):
+                demanded_ids.append(ids)
+                demanded_classes.append(np.full(ids.size, class_label, dtype=np.int64))
+        all_ids = np.concatenate(demanded_ids)
+        all_classes = np.concatenate(demanded_classes)
+        # Dedup the wave's demand in one vectorized pass (first occurrence
+        # wins, preserving request order) instead of per-segment dict probes.
+        paired = np.stack([all_ids, all_classes], axis=1)
+        _, first_pos, counts = np.unique(
+            paired, axis=0, return_index=True, return_counts=True
+        )
+        order = np.argsort(first_pos)
+        queued: OrderedDict[tuple[int, int], None] = OrderedDict()
+        for pos, repeat_count in zip(first_pos[order], counts[order]):
+            key = (int(all_ids[pos]), int(all_classes[pos]))
+            if key in self._segments:
+                continue
+            queued[key] = None
+            self.stats.prefetch_dedup_hits += int(repeat_count) - 1
+        if not queued:
+            return 0
+
+        # Execute the per-class products against a scratch engine, then
+        # charge the real engine once with the totals: one fused launch.
+        engine = self.computer.engine
+        scratch = Engine(
+            engine.device,
+            clock=SimClock(),
+            counters=OpCounters(),
+            allocator=DeviceAllocator(engine.device.global_mem_bytes),
+            flop_efficiency=engine.flop_efficiency,
+            bandwidth_efficiency=engine.bandwidth_efficiency,
+        )
+        by_class: OrderedDict[int, list[int]] = OrderedDict()
+        for gid, class_label in queued:
+            by_class.setdefault(class_label, []).append(gid)
+        norms = self.computer.norms()
+        for class_label, gids in by_class.items():
+            columns = self.class_indices[class_label]
+            row_ids = np.asarray(gids, dtype=np.int64)
+            block = self.computer.kernel.pairwise(
+                scratch,
+                mops.take_rows(self.computer.data, row_ids),
+                mops.take_rows(self.computer.data, columns),
+                category=category,
+                norms_a=None if norms is None else norms[row_ids],
+                norms_b=None if norms is None else norms[columns],
+            )
+            self.stats.values_computed += block.size
+            for gid, row in zip(gids, block):
+                key = (gid, class_label)
+                self._store(key, row)
+                if key in self._segments:
+                    self._prefetched_fresh.add(key)
+        used = scratch.counters
+        engine.charge(
+            category,
+            flops=used.flops,
+            bytes_read=used.bytes_read,
+            bytes_written=used.bytes_written,
+            shared_bytes=used.shared_bytes,
+            launches=1,
+            pcie_bytes=used.pcie_bytes,
+        )
+        self.stats.prefetch_launches += 1
+        self.stats.prefetch_segments += len(queued)
+        return len(queued)
+
     @property
     def resident_bytes(self) -> int:
         """Bytes the segment store currently occupies."""
@@ -157,8 +272,15 @@ class SharedClassPairKernels:
             if cached is not None:
                 out[pos] = cached
                 self._segments.move_to_end(key)
-                self.stats.segment_hits += 1
-                self.stats.values_reused += columns.size
+                if key in self._prefetched_fresh:
+                    # First touch of a segment this consumer's own wave
+                    # request caused to be computed: account it as the
+                    # miss it would have been without the fused launch.
+                    self._prefetched_fresh.discard(key)
+                    self.stats.segment_misses += 1
+                else:
+                    self.stats.segment_hits += 1
+                    self.stats.values_reused += columns.size
             else:
                 missing_ids.append(int(gid))
                 missing_pos.append(pos)
@@ -185,8 +307,9 @@ class SharedClassPairKernels:
         nbytes = segment.size * FLOAT_BYTES
         if self.max_bytes is not None:
             while self._resident_bytes + nbytes > self.max_bytes and self._segments:
-                _, evicted = self._segments.popitem(last=False)
+                evicted_key, evicted = self._segments.popitem(last=False)
                 self._resident_bytes -= evicted.size * FLOAT_BYTES
+                self._prefetched_fresh.discard(evicted_key)
             if self._resident_bytes + nbytes > self.max_bytes:
                 return  # segment alone exceeds the cap; skip caching
         self._segments[key] = segment.copy()

@@ -42,6 +42,13 @@ class TrainingReport:
     sharing_hit_rate: float = 0.0
     peak_task_memory_bytes: int = 0
     per_svm: list[dict] = field(default_factory=list)
+    # Where the concurrency numbers came from: "wave_trace" (measured by
+    # the interleaved driver's executed waves), "posthoc" (repacked serial
+    # clocks via ConcurrentScheduler.plan) or "serial" (no concurrency).
+    schedule_source: str = "serial"
+    # Per-wave execution record from the interleaved driver (None for the
+    # other schedule sources).
+    wave_trace: Optional[list] = None
 
     def breakdown(self) -> dict[str, float]:
         """Simulated seconds per cost category."""
@@ -81,6 +88,8 @@ class TrainingReport:
             "sharing_hit_rate": self.sharing_hit_rate,
             "buffer_hit_rate": self.buffer_hit_rate,
             "peak_task_memory_bytes": self.peak_task_memory_bytes,
+            "schedule_source": self.schedule_source,
+            "wave_trace": _json_safe(self.wave_trace),
             "per_svm": _json_safe(self.per_svm),
         }
 

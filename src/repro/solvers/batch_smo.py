@@ -20,12 +20,24 @@ Per outer round:
 The solver produces the same optimum as classic SMO (both satisfy Eq. 9 at
 the same epsilon); it simply gets there with far fewer, far larger device
 operations.
+
+The round loop is exposed as a *resumable stepper*
+(:class:`BatchSMOSession`): :meth:`BatchSMOSolver.start` creates a session
+whose :meth:`~BatchSMOSession.begin_round` performs the pre-fetch half of a
+round (optimality check, violator selection, working-set refresh) and
+returns the round's kernel-row demand, and whose
+:meth:`~BatchSMOSession.complete_round` consumes the rows and runs the
+inner solve plus the Eq.-8 update.  :meth:`BatchSMOSolver.solve` is a thin
+loop over the stepper, so the monolithic and stepped paths share one code
+path and cannot diverge.  The interleaved concurrent trainer
+(:mod:`repro.core.interleave`) steps many sessions in lockstep waves and
+fuses their kernel-row demands into shared batched launches.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -46,7 +58,25 @@ from repro.solvers.subproblem import inner_iteration_budget, solve_subproblem
 from repro.solvers.working_set import select_new_violators
 from repro.telemetry.tracer import Tracer, maybe_span
 
-__all__ = ["BatchSMOSolver"]
+__all__ = ["BatchSMOSolver", "BatchSMOSession", "RoundRequest"]
+
+
+class RoundRequest:
+    """One round's kernel-row demand, produced by ``begin_round``.
+
+    ``ws_idx`` is the refreshed working set (local indices); ``missing``
+    is the subset whose kernel rows are not resident in the session's
+    buffer (a probe — no hit/miss statistics are charged until the rows
+    are actually fetched in ``complete_round``).  ``delta`` is the global
+    KKT violation ``f_l - f_u`` measured at the top of the round.
+    """
+
+    __slots__ = ("ws_idx", "missing", "delta")
+
+    def __init__(self, ws_idx: np.ndarray, missing: np.ndarray, delta: float) -> None:
+        self.ws_idx = ws_idx
+        self.missing = missing
+        self.delta = float(delta)
 
 
 class BatchSMOSolver:
@@ -89,6 +119,33 @@ class BatchSMOSolver:
         """Clock category for ``name`` under this solver's prefix."""
         return f"{self._category_prefix}{name}"
 
+    def start(
+        self,
+        rows: KernelRowComputer,
+        y: np.ndarray,
+        *,
+        penalty_vector: Optional[np.ndarray] = None,
+        initial_f: Optional[np.ndarray] = None,
+        initial_alpha: Optional[np.ndarray] = None,
+        allow_single_class: bool = False,
+    ) -> "BatchSMOSession":
+        """Open a resumable training session on the problem ``rows`` serves.
+
+        The caller drives rounds via :meth:`BatchSMOSession.begin_round` /
+        :meth:`BatchSMOSession.complete_round` and collects the final
+        :class:`~repro.solvers.base.SolverResult` from
+        :meth:`BatchSMOSession.finish`.
+        """
+        return BatchSMOSession(
+            self,
+            rows,
+            y,
+            penalty_vector=penalty_vector,
+            initial_f=initial_f,
+            initial_alpha=initial_alpha,
+            allow_single_class=allow_single_class,
+        )
+
     def solve(
         self,
         rows: KernelRowComputer,
@@ -108,14 +165,65 @@ class BatchSMOSolver:
         the one-class SVM reuse this solver; with ``initial_alpha`` it must
         be consistent with those weights (Eq. 3).
         """
+        session = self.start(
+            rows,
+            y,
+            penalty_vector=penalty_vector,
+            initial_f=initial_f,
+            initial_alpha=initial_alpha,
+            allow_single_class=allow_single_class,
+        )
+        try:
+            while session.begin_round() is not None:
+                session.complete_round()
+            return session.finish()
+        finally:
+            session.close()
+
+
+class BatchSMOSession:
+    """Resumable per-round state of one batched-SMO training run.
+
+    A session splits every outer round into two halves so a concurrent
+    driver can interleave many solvers:
+
+    - :meth:`begin_round` — the selection half: optimality check,
+      violator selection and working-set refresh.  Returns the round's
+      :class:`RoundRequest` (including which kernel rows are missing from
+      the buffer), or ``None`` once the run has terminated.
+    - :meth:`complete_round` — the consumption half: fetch the rows
+      (optionally through a caller-supplied loader, e.g. one backed by a
+      wave-fused batched launch), solve the working-set subproblem and
+      apply the batched Eq.-8 indicator update.
+
+    Stepping a session produces *bitwise-identical* iterates to the
+    monolithic :meth:`BatchSMOSolver.solve`, which is itself implemented
+    as a loop over a session.
+    """
+
+    def __init__(
+        self,
+        solver: BatchSMOSolver,
+        rows: KernelRowComputer,
+        y: np.ndarray,
+        *,
+        penalty_vector: Optional[np.ndarray] = None,
+        initial_f: Optional[np.ndarray] = None,
+        initial_alpha: Optional[np.ndarray] = None,
+        allow_single_class: bool = False,
+    ) -> None:
+        self.solver = solver
+        self.rows = rows
         labels = validate_binary_problem(
-            y, self.penalty, allow_single_class=allow_single_class
+            y, solver.penalty, allow_single_class=allow_single_class
         )
         n = rows.n
         if labels.size != n:
             raise ValidationError(f"{labels.size} labels for {n} instances")
-        engine = rows.engine
-        penalty = resolve_penalty_vector(self.penalty, n, penalty_vector)
+        self.labels = labels
+        self.n = n
+        self.engine = rows.engine
+        self.penalty = resolve_penalty_vector(solver.penalty, n, penalty_vector)
 
         # Buffer geometry: the paper's buffer stores "m x q rows of the
         # kernel matrix (i.e., allow m batches to be stored)"; the default
@@ -123,209 +231,304 @@ class BatchSMOSolver:
         # The working set can never exceed the buffer (Figure 6: "changing
         # the GPU buffer size is effectively varying the working set").
         buffer_rows = (
-            self.buffer_rows if self.buffer_rows else 2 * self.working_set_size
+            solver.buffer_rows if solver.buffer_rows else 2 * solver.working_set_size
         )
-        ws_size = min(self.working_set_size, buffer_rows, n)
+        ws_size = min(solver.working_set_size, buffer_rows, n)
         ws_size = max(2, ws_size - ws_size % 2)
-        q = self.new_per_round if self.new_per_round else max(2, ws_size // 2)
+        self.ws_size = ws_size
+        q = solver.new_per_round if solver.new_per_round else max(2, ws_size // 2)
         q = max(2, min(q, ws_size))
         q -= q % 2
-        max_rounds = (
-            self.max_rounds
-            if self.max_rounds is not None
+        self.q = q
+        self.max_rounds = (
+            solver.max_rounds
+            if solver.max_rounds is not None
             else max(2_000, (40 * n) // q)
         )
 
         if initial_alpha is None:
-            alpha = np.zeros(n)
+            self.alpha = np.zeros(n)
         else:
-            alpha = np.asarray(initial_alpha, dtype=np.float64).copy()
-            if alpha.shape != (n,):
-                raise ValidationError(f"initial_alpha shape {alpha.shape} != ({n},)")
+            self.alpha = np.asarray(initial_alpha, dtype=np.float64).copy()
+            if self.alpha.shape != (n,):
+                raise ValidationError(
+                    f"initial_alpha shape {self.alpha.shape} != ({n},)"
+                )
         if initial_f is None:
-            f = -labels.copy()
+            self.f = -labels.copy()
         else:
-            f = np.asarray(initial_f, dtype=np.float64).copy()
-            if f.shape != (n,):
-                raise ValidationError(f"initial_f shape {f.shape} != ({n},)")
-        diagonal = rows.diagonal()
-        inner_total = 0
-        rounds = 0
-        converged = False
-        stalled = 0
-        ws_order: list[int] = []  # FIFO of working-set membership
+            self.f = np.asarray(initial_f, dtype=np.float64).copy()
+            if self.f.shape != (n,):
+                raise ValidationError(f"initial_f shape {self.f.shape} != ({n},)")
+        self.diagonal = rows.diagonal()
+        self.inner_total = 0
+        self.rounds = 0
+        self.converged = False
+        self._stalled = 0
+        self._ws_order: list[int] = []  # FIFO of working-set membership
 
-        buffer = KernelBuffer(
+        self.buffer = KernelBuffer(
             buffer_rows,
             n,
-            policy=self.buffer_policy,
-            allocator=engine.allocator if self.register_buffer_memory else None,
+            policy=solver.buffer_policy,
+            allocator=self.engine.allocator if solver.register_buffer_memory else None,
             tag="kernel-buffer",
-            tracer=self.tracer,
+            tracer=solver.tracer,
         )
         # Per-round telemetry is opt-in: with no tracer and record_rounds
         # False the hot loop takes a single falsy check per round.
-        round_trace: Optional[list[dict]] = (
-            [] if (self.record_rounds or self.tracer is not None) else None
+        self.round_trace: Optional[list[dict]] = (
+            [] if (solver.record_rounds or solver.tracer is not None) else None
         )
-        # Entered/exited manually so the existing try/finally keeps its
-        # shape; exceptions still close the span via the finally block.
-        solve_span = maybe_span(
-            self.tracer,
+        # Entered manually; close() (idempotent, called by finish and by
+        # solve's finally) exits it even on exceptions.
+        self._solve_span = maybe_span(
+            solver.tracer,
             "solver.batch_smo",
-            clock=engine.clock,
+            clock=self.engine.clock,
             n=n,
             working_set_size=ws_size,
             new_per_round=q,
         ).__enter__()
-        try:
-            while rounds < max_rounds:
-                up = upper_mask(labels, alpha, penalty)
-                low = lower_mask(labels, alpha, penalty)
-                engine.elementwise(
-                    self._cat("selection"), n, flops_per_element=4, arrays_read=2,
-                    memory="cached",
-                )
-                _, f_up = engine.reduce_extremum(
-                    f, up, mode="min", category=self._cat("selection")
-                )
-                _, f_low = engine.reduce_extremum(
-                    f, low, mode="max", category=self._cat("selection")
-                )
-                if not np.isfinite(f_up) or not np.isfinite(f_low):
-                    converged = True
-                    break
-                delta = f_low - f_up
-                if delta <= self.epsilon:
-                    converged = True
-                    break
+        self._pending: Optional[RoundRequest] = None
+        self._pending_retained: Optional[np.ndarray] = None
+        self._pending_new: Optional[np.ndarray] = None
+        self._finished = False
+        self._closed = False
+        self._result: Optional[SolverResult] = None
 
-                retained = np.asarray(ws_order[-(ws_size - q) :], dtype=np.int64)
-                wanted = q if retained.size else ws_size
-                new = select_new_violators(
-                    engine,
-                    f,
-                    labels,
-                    alpha,
-                    penalty,
-                    wanted,
-                    exclude=retained if retained.size else None,
-                    category=self._cat("selection"),
-                )
-                if new.size == 0:
-                    if retained.size:
-                        ws_order.clear()  # force a full reselection next round
-                        continue
-                    break  # no violators selectable at all
-                ws_idx = np.concatenate([retained, new]) if retained.size else new
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the run has terminated (no further rounds will occur)."""
+        return self._finished
 
-                stats_before = (
-                    buffer.stats.snapshot() if round_trace is not None else None
-                )
-                k_rows = buffer.fetch(
-                    ws_idx,
-                    lambda ids: rows.rows(ids, category=self._cat("kernel_values")),
-                )
-                # The ws x ws block is not copied on the device: the inner
-                # solver reads it straight from the buffered rows (its own
-                # charge covers that traffic).
-                k_ws = k_rows[:, ws_idx]
+    def begin_round(self) -> Optional[RoundRequest]:
+        """Run the selection half of the next round.
 
-                budget = inner_iteration_budget(
-                    ws_idx.size, delta, self.epsilon, self.inner_rule
-                )
-                sub = solve_subproblem(
-                    engine,
-                    k_ws,
-                    diagonal[ws_idx],
-                    labels[ws_idx],
-                    alpha[ws_idx],
-                    f[ws_idx],
-                    penalty[ws_idx],
-                    epsilon=self.epsilon,
-                    max_iterations=budget,
-                    category=self._cat("subproblem"),
-                )
-                inner_total += sub.iterations
-                delta_alpha = sub.alpha - alpha[ws_idx]
-                changed = np.abs(delta_alpha) > 0
-                rounds += 1
-                if round_trace is not None:
-                    since = buffer.stats.since(stats_before)
-                    round_trace.append(
-                        {
-                            "round": rounds,
-                            "delta": float(delta),
-                            "retained": int(retained.size),
-                            "new_violators": int(new.size),
-                            "inner_iterations": int(sub.iterations),
-                            "changed": int(changed.sum()),
-                            "buffer_hits": since.hits,
-                            "buffer_misses": since.misses,
-                            "buffer_evictions": since.evictions,
-                            "buffer_inserts": since.inserts,
-                        }
-                    )
-                if not changed.any():
-                    stalled += 1
-                    if stalled == 1 and retained.size:
-                        ws_order.clear()
-                        continue
-                    if stalled >= 2:
-                        break
+        Returns the round's :class:`RoundRequest`, or ``None`` once the
+        run has terminated (convergence, stall, no violators, or the
+        round cap).  ``None`` also marks the session finished — call
+        :meth:`finish` to collect the result.
+        """
+        if self._finished:
+            return None
+        if self._pending is not None:
+            raise ValidationError("begin_round called with a round in flight")
+        solver = self.solver
+        engine = self.engine
+        labels, alpha, f, penalty = self.labels, self.alpha, self.f, self.penalty
+        n = self.n
+        while True:
+            if self.rounds >= self.max_rounds:
+                self._finished = True
+                return None
+            up = upper_mask(labels, alpha, penalty)
+            low = lower_mask(labels, alpha, penalty)
+            engine.elementwise(
+                solver._cat("selection"), n, flops_per_element=4, arrays_read=2,
+                memory="cached",
+            )
+            _, f_up = engine.reduce_extremum(
+                f, up, mode="min", category=solver._cat("selection")
+            )
+            _, f_low = engine.reduce_extremum(
+                f, low, mode="max", category=solver._cat("selection")
+            )
+            if not np.isfinite(f_up) or not np.isfinite(f_low):
+                self.converged = True
+                self._finished = True
+                return None
+            delta = f_low - f_up
+            if delta <= solver.epsilon:
+                self.converged = True
+                self._finished = True
+                return None
+
+            retained = np.asarray(
+                self._ws_order[-(self.ws_size - self.q):], dtype=np.int64
+            )
+            wanted = self.q if retained.size else self.ws_size
+            new = select_new_violators(
+                engine,
+                f,
+                labels,
+                alpha,
+                penalty,
+                wanted,
+                exclude=retained if retained.size else None,
+                category=solver._cat("selection"),
+            )
+            if new.size == 0:
+                if retained.size:
+                    self._ws_order.clear()  # force a full reselection next round
                     continue
-                stalled = 0
-                alpha[ws_idx] = sub.alpha
-
-                # Batched Eq.-8 update of every indicator from the buffered rows.
-                coeffs = delta_alpha[changed] * labels[ws_idx][changed]
-                f += coeffs @ k_rows[changed]
-                engine.charge(
-                    self._cat("f_update"),
-                    flops=2 * int(changed.sum()) * n,
-                    bytes_read=int(changed.sum()) * n * 8,
-                    bytes_written=n * 8,
-                    launches=1,
-                )
-
-                ws_order = [i for i in ws_order if i not in set(new.tolist())]
-                ws_order.extend(int(i) for i in new)
-                ws_order = ws_order[-ws_size:]
-
-            if not converged:
-                warnings.warn(
-                    f"batched SMO stopped after {rounds} rounds with gap "
-                    f"{optimality_gap(f, labels, alpha, penalty):.3g} > eps "
-                    f"{self.epsilon:.3g}",
-                    ConvergenceWarning,
-                    stacklevel=2,
-                )
-            stats = buffer.stats
-            solve_span.set(
-                rounds=rounds,
-                iterations=inner_total,
-                converged=converged,
-                buffer_hit_rate=stats.hit_rate,
+                self._finished = True
+                return None  # no violators selectable at all
+            ws_idx = np.concatenate([retained, new]) if retained.size else new
+            missing = np.asarray(
+                [i for i in ws_idx if not self.buffer.contains(int(i))],
+                dtype=np.int64,
             )
-            return SolverResult(
-                alpha=alpha,
-                bias=bias_from_f(f, labels, alpha, penalty),
-                converged=converged,
-                iterations=inner_total,
-                rounds=rounds,
-                objective=dual_objective(alpha, labels, f),
-                final_gap=optimality_gap(f, labels, alpha, penalty),
-                kernel_rows_computed=stats.inserts,
-                buffer_hit_rate=stats.hit_rate,
-                diagnostics={
-                    "buffer_evictions": stats.evictions,
-                    "buffer_requests": stats.requests,
-                    "working_set_size": ws_size,
-                    "new_per_round": q,
-                },
-                f=f,
-                round_trace=round_trace,
+            self._pending = RoundRequest(ws_idx, missing, delta)
+            self._pending_retained = retained
+            self._pending_new = new
+            return self._pending
+
+    def complete_round(
+        self, loader: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    ) -> None:
+        """Run the consumption half of the round opened by ``begin_round``.
+
+        ``loader`` computes the missing kernel rows (called by the buffer
+        with the missing ids, at most once); it defaults to the session's
+        own row provider.  A concurrent driver passes a loader backed by a
+        wave-fused batched launch — the values must be identical either
+        way, so the iterates cannot depend on the execution schedule.
+        """
+        request = self._pending
+        if request is None:
+            raise ValidationError("complete_round called without begin_round")
+        self._pending = None
+        retained, new = self._pending_retained, self._pending_new
+        self._pending_retained = self._pending_new = None
+        solver = self.solver
+        engine = self.engine
+        labels, alpha, f, penalty = self.labels, self.alpha, self.f, self.penalty
+        ws_idx = request.ws_idx
+        delta = request.delta
+        if loader is None:
+            loader = lambda ids: self.rows.rows(  # noqa: E731
+                ids, category=solver._cat("kernel_values")
             )
-        finally:
-            solve_span.__exit__(None, None, None)
-            buffer.free()
+
+        stats_before = (
+            self.buffer.stats.snapshot() if self.round_trace is not None else None
+        )
+        k_rows = self.buffer.fetch(ws_idx, loader)
+        # The ws x ws block is not copied on the device: the inner
+        # solver reads it straight from the buffered rows (its own
+        # charge covers that traffic).
+        k_ws = k_rows[:, ws_idx]
+
+        budget = inner_iteration_budget(
+            ws_idx.size, delta, solver.epsilon, solver.inner_rule
+        )
+        sub = solve_subproblem(
+            engine,
+            k_ws,
+            self.diagonal[ws_idx],
+            labels[ws_idx],
+            alpha[ws_idx],
+            f[ws_idx],
+            penalty[ws_idx],
+            epsilon=solver.epsilon,
+            max_iterations=budget,
+            category=solver._cat("subproblem"),
+        )
+        self.inner_total += sub.iterations
+        delta_alpha = sub.alpha - alpha[ws_idx]
+        changed = np.abs(delta_alpha) > 0
+        self.rounds += 1
+        if self.round_trace is not None:
+            since = self.buffer.stats.since(stats_before)
+            self.round_trace.append(
+                {
+                    "round": self.rounds,
+                    "delta": float(delta),
+                    "retained": int(retained.size),
+                    "new_violators": int(new.size),
+                    "inner_iterations": int(sub.iterations),
+                    "changed": int(changed.sum()),
+                    "buffer_hits": since.hits,
+                    "buffer_misses": since.misses,
+                    "buffer_evictions": since.evictions,
+                    "buffer_inserts": since.inserts,
+                }
+            )
+        if not changed.any():
+            self._stalled += 1
+            if self._stalled == 1 and retained.size:
+                self._ws_order.clear()
+                return
+            if self._stalled >= 2:
+                self._finished = True
+            return
+        self._stalled = 0
+        alpha[ws_idx] = sub.alpha
+
+        # Batched Eq.-8 update of every indicator from the buffered rows.
+        coeffs = delta_alpha[changed] * labels[ws_idx][changed]
+        f += coeffs @ k_rows[changed]
+        engine.charge(
+            solver._cat("f_update"),
+            flops=2 * int(changed.sum()) * self.n,
+            bytes_read=int(changed.sum()) * self.n * 8,
+            bytes_written=self.n * 8,
+            launches=1,
+        )
+
+        new_set = set(new.tolist())
+        self._ws_order = [i for i in self._ws_order if i not in new_set]
+        self._ws_order.extend(int(i) for i in new)
+        self._ws_order = self._ws_order[-self.ws_size:]
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def finish(self) -> SolverResult:
+        """Finalize the run and return its :class:`SolverResult`.
+
+        Must be called after :meth:`begin_round` returned ``None`` (or to
+        cut the run short); idempotent per session via the cached result.
+        """
+        if self._result is not None:
+            return self._result
+        self._finished = True
+        labels, alpha, f, penalty = self.labels, self.alpha, self.f, self.penalty
+        if not self.converged:
+            warnings.warn(
+                f"batched SMO stopped after {self.rounds} rounds with gap "
+                f"{optimality_gap(f, labels, alpha, penalty):.3g} > eps "
+                f"{self.solver.epsilon:.3g}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        stats = self.buffer.stats
+        self._solve_span.set(
+            rounds=self.rounds,
+            iterations=self.inner_total,
+            converged=self.converged,
+            buffer_hit_rate=stats.hit_rate,
+        )
+        self._result = SolverResult(
+            alpha=alpha,
+            bias=bias_from_f(f, labels, alpha, penalty),
+            converged=self.converged,
+            iterations=self.inner_total,
+            rounds=self.rounds,
+            objective=dual_objective(alpha, labels, f),
+            final_gap=optimality_gap(f, labels, alpha, penalty),
+            kernel_rows_computed=stats.inserts,
+            buffer_hit_rate=stats.hit_rate,
+            diagnostics={
+                "buffer_evictions": stats.evictions,
+                "buffer_requests": stats.requests,
+                "working_set_size": self.ws_size,
+                "new_per_round": self.q,
+            },
+            f=f,
+            round_trace=self.round_trace,
+        )
+        self.close()
+        return self._result
+
+    def close(self) -> None:
+        """Release the buffer and close the solver span (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._solve_span.__exit__(None, None, None)
+        self.buffer.free()

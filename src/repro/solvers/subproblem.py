@@ -115,21 +115,20 @@ def solve_subproblem(
         bytes_read=kernel_ws.size * 8 + 4 * ws * 8,
         launches=1,
     )
+    # Every sync-step inside the kernel has a cost that depends only on
+    # ``ws``, so the device charges are deferred: the loop below runs on
+    # raw NumPy and counts how many of each step executed, and the
+    # aggregate is charged once after the loop (the cost model is linear
+    # in flops/bytes/syncs, so the totals are identical).
+    n_select = 0  # violator-pair selection: mask refresh + two reductions
+    n_pick = 0  # second-order gain map + its reduction
+    n_update = 0  # weight/indicator update
     while iterations < max_iterations:
         up = upper_mask(y_ws, alpha, penalty)
         low = lower_mask(y_ws, alpha, penalty)
-        engine.elementwise(
-            category, ws, flops_per_element=4, arrays_read=2,
-            launches=0, syncs=1, memory="shared",
-        )
-        u, f_up = engine.reduce_extremum(
-            f, up, mode="min", category=category,
-            launches=0, syncs=1, memory="shared",
-        )
-        low_idx, f_low = engine.reduce_extremum(
-            f, low, mode="max", category=category,
-            launches=0, syncs=1, memory="shared",
-        )
+        n_select += 1
+        u, f_up = _masked_extremum(f, up, mode="min")
+        low_idx, f_low = _masked_extremum(f, low, mode="max")
         if u < 0 or low_idx < 0:
             gap = 0.0
             break
@@ -142,14 +141,8 @@ def solve_subproblem(
         np.maximum(eta, TAU, out=eta)
         diff = f - f_up
         gain = np.where(low & (diff > 0), (diff * diff) / eta, -np.inf)
-        engine.elementwise(
-            category, ws, flops_per_element=6, arrays_read=3,
-            launches=0, syncs=1, memory="shared",
-        )
-        l, _ = engine.reduce_extremum(
-            gain, None, mode="max", category=category,
-            launches=0, syncs=1, memory="shared",
-        )
+        n_pick += 1
+        l, _ = _masked_extremum(gain, None, mode="max")
         if l < 0 or not np.isfinite(gain[l]):
             break
 
@@ -165,10 +158,64 @@ def solve_subproblem(
         alpha[u] += delta_u
         alpha[l] += delta_l
         f += delta_u * y_ws[u] * k_u + delta_l * y_ws[l] * kernel_ws[l]
-        engine.elementwise(
-            category, ws, flops_per_element=4, arrays_read=3,
-            launches=0, syncs=1, memory="shared",
-        )
+        n_update += 1
         iterations += 1
 
+    _charge_steps(engine, category, ws, n_select, n_pick, n_update)
     return SubproblemResult(alpha=alpha, iterations=iterations, local_gap=max(gap, 0.0))
+
+
+def _masked_extremum(
+    values: np.ndarray, mask, *, mode: str
+) -> tuple[int, float]:
+    """Argmin/argmax matching :meth:`Engine.reduce_extremum` bitwise,
+    without the per-call accounting (charged in aggregate instead)."""
+    if mask is not None:
+        candidates = np.flatnonzero(mask)
+        if candidates.size == 0:
+            return -1, float("nan")
+        local = values[candidates]
+        pick = int(np.argmin(local) if mode == "min" else np.argmax(local))
+        index = int(candidates[pick])
+    else:
+        if values.size == 0:
+            return -1, float("nan")
+        index = int(np.argmin(values) if mode == "min" else np.argmax(values))
+    return index, float(values[index])
+
+
+def _charge_steps(
+    engine: Engine, category: str, ws: int, n_select: int, n_pick: int, n_update: int
+) -> None:
+    """Charge the deferred per-iteration sync steps in one aggregate.
+
+    Mirrors, step for step, the shared-memory charges the loop used to
+    issue inline: the mask-refresh elementwise (4 flops/elt, 2 reads) plus
+    two masked ``reduce_extremum`` calls per selection; the gain
+    elementwise (6 flops/elt, 3 reads) plus one unmasked reduction per
+    pick; and the update elementwise (4 flops/elt, 3 reads).  Masked
+    reductions read ``ws`` floats + a byte-mask; unmasked ones just the
+    floats; each reduction writes one float.
+    """
+    fb = 8  # FLOAT_BYTES
+    masked_reduce = ws * fb + ws + fb
+    unmasked_reduce = ws * fb + fb
+    flops = (
+        n_select * (4 * ws + 2 * ws)
+        + n_pick * (6 * ws + ws)
+        + n_update * 4 * ws
+    )
+    shared = (
+        n_select * ((2 * ws + ws) * fb + 2 * masked_reduce)
+        + n_pick * ((3 * ws + ws) * fb + unmasked_reduce)
+        + n_update * (3 * ws + ws) * fb
+    )
+    syncs = 3 * n_select + 2 * n_pick + n_update
+    if syncs:
+        engine.charge(
+            category,
+            flops=flops,
+            shared_bytes=shared,
+            launches=0,
+            syncs=syncs,
+        )

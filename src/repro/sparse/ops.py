@@ -94,11 +94,28 @@ def row_norms_sq(matrix: MatrixLike) -> np.ndarray:
     return np.einsum("ij,ij->i", matrix, matrix)
 
 
+# Fixed row-tile for the dense-dense product.  BLAS derives its internal
+# blocking — and with it the per-element accumulation order — from the
+# operand shapes, so the same row can come out bitwise-different depending
+# on how many rows it is batched with (a lone row even dispatches to a
+# different GEMV path).  Computing every product through constant-shape
+# ``(MATMUL_TILE_ROWS, k)`` calls, zero-padding the last tile, makes each
+# output row a pure function of ``(row, b)``, independent of batch
+# composition.  The interleaved trainer relies on this invariant: it fuses
+# the kernel-row demand of concurrently-running SVMs into union batches and
+# must still produce models bitwise-identical to the sequential schedule.
+# The CSR code paths are per-row loops / fixed-segment reductions and carry
+# the invariant for free.
+MATMUL_TILE_ROWS = 256
+
+
 def matmul_transpose(a: MatrixLike, b: MatrixLike) -> np.ndarray:
     """Dense ``a @ b.T`` for any combination of dense/CSR operands.
 
     This is the single product the whole kernel machinery is built on
-    (the paper computes it with cuSPARSE/cuBLAS).
+    (the paper computes it with cuSPARSE/cuBLAS).  Output rows are
+    bitwise-independent of how the ``a`` batch is composed (see
+    :data:`MATMUL_TILE_ROWS`).
     """
     if a.shape[1] != b.shape[1]:
         raise ValidationError(f"column mismatch: {a.shape} vs {b.shape}")
@@ -110,4 +127,18 @@ def matmul_transpose(a: MatrixLike, b: MatrixLike) -> np.ndarray:
         return a.dot_dense(np.ascontiguousarray(np.asarray(b).T))
     if b_sparse:
         return b.dot_dense(np.ascontiguousarray(np.asarray(a).T)).T
-    return np.asarray(a) @ np.asarray(b).T
+    dense_a = np.asarray(a)
+    dense_bt = np.asarray(b).T
+    tile = MATMUL_TILE_ROWS
+    m, k = dense_a.shape
+    out = np.empty((m, dense_bt.shape[1]), dtype=np.result_type(dense_a, dense_bt))
+    for start in range(0, m, tile):
+        chunk = dense_a[start : start + tile]
+        rows = chunk.shape[0]
+        if rows < tile:
+            padded = np.zeros((tile, k), dtype=chunk.dtype)
+            padded[:rows] = chunk
+            out[start : start + rows] = (padded @ dense_bt)[:rows]
+        else:
+            out[start : start + rows] = chunk @ dense_bt
+    return out

@@ -123,3 +123,40 @@ class TestOpCounters:
         counters = OpCounters(flops=5)
         counters.reset()
         assert counters.flops == 0
+
+
+class TestSimClockSince:
+    """Snapshot differencing used by the interleaved wave driver."""
+
+    def test_since_returns_only_new_charges(self):
+        clock = SimClock()
+        clock.charge("kernel_values", TimeCharge(1.0, 2.0))
+        snapshot = clock.copy()
+        clock.charge("kernel_values", TimeCharge(0.5, 0.25))
+        clock.charge("subproblem", TimeCharge(0.0, 3.0))
+        delta = clock.since(snapshot)
+        assert delta.category_seconds("kernel_values") == pytest.approx(0.75)
+        assert delta.category_seconds("subproblem") == pytest.approx(3.0)
+        assert delta.elapsed_s == pytest.approx(3.75)
+
+    def test_since_of_unchanged_clock_is_empty(self):
+        clock = SimClock()
+        clock.charge("selection", TimeCharge(0.1, 0.2))
+        delta = clock.since(clock.copy())
+        assert delta.elapsed_s == 0.0
+        assert list(delta.categories()) == []
+
+    def test_since_splits_latency_and_compute(self):
+        clock = SimClock()
+        snapshot = clock.copy()
+        clock.charge("f_update", TimeCharge(0.25, 1.5))
+        delta = clock.since(snapshot)
+        assert delta.latency_s == pytest.approx(0.25)
+        assert delta.compute_s == pytest.approx(1.5)
+
+    def test_snapshot_is_independent_of_later_charges(self):
+        clock = SimClock()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        snapshot = clock.copy()
+        clock.charge("a", TimeCharge(1.0, 0.0))
+        assert snapshot.elapsed_s == pytest.approx(1.0)

@@ -125,3 +125,63 @@ class TestAggregateClock:
         plan = ConcurrentScheduler(scaled_tesla_p100()).plan([])
         assert plan.makespan_s == 0.0
         assert plan.aggregate_clock().elapsed_s == 0.0
+
+
+class TestWaveLimits:
+    """The packing rules shared by the post-hoc and interleaved drivers."""
+
+    def _limits(self, **kwargs):
+        from repro.gpusim.scheduler import WaveLimits
+
+        kwargs.setdefault("num_sms", 8)
+        kwargs.setdefault("mem_budget_bytes", 1000)
+        return WaveLimits(**kwargs)
+
+    def test_empty_wave_admits_oversized_task(self):
+        limits = self._limits()
+        assert limits.admits(
+            count=0, blocks=0, mem_bytes=0, task_blocks=99, task_mem_bytes=10**9
+        )
+
+    def test_sm_capacity_bounds_admission(self):
+        limits = self._limits(num_sms=8)
+        assert limits.admits(
+            count=1, blocks=4, mem_bytes=0, task_blocks=4, task_mem_bytes=0
+        )
+        assert not limits.admits(
+            count=1, blocks=4, mem_bytes=0, task_blocks=5, task_mem_bytes=0
+        )
+
+    def test_memory_budget_bounds_admission(self):
+        limits = self._limits(mem_budget_bytes=100)
+        assert limits.admits(
+            count=1, blocks=1, mem_bytes=60, task_blocks=1, task_mem_bytes=40
+        )
+        assert not limits.admits(
+            count=1, blocks=1, mem_bytes=60, task_blocks=1, task_mem_bytes=41
+        )
+
+    def test_concurrency_cap_bounds_admission(self):
+        limits = self._limits(max_concurrent=2)
+        assert limits.admits(
+            count=1, blocks=1, mem_bytes=0, task_blocks=1, task_mem_bytes=0
+        )
+        assert not limits.admits(
+            count=2, blocks=2, mem_bytes=0, task_blocks=1, task_mem_bytes=0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            self._limits(num_sms=0)
+        with pytest.raises(ValidationError):
+            self._limits(mem_budget_bytes=0)
+        with pytest.raises(ValidationError):
+            self._limits(max_concurrent=0)
+
+    def test_scheduler_exposes_its_limits(self):
+        scheduler = ConcurrentScheduler(
+            scaled_tesla_p100(), max_concurrent=3, mem_budget_bytes=500
+        )
+        assert scheduler.limits.max_concurrent == 3
+        assert scheduler.limits.mem_budget_bytes == 500
+        assert scheduler.limits.num_sms == scaled_tesla_p100().num_sms

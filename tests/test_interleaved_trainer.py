@@ -1,0 +1,258 @@
+"""Parity and telemetry tests for the interleaved concurrent trainer.
+
+The wave driver (:mod:`repro.core.interleave`) must be an *execution*
+optimization only: fusing kernel launches across concurrently-running
+binary SVMs and reading the timeline off executed waves may change the
+simulated cost accounting, but never a single bit of the trained model.
+These tests pin that contract across class counts, storage formats and
+sharing modes, and check that the reported concurrency numbers really
+come from the driver's wave trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainerConfig, train_multiclass
+from repro.data import gaussian_blobs
+from repro.exceptions import ValidationError
+from repro.gpusim.device import scaled_tesla_p100
+from repro.kernels.functions import kernel_from_name
+from repro.sparse import CSRMatrix
+
+
+def make_problem(n_classes, *, n_per_class=40, seed=11, sparse=False):
+    x, y = gaussian_blobs(
+        n=n_per_class * n_classes, n_features=6, n_classes=n_classes, seed=seed
+    )
+    if sparse:
+        x = np.where(np.abs(x) < 0.4, 0.0, x)  # some genuine zeros
+        x = CSRMatrix.from_dense(x)
+    return x, y
+
+
+def train(
+    x,
+    y,
+    *,
+    concurrent=True,
+    mode="interleaved",
+    share=True,
+    max_concurrent=None,
+    probability=True,
+    cv_folds=0,
+):
+    config = TrainerConfig(
+        device=scaled_tesla_p100(),
+        solver="batched",
+        concurrent=concurrent,
+        concurrency_mode=mode,
+        share_kernel_values=share,
+        probability=probability,
+        probability_cv_folds=cv_folds,
+        max_concurrent_svms=max_concurrent,
+    )
+    kernel = kernel_from_name("gaussian", gamma=0.4)
+    return train_multiclass(config, x, y, kernel, 10.0)
+
+
+def assert_models_bitwise_equal(model_a, model_b):
+    """Every trained artifact identical to the last bit."""
+    assert len(model_a.records) == len(model_b.records)
+    for rec_a, rec_b in zip(model_a.records, model_b.records):
+        assert (rec_a.s, rec_a.t) == (rec_b.s, rec_b.t)
+        assert rec_a.iterations == rec_b.iterations
+        assert np.array_equal(rec_a.global_sv_indices, rec_b.global_sv_indices)
+        assert np.array_equal(rec_a.coefficients, rec_b.coefficients)
+        assert rec_a.bias == rec_b.bias
+        assert rec_a.objective == rec_b.objective
+        assert rec_a.training_error == rec_b.training_error
+        if rec_a.sigmoid is None:
+            assert rec_b.sigmoid is None
+        else:
+            assert rec_a.sigmoid.a == rec_b.sigmoid.a
+            assert rec_a.sigmoid.b == rec_b.sigmoid.b
+    pool_a, pool_b = model_a.sv_pool, model_b.sv_pool
+    assert np.array_equal(pool_a.pool_global_indices, pool_b.pool_global_indices)
+
+
+class TestBitwiseParity:
+    """Interleaved training is bitwise identical to the sequential path."""
+
+    @pytest.mark.parametrize("n_classes", [2, 3, 5, 10])
+    def test_dense_parity_across_class_counts(self, n_classes):
+        x, y = make_problem(n_classes, n_per_class=24)
+        model_i, _ = train(x, y, mode="interleaved")
+        model_s, _ = train(x, y, concurrent=False)
+        assert_models_bitwise_equal(model_i, model_s)
+
+    @pytest.mark.parametrize("n_classes", [3, 5])
+    def test_sparse_parity(self, n_classes):
+        x, y = make_problem(n_classes, sparse=True)
+        model_i, _ = train(x, y, mode="interleaved")
+        model_s, _ = train(x, y, concurrent=False)
+        assert_models_bitwise_equal(model_i, model_s)
+
+    @pytest.mark.parametrize("share", [True, False])
+    def test_parity_with_and_without_sharing(self, share):
+        x, y = make_problem(4)
+        model_i, report = train(x, y, mode="interleaved", share=share)
+        model_s, _ = train(x, y, concurrent=False, share=share)
+        assert_models_bitwise_equal(model_i, model_s)
+        assert report.schedule_source == "wave_trace"
+
+    def test_parity_against_posthoc_mode(self):
+        x, y = make_problem(3)
+        model_i, _ = train(x, y, mode="interleaved")
+        model_p, _ = train(x, y, mode="posthoc")
+        assert_models_bitwise_equal(model_i, model_p)
+
+    def test_parity_under_concurrency_cap(self):
+        x, y = make_problem(4)
+        model_i, report = train(x, y, mode="interleaved", max_concurrent=2)
+        model_s, _ = train(x, y, concurrent=False)
+        assert_models_bitwise_equal(model_i, model_s)
+        assert report.max_concurrency <= 2
+
+    def test_parity_with_cv_sigmoids(self):
+        x, y = make_problem(3)
+        model_i, _ = train(x, y, mode="interleaved", cv_folds=3)
+        model_s, _ = train(x, y, concurrent=False, cv_folds=3)
+        assert_models_bitwise_equal(model_i, model_s)
+
+    def test_sharing_stats_match_sequential(self):
+        """Fused prefetching must not change the sharing economics."""
+        x, y = make_problem(3)
+        _, report_i = train(x, y, mode="interleaved")
+        _, report_s = train(x, y, concurrent=False)
+        assert report_i.sharing_hit_rate == report_s.sharing_hit_rate
+        assert report_i.kernel_rows_computed == report_s.kernel_rows_computed
+
+
+class TestWaveTrace:
+    """Reported concurrency numbers come from the executed wave trace."""
+
+    def test_schedule_source_labels(self):
+        x, y = make_problem(3)
+        _, report_i = train(x, y, mode="interleaved")
+        _, report_p = train(x, y, mode="posthoc")
+        _, report_s = train(x, y, concurrent=False)
+        assert report_i.schedule_source == "wave_trace"
+        assert report_p.schedule_source == "posthoc"
+        assert report_s.schedule_source == "serial"
+        assert report_p.wave_trace is None
+        assert report_s.wave_trace is None
+
+    def test_concurrency_numbers_derive_from_trace(self):
+        x, y = make_problem(3)
+        _, report = train(x, y, mode="interleaved")
+        trace = report.wave_trace
+        assert trace, "interleaved run must record its waves"
+        assert report.max_concurrency == max(w["n_members"] for w in trace)
+        serial = sum(w["serial_seconds"] for w in trace)
+        concurrent = sum(w["concurrent_seconds"] for w in trace)
+        assert report.concurrency_speedup == pytest.approx(serial / concurrent)
+        assert report.concurrency_speedup > 1.0
+        # Wave membership respects the packing rules at every wave.
+        device = scaled_tesla_p100()
+        for wave in trace:
+            assert wave["n_members"] >= 1
+            assert wave["blocks"] <= max(device.num_sms, wave["n_members"] * 7)
+
+    def test_waves_shrink_as_solvers_finish(self):
+        x, y = make_problem(3)
+        _, report = train(x, y, mode="interleaved")
+        trace = report.wave_trace
+        finished = [name for wave in trace for name in wave["finished"]]
+        assert sorted(finished) == sorted(
+            {name for wave in trace for name in wave["members"]}
+        )
+        assert trace[-1]["n_members"] >= 1
+
+    def test_interleaving_reduces_simulated_time(self):
+        x, y = make_problem(3)
+        _, report_i = train(x, y, mode="interleaved")
+        _, report_s = train(x, y, concurrent=False)
+        assert report_i.simulated_seconds < report_s.simulated_seconds
+
+    def test_fused_prefetch_appears_in_trace(self):
+        x, y = make_problem(3)
+        _, report = train(x, y, mode="interleaved", share=True)
+        assert sum(w["prefetch_segments"] for w in report.wave_trace) > 0
+
+    def test_report_dict_round_trips_trace(self):
+        x, y = make_problem(3)
+        _, report = train(x, y, mode="interleaved")
+        snapshot = report.to_dict()
+        assert snapshot["schedule_source"] == "wave_trace"
+        assert snapshot["max_concurrency"] == report.max_concurrency
+        assert len(snapshot["wave_trace"]) == len(report.wave_trace)
+
+    def test_single_pair_falls_back_to_serial(self):
+        x, y = make_problem(2)
+        _, report = train(x, y, mode="interleaved")
+        assert report.schedule_source == "serial"
+        assert report.max_concurrency == 1
+
+    def test_wave_spans_mirror_the_trace(self):
+        """With tracing on, every executed wave emits a telemetry span whose
+        attributes carry the same numbers the report derives its
+        concurrency stats from."""
+        from repro.telemetry.tracer import Tracer
+
+        x, y = make_problem(3)
+        tracer = Tracer()
+        config = TrainerConfig(
+            device=scaled_tesla_p100(),
+            solver="batched",
+            concurrency_mode="interleaved",
+            probability=False,
+            tracer=tracer,
+        )
+        kernel = kernel_from_name("gaussian", gamma=0.4)
+        from repro.core.trainer import train_multiclass
+
+        _, report = train_multiclass(config, x, y, kernel, 10.0)
+        spans = [r for r in tracer.to_records() if r["name"] == "interleave.wave"]
+        assert len(spans) == len(report.wave_trace)
+        spans.sort(key=lambda r: r["attrs"]["wave"])
+        for record, wave in zip(spans, report.wave_trace):
+            assert record["attrs"]["wave"] == wave["wave"]
+            assert record["attrs"]["n_members"] == wave["n_members"]
+            assert record["attrs"]["serial_seconds"] == wave["serial_seconds"]
+            assert record["attrs"]["concurrent_seconds"] == (
+                wave["concurrent_seconds"]
+            )
+        assert report.max_concurrency == max(
+            r["attrs"]["n_members"] for r in spans
+        )
+
+
+class TestConfigValidation:
+    """The packing knobs reject values that would corrupt wave accounting."""
+
+    def _config(self, **overrides):
+        return TrainerConfig(device=scaled_tesla_p100(), **overrides)
+
+    @pytest.mark.parametrize("blocks", [0, -1, -7])
+    def test_blocks_per_svm_must_be_positive(self, blocks):
+        with pytest.raises(ValidationError, match="blocks_per_svm"):
+            self._config(blocks_per_svm=blocks)
+
+    @pytest.mark.parametrize("cap", [0, -2])
+    def test_max_concurrent_svms_must_be_positive(self, cap):
+        with pytest.raises(ValidationError, match="max_concurrent_svms"):
+            self._config(max_concurrent_svms=cap)
+
+    def test_share_budget_must_be_positive(self):
+        with pytest.raises(ValidationError, match="share_budget_bytes"):
+            self._config(share_budget_bytes=0)
+
+    def test_unknown_concurrency_mode_rejected(self):
+        with pytest.raises(ValidationError, match="concurrency_mode"):
+            self._config(concurrency_mode="speculative")
+
+    def test_valid_configs_accepted(self):
+        self._config(blocks_per_svm=1, max_concurrent_svms=1)
+        self._config(concurrency_mode="posthoc", share_budget_bytes=1 << 20)

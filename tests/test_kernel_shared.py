@@ -132,3 +132,170 @@ class TestMemoryCap:
         shared = SharedClassPairKernels(computer, partition, max_bytes=8)
         shared.segment(0, 0)
         assert shared.resident_bytes == 0
+
+
+class TestInterleavedAccess:
+    """The wave driver's fused prefetch path (interleaved trainer)."""
+
+    @pytest.fixture
+    def wave_setup(self, gpu_engine, rng):
+        x = rng.normal(size=(30, 5))
+        labels = np.repeat([0, 1, 2], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(3)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(gamma=0.5), x)
+        shared = SharedClassPairKernels(computer, partition)
+        return shared, computer, x, partition
+
+    def test_fused_launch_computes_union_once(self, wave_setup):
+        shared, computer, _, _ = wave_setup
+        computer.norms()  # materialize the lazy row norms up front
+        launches_before = computer.engine.counters.kernel_launches
+        # Two concurrently-running SVMs, (0,1) and (0,2), demanding
+        # overlapping class-0 segments for rows {2, 4}.
+        ids = np.array([2, 4])
+        computed = shared.prefetch([(ids, 0, 1), (ids, 0, 2)])
+        # Segments: rows x classes {0, 1, 2} = 6 unique; the class-0
+        # demand of the second SVM is deduplicated against the first's.
+        assert computed == 6
+        assert shared.stats.prefetch_launches == 1
+        assert shared.stats.prefetch_segments == 6
+        assert shared.stats.prefetch_dedup_hits == 2
+        # One fused kernel launch on the master engine, not one per class
+        # segment per solver.
+        assert computer.engine.counters.kernel_launches == launches_before + 1
+
+    def test_prefetched_values_bitwise_match_private_computation(
+        self, wave_setup, gpu_engine, rng
+    ):
+        shared, computer, x, partition = wave_setup
+        ids = np.array([1, 7, 15])
+        shared.prefetch([(ids, 0, 1)])
+        block = shared.rows_for_pair(ids, 0, 1)
+        # An SVM with sharing disabled computes the same rows privately;
+        # batch composition must not leak into the numerics.
+        private = SharedClassPairKernels(computer, partition, enabled=False)
+        expected = private.rows_for_pair(ids, 0, 1)
+        assert np.array_equal(block, expected)
+
+    def test_first_touch_accounts_as_miss_then_hits(self, wave_setup):
+        """Stats parity with the sequential schedule: the demand that
+        caused a segment to be computed is a miss, later touches are hits."""
+        shared, _, _, _ = wave_setup
+        ids = np.array([3])
+        shared.prefetch([(ids, 0, 1), (ids, 0, 2)])
+        assert shared.stats.segment_hits == 0
+        assert shared.stats.segment_misses == 0  # nothing consumed yet
+        shared.rows_for_pair(ids, 0, 1)  # the computing owner's fetch
+        assert shared.stats.segment_misses == 2
+        assert shared.stats.segment_hits == 0
+        shared.rows_for_pair(ids, 0, 2)  # the wave partner reuses class 0
+        assert shared.stats.segment_misses == 3
+        assert shared.stats.segment_hits == 1
+
+    def test_consuming_fetch_does_no_recomputation(self, wave_setup):
+        shared, computer, _, _ = wave_setup
+        ids = np.array([5, 9])
+        shared.prefetch([(ids, 1, 2)])
+        flops_before = computer.engine.counters.flops
+        shared.rows_for_pair(ids, 1, 2)
+        assert computer.engine.counters.flops == flops_before
+
+    def test_repeat_prefetch_of_resident_segments_is_free(self, wave_setup):
+        shared, computer, _, _ = wave_setup
+        ids = np.array([2, 4])
+        shared.prefetch([(ids, 0, 1)])
+        launches = computer.engine.counters.kernel_launches
+        assert shared.prefetch([(ids, 0, 1)]) == 0
+        assert computer.engine.counters.kernel_launches == launches
+        assert shared.stats.prefetch_launches == 1
+
+    def test_disabled_sharing_makes_prefetch_a_noop(self, gpu_engine, rng):
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        shared = SharedClassPairKernels(computer, partition, enabled=False)
+        flops_before = gpu_engine.counters.flops
+        assert shared.prefetch([(np.array([0, 1]), 0, 1)]) == 0
+        assert gpu_engine.counters.flops == flops_before
+        assert shared.stats.prefetch_launches == 0
+        assert shared.resident_bytes == 0
+
+    def test_empty_request_list_is_a_noop(self, wave_setup):
+        shared, computer, _, _ = wave_setup
+        launches = computer.engine.counters.kernel_launches
+        assert shared.prefetch([]) == 0
+        assert computer.engine.counters.kernel_launches == launches
+
+    def test_unknown_class_rejected(self, wave_setup):
+        shared = wave_setup[0]
+        with pytest.raises(ValidationError):
+            shared.prefetch([(np.array([0]), 0, 9)])
+
+    def test_eviction_under_pressure_keeps_fifo_order(self, gpu_engine, rng):
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        segment_bytes = 10 * 8
+        shared = SharedClassPairKernels(
+            computer, partition, max_bytes=3 * segment_bytes
+        )
+        # Prefetch four class-0 segments into a three-segment store: the
+        # first-stored segment (row 0) must be the one evicted.
+        shared.prefetch([(np.array([0, 1, 2, 3]), 0, 0)])
+        assert shared.resident_bytes == 3 * segment_bytes
+        shared.stats = type(shared.stats)()  # reset accounting
+        shared.segment(1, 0)
+        shared.segment(2, 0)
+        shared.segment(3, 0)
+        assert shared.stats.values_computed == 0  # rows 1-3 still resident
+        shared.segment(0, 0)  # evicted: must recompute
+        assert shared.stats.values_computed == 10
+
+    def test_evicted_prefetched_segment_recomputes_cleanly(
+        self, gpu_engine, rng
+    ):
+        """Eviction must also clear the first-touch bookkeeping so a
+        recomputed segment is not double-counted."""
+        x = rng.normal(size=(20, 4))
+        labels = np.repeat([0, 1], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(2)}
+        computer = KernelRowComputer(gpu_engine, GaussianKernel(1.0), x)
+        shared = SharedClassPairKernels(computer, partition, max_bytes=2 * 10 * 8)
+        shared.prefetch([(np.array([0, 1, 2]), 0, 0)])  # row 0 evicted
+        shared.segment(0, 0)  # recompute: a genuine miss
+        assert shared.stats.segment_misses == 1
+        shared.segment(0, 0)  # now a genuine hit (rows 1-2 were evicted)
+        assert shared.stats.segment_hits == 1
+
+    def test_wave_stats_match_sequential_schedule(self, gpu_engine, rng):
+        """Aggregate hit/miss accounting is schedule-independent: a fused
+        wave and a sequential replay of the same demand agree exactly."""
+        x = rng.normal(size=(30, 5))
+        labels = np.repeat([0, 1, 2], 10)
+        partition = {c: np.flatnonzero(labels == c) for c in range(3)}
+        demand = [
+            (np.array([2, 4]), 0, 1),
+            (np.array([2, 9]), 0, 2),
+            (np.array([4, 9]), 1, 2),
+        ]
+
+        fused = SharedClassPairKernels(
+            KernelRowComputer(gpu_engine, GaussianKernel(0.5), x), partition
+        )
+        fused.prefetch(demand)
+        for ids, s, t in demand:
+            fused.rows_for_pair(ids, s, t)
+
+        sequential = SharedClassPairKernels(
+            KernelRowComputer(gpu_engine, GaussianKernel(0.5), x), partition
+        )
+        for ids, s, t in demand:
+            sequential.rows_for_pair(ids, s, t)
+
+        assert fused.stats.segment_hits == sequential.stats.segment_hits
+        assert fused.stats.segment_misses == sequential.stats.segment_misses
+        assert fused.stats.values_reused == sequential.stats.values_reused
+        assert fused.stats.values_computed == sequential.stats.values_computed
+        assert fused.stats.hit_rate == sequential.stats.hit_rate
