@@ -1,0 +1,56 @@
+"""Warm sealed-session serving vs cold per-request prediction.
+
+The serving layer's pitch is amortization: seal the model once (pool
+transfer, resident norms, stacked sigmoids) and fuse small requests into
+batched dispatches, instead of paying the full one-shot pipeline per
+request.  This bench replays m=2000 single-instance probability requests
+both ways and holds the warm path to >= 2x wall throughput and *bitwise*
+result parity.  The simulated-time side (speedup, p50/p99 latency, batch
+shape) is deterministic and gated by the committed
+``benchmarks/baselines/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import common
+from benchmarks.emit_json import run_serving
+from repro.perf.speedup import format_table
+
+pytestmark = pytest.mark.slow
+
+MIN_WALL_SPEEDUP = 2.0
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    metrics = run_serving()
+    return {"m=2000 max_batch=32": metrics}
+
+
+def test_warm_serving_speedup(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    metrics = rows["m=2000 max_batch=32"]
+    text = format_table(
+        rows,
+        [
+            "cold_wall_requests_per_s",
+            "warm_wall_requests_per_s",
+            "wall_speedup",
+            "simulated_speedup",
+            "latency_p50_simulated_s",
+            "latency_p99_simulated_s",
+        ],
+        title="Micro-batched warm serving vs cold per-request prediction",
+        row_label="workload",
+    )
+    common.record_table("serving", text, metrics=metrics)
+    assert metrics["bitwise_parity"] == 1.0
+    assert metrics["wall_speedup"] >= MIN_WALL_SPEEDUP
+    assert metrics["simulated_speedup"] > 1.0
+    assert metrics["latency_p99_simulated_s"] >= metrics["latency_p50_simulated_s"]
+
+
+if __name__ == "__main__":
+    for name, value in sorted(build_rows()["m=2000 max_batch=32"].items()):
+        print(f"{name:28s} {value:.6g}")

@@ -235,10 +235,84 @@ def run_train_interleave() -> dict[str, float]:
     }
 
 
+def run_serving(m: int = 2000, max_batch: int = 32) -> dict[str, float]:
+    """Warm sealed-session serving vs the cold per-request path.
+
+    Replays ``m`` single-instance probability requests two ways: cold —
+    every request runs the full one-shot pipeline (fresh engine, pool
+    norms, sigmoid stacking); warm — one sealed
+    :class:`~repro.serving.InferenceSession` behind a
+    :class:`~repro.serving.MicroBatcher` fusing up to ``max_batch``
+    requests per dispatch.  Both paths see the identical request stream
+    and the results are held to *bitwise* parity.  The simulated
+    timings, latency percentiles, batch shape and the parity flag are
+    deterministic and gated by the CI baseline; wall-clock throughput is
+    machine-dependent and asserted by ``benchmarks/bench_serving.py``.
+    """
+    import time
+
+    import numpy as np
+
+    from repro import GMPSVC, InferenceSession, MicroBatcher
+    from repro.core.predictor import PredictorConfig, predict_proba_model
+    from repro.data import gaussian_blobs
+    from repro.gpusim import scaled_tesla_p100
+
+    x, y = gaussian_blobs(n=300, n_features=8, n_classes=3, seed=11)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        clf = GMPSVC(C=10.0, gamma=0.3, working_set_size=32).fit(x, y)
+    model = clf.model_
+    requests = [x[i % x.shape[0] : i % x.shape[0] + 1] for i in range(m)]
+
+    # Cold: the full one-shot pipeline, once per request.
+    cold_config = PredictorConfig(device=scaled_tesla_p100())
+    cold_simulated = 0.0
+    start = time.perf_counter()
+    cold_rows = []
+    for row in requests:
+        probabilities, report = predict_proba_model(cold_config, model, row)
+        cold_rows.append(probabilities)
+        cold_simulated += report.simulated_seconds
+    cold_wall = time.perf_counter() - start
+    cold_result = np.vstack(cold_rows)
+
+    # Warm: seal once, micro-batch everything.
+    session = InferenceSession(model, PredictorConfig(device=scaled_tesla_p100()))
+    batcher = MicroBatcher(session, max_batch=max_batch)
+    start = time.perf_counter()
+    handles = [batcher.submit(row) for row in requests]
+    batcher.drain()
+    warm_wall = time.perf_counter() - start
+    warm_result = np.vstack([handle.result for handle in handles])
+    warm_simulated = session.stats.serve_simulated_s
+
+    stats = batcher.stats
+    return {
+        "m": float(m),
+        "max_batch": float(max_batch),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "wall_speedup": cold_wall / warm_wall,
+        "cold_wall_requests_per_s": m / cold_wall,
+        "warm_wall_requests_per_s": m / warm_wall,
+        "cold_simulated_seconds": cold_simulated,
+        "warm_simulated_seconds": warm_simulated,
+        "simulated_speedup": cold_simulated / warm_simulated,
+        "seal_simulated_seconds": session.stats.seal_simulated_s,
+        "n_batches": float(stats.n_batches),
+        "mean_batch_size": stats.mean_batch_size,
+        "latency_p50_simulated_s": stats.latency_percentile(50.0),
+        "latency_p99_simulated_s": stats.latency_percentile(99.0),
+        "bitwise_parity": float(np.array_equal(warm_result, cold_result)),
+    }
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
     "coupling": run_coupling,
     "train_interleave": run_train_interleave,
+    "serving": run_serving,
 }
 
 

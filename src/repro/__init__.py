@@ -4,26 +4,38 @@ A full reproduction of Wen, Shi, He, Chen & Chen, "Efficient Multi-Class
 Probabilistic SVMs on GPUs" (ICDE 2019), with the GPU substrate replaced
 by a cost-model simulator (see DESIGN.md).
 
+This module is the stable public surface.  Everything in ``__all__`` is
+covered by the API snapshot test (``tests/test_public_api.py``); the
+deep-import paths the names come from keep working but are considered
+implementation detail.
+
 Public entry points:
 
 - :class:`GMPSVC` — the paper's system (batched solver, concurrent binary
-  SVMs, kernel/SV sharing);
+  SVMs, kernel/SV sharing); :class:`TrainerConfig` /
+  :class:`PredictorConfig` are its underlying pipeline configurations;
 - :class:`SVC` — the binary special case;
 - :class:`SVR` / :class:`OneClassSVM` — the regression and novelty-
   detection surfaces ThunderSVM (the paper's host project) also ships;
+- :class:`InferenceSession` / :class:`MicroBatcher` — the serving layer:
+  seal a fitted model once, serve micro-batched requests against the warm
+  state (DESIGN.md §11);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
-- :func:`load_model` / model ``save`` — persistence.
+- :func:`save_model` / :func:`load_model` — versioned persistence.
 """
 
 from repro.core.gmp import GMPSVC
 from repro.core.oneclass import OneClassSVM
+from repro.core.predictor import PredictorConfig
 from repro.core.svc import SVC
 from repro.core.svr import SVR
+from repro.core.trainer import TrainerConfig
 from repro.exceptions import (
     ConvergenceWarning,
     DeviceMemoryError,
+    ModelFormatError,
     NotFittedError,
     ReproError,
     SolverError,
@@ -31,24 +43,30 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.model.persistence import load_model, save_model
+from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSRMatrix",
     "ConvergenceWarning",
     "DeviceMemoryError",
     "GMPSVC",
+    "InferenceSession",
+    "MicroBatcher",
+    "ModelFormatError",
     "NotFittedError",
     "OneClassSVM",
+    "PredictorConfig",
     "ReproError",
     "SVC",
     "SVR",
     "SolverError",
     "SparseFormatError",
     "Tracer",
+    "TrainerConfig",
     "ValidationError",
     "__version__",
     "dump_libsvm",

@@ -14,6 +14,12 @@ Flags follow LibSVM's conventions where they overlap (``-t`` kernel type,
 Observability flags (both tools): ``--report-json PATH`` writes the
 schema-versioned JSON report snapshot and ``--trace PATH`` writes a JSONL
 span trace of the run (see :mod:`repro.telemetry`).
+
+``repro-serve-bench`` exercises the serving layer: it seals the model
+into an :class:`~repro.serving.InferenceSession`, replays the test file
+as single-instance requests through a :class:`~repro.serving.MicroBatcher`
+and prints simulated throughput plus p50/p99 latency, next to the cold
+per-request baseline.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from repro.gpusim.device import scaled_tesla_p100
 from repro.sparse import load_libsvm
 from repro.telemetry import Tracer
 
-__all__ = ["train_main", "predict_main"]
+__all__ = ["train_main", "predict_main", "serve_bench_main"]
 
 KERNEL_TYPES = {0: "linear", 1: "polynomial", 2: "gaussian", 3: "sigmoid"}
 SYSTEMS = ("gmp-svm", "libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm")
@@ -218,4 +224,126 @@ def predict_main(argv: Optional[Sequence[str]] = None) -> int:
             f"simulated prediction time: {report.simulated_seconds * 1e3:.3f} ms",
             file=sys.stderr,
         )
+    return 0
+
+
+def _serve_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-bench",
+        description=(
+            "Replay a test file as single-instance requests through the "
+            "micro-batching serving layer and report simulated throughput."
+        ),
+    )
+    parser.add_argument("test_file", help="test data, LibSVM format")
+    parser.add_argument("model_file", help="model written by repro-train")
+    parser.add_argument("-n", "--requests", type=int, default=None,
+                        help="number of requests to replay (default: one "
+                             "per test row, cycling if larger)")
+    parser.add_argument("--kind", default="predict_proba",
+                        choices=("predict_proba", "predict",
+                                 "decision_function"),
+                        help="request kind submitted to the batcher")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="max requests fused per dispatch")
+    parser.add_argument("--max-wait", type=float, default=0.0, metavar="S",
+                        help="simulated seconds a batch waits for company")
+    parser.add_argument("--arrival-gap", type=float, default=0.0, metavar="S",
+                        help="simulated seconds between request arrivals")
+    parser.add_argument("--tile-cache", type=int, default=0, metavar="N",
+                        help="resident test-kernel tile cache entries")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="write the serving metrics as JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL span trace of the serving run")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    return parser
+
+
+def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-serve-bench``; returns a process exit code."""
+    import json
+
+    from repro.serving import InferenceSession, MicroBatcher
+
+    args = _serve_bench_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
+    try:
+        model = load_model(args.model_file)
+        data, _ = load_libsvm(
+            args.test_file, n_features=model.sv_pool.pool_data.shape[1]
+        )
+        n_requests = args.requests if args.requests else data.shape[0]
+        if n_requests < 1:
+            raise ReproError(f"--requests must be >= 1, got {n_requests}")
+
+        from repro.sparse import ops as mops
+
+        def request_row(i: int):
+            position = np.asarray([i % data.shape[0]], dtype=np.int64)
+            return mops.take_rows(data, position)
+
+        # Cold baseline: one fresh predictor pipeline per request.
+        cold_config = PredictorConfig(device=scaled_tesla_p100())
+        cold_s = 0.0
+        probe = min(n_requests, 32)
+        for i in range(probe):
+            row = request_row(i)
+            if args.kind == "predict_proba":
+                _, report = predict_proba_model(cold_config, model, row)
+            else:
+                _, report = predict_labels_model(cold_config, model, row)
+            cold_s += report.simulated_seconds
+        cold_s *= n_requests / probe
+
+        # Warm serving: sealed session + micro-batched dispatch.
+        session = InferenceSession(
+            model,
+            PredictorConfig(device=scaled_tesla_p100(), tracer=tracer),
+            tile_cache_entries=args.tile_cache,
+        )
+        batcher = MicroBatcher(
+            session, max_batch=args.max_batch, max_wait_s=args.max_wait
+        )
+        arrival = 0.0
+        for i in range(n_requests):
+            batcher.submit(request_row(i), kind=args.kind, arrival_s=arrival)
+            arrival += args.arrival_gap
+        batcher.drain()
+        if tracer is not None:
+            tracer.write_jsonl(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"repro-serve-bench: error: {exc}", file=sys.stderr)
+        return 1
+
+    stats = batcher.stats
+    warm_s = session.stats.serve_simulated_s
+    metrics = {
+        "n_requests": stats.n_requests,
+        "n_batches": stats.n_batches,
+        "mean_batch_size": stats.mean_batch_size,
+        "seal_simulated_s": session.stats.seal_simulated_s,
+        "warm_simulated_s": warm_s,
+        "cold_simulated_s": cold_s,
+        "warm_requests_per_s": n_requests / warm_s if warm_s else 0.0,
+        "cold_requests_per_s": n_requests / cold_s if cold_s else 0.0,
+        "speedup": cold_s / warm_s if warm_s else 0.0,
+        "latency_p50_s": stats.latency_percentile(50.0),
+        "latency_p99_s": stats.latency_percentile(99.0),
+    }
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2)
+            handle.write("\n")
+    if not args.quiet:
+        print(f"served {stats.n_requests} requests in {stats.n_batches} "
+              f"fused batches (mean {stats.mean_batch_size:.1f} req/batch)")
+        print(f"simulated warm serving time: {warm_s * 1e3:.3f} ms "
+              f"({metrics['warm_requests_per_s']:.0f} req/s)")
+        print(f"simulated cold baseline:     {cold_s * 1e3:.3f} ms "
+              f"({metrics['cold_requests_per_s']:.0f} req/s)")
+        print(f"warm speedup: {metrics['speedup']:.2f}x")
+        print(f"latency p50/p99 (simulated): "
+              f"{metrics['latency_p50_s'] * 1e3:.3f} / "
+              f"{metrics['latency_p99_s'] * 1e3:.3f} ms")
     return 0

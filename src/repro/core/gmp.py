@@ -19,6 +19,7 @@ True
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.core.predictor import (
 )
 from repro.core.trainer import TrainerConfig, train_multiclass
 from repro.core.validation import check_fit_inputs, check_predict_inputs, resolve_gamma
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.gpusim.device import DeviceSpec, scaled_tesla_p100
 from repro.kernels.functions import KernelFunction, kernel_from_name
 from repro.model.persistence import save_model
@@ -122,6 +123,47 @@ class GMPSVC:
     # ------------------------------------------------------------------
     # Configuration plumbing
     # ------------------------------------------------------------------
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        """Constructor parameter names, in declaration order.
+
+        Read off the class's own ``__init__`` signature so estimator
+        subclasses (the baselines) inherit working ``get_params`` /
+        ``set_params`` without repeating their parameter lists.
+        """
+        return [
+            name
+            for name in inspect.signature(cls.__init__).parameters
+            if name != "self"
+        ]
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Constructor parameters and their current values (sklearn API).
+
+        The returned mapping round-trips: ``type(est)(**est.get_params())``
+        builds an estimator that trains identically.  ``deep`` is accepted
+        for sklearn compatibility; there are no nested estimators.
+        """
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: object) -> "GMPSVC":
+        """Update constructor parameters in place (sklearn API).
+
+        Unknown names raise :class:`~repro.exceptions.ValidationError`
+        (a ``ValueError``) naming the offending key.  Returns self.
+        """
+        valid = self._param_names()
+        for key in params:
+            if key not in valid:
+                raise ValidationError(
+                    f"invalid parameter {key!r} for estimator "
+                    f"{type(self).__name__}; valid parameters: "
+                    f"{', '.join(valid)}"
+                )
+        for key, value in params.items():
+            setattr(self, key, value)
+        return self
+
     def _build_kernel(self, n_features: int) -> KernelFunction:
         name = self.kernel.lower()
         if name in ("gaussian", "rbf"):

@@ -19,9 +19,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.validation import strict_config
 from repro.exceptions import NotFittedError, ValidationError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.engine import Engine, make_engine
+from repro.kernels.rows import KernelRowComputer
 from repro.model.multiclass import MPSVMModel
 from repro.multiclass.ova import ova_positions
 from repro.multiclass.voting import ovo_vote
@@ -34,11 +36,13 @@ from repro.telemetry.tracer import Tracer, maybe_span
 __all__ = [
     "PredictorConfig",
     "decision_matrix",
+    "probabilities_from_decisions",
     "predict_proba_model",
     "predict_labels_model",
 ]
 
 
+@strict_config
 @dataclass
 class PredictorConfig:
     """Prediction-side knobs distinguishing the paper's systems."""
@@ -72,15 +76,43 @@ def decision_matrix(
     test_data: mops.MatrixLike,
     *,
     sv_sharing: bool = True,
+    computer: Optional[KernelRowComputer] = None,
 ) -> np.ndarray:
-    """Decision values of each test instance under each binary SVM."""
+    """Decision values of each test instance under each binary SVM.
+
+    ``computer`` optionally supplies a prebuilt pool-side kernel-row
+    computer (a sealed serving session's warm state); it must be bound to
+    ``engine`` and to the model's pool data.
+    """
     return model.sv_pool.decision_values(
         engine,
         model.kernel,
         test_data,
         shared=sv_sharing,
         category="decision_values",
+        computer=computer,
     )
+
+
+def probabilities_from_decisions(
+    engine: Engine,
+    model: MPSVMModel,
+    decisions: np.ndarray,
+    *,
+    coupling_method: str = "eq15",
+) -> np.ndarray:
+    """Multi-class probabilities from a decision-value batch.
+
+    This is the numeric tail every probability path shares — the one-shot
+    :func:`predict_proba_model` and the sealed serving session both call
+    it, which is what keeps their outputs bitwise identical: pair sigmoids
+    in one broadcast pass, then Wu-Lin-Weng coupling (or the OvA
+    renormalisation) over the whole batch.
+    """
+    if model.strategy == "ova":
+        return _ova_probabilities(engine, model, decisions)
+    r_batch = _pairwise_estimates(engine, model, decisions)
+    return couple_batch(engine, r_batch, method=coupling_method)
 
 
 def predict_proba_model(
@@ -122,15 +154,12 @@ def predict_proba_model(
                 decisions = decision_matrix(
                     engine, model, chunk, sv_sharing=config.sv_sharing
                 )
-                if model.strategy == "ova":
-                    probabilities[start:stop] = _ova_probabilities(
-                        engine, model, decisions
-                    )
-                else:
-                    r_batch = _pairwise_estimates(engine, model, decisions)
-                    probabilities[start:stop] = couple_batch(
-                        engine, r_batch, method=config.coupling_method
-                    )
+                probabilities[start:stop] = probabilities_from_decisions(
+                    engine,
+                    model,
+                    decisions,
+                    coupling_method=config.coupling_method,
+                )
         predict_span.set(simulated_seconds=engine.clock.elapsed_s)
 
     report = PredictionReport(
@@ -193,12 +222,13 @@ def predict_labels_model(
     return model.labels_from_positions(positions), report
 
 
-def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
-    """Test-batch size: explicit, or bounded by device memory.
+def batch_budget_rows(config: PredictorConfig, model: MPSVMModel) -> int:
+    """Device-memory bound on the test-batch row count (m-independent).
 
     The dominant resident structure is the test-vs-pool kernel block
     (``batch x n_pool`` float64); it is held to a quarter of device memory,
-    mirroring the paper's group-at-a-time launching.
+    mirroring the paper's group-at-a-time launching.  A sealed serving
+    session resolves this once; the one-shot path re-derives it per call.
     """
     if config.batch_size is not None:
         if config.batch_size <= 0:
@@ -209,7 +239,13 @@ def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
         return config.batch_size
     block_budget = config.device.global_mem_bytes // 4
     per_row = max(model.sv_pool.n_pool * 8, 1)
-    return max(1, min(m, block_budget // per_row))
+    return max(1, block_budget // per_row)
+
+
+def _resolve_batch(config: PredictorConfig, model: MPSVMModel, m: int) -> int:
+    """Test-batch size for an ``m``-instance request (see batch_budget_rows)."""
+    budget = batch_budget_rows(config, model)
+    return max(1, min(m, budget)) if config.batch_size is None else budget
 
 
 def _pairwise_estimates(

@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.interleave import PairMember, run_interleaved
+from repro.core.validation import strict_config
 from repro.exceptions import ConvergenceWarning, ValidationError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.device import DeviceSpec
@@ -55,6 +56,7 @@ from repro.telemetry.tracer import Tracer, maybe_span
 __all__ = ["TrainerConfig", "train_multiclass"]
 
 
+@strict_config
 @dataclass
 class TrainerConfig:
     """Every knob that distinguishes the paper's systems."""

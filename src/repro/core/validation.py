@@ -2,12 +2,52 @@
 
 from __future__ import annotations
 
+import functools
+import inspect
+
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.sparse import ops as mops
 
-__all__ = ["check_fit_inputs", "check_predict_inputs", "resolve_gamma"]
+__all__ = [
+    "check_fit_inputs",
+    "check_predict_inputs",
+    "resolve_gamma",
+    "strict_config",
+]
+
+
+def strict_config(cls: type) -> type:
+    """Class decorator: reject unknown keyword arguments by name.
+
+    Dataclass-generated ``__init__`` raises a bare ``TypeError`` on an
+    unexpected keyword; the public configuration objects instead raise
+    :class:`~repro.exceptions.ValidationError` (a ``ValueError``) that
+    names the offending key(s) and lists the valid parameters, so typos
+    like ``bath_size`` fail with an actionable message.  Apply *above*
+    ``@dataclass`` so it wraps the generated initializer.
+    """
+    generated = cls.__init__
+    valid = [
+        name
+        for name in inspect.signature(generated).parameters
+        if name != "self"
+    ]
+
+    @functools.wraps(generated)
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        unknown = sorted(set(kwargs) - set(valid))
+        if unknown:
+            keys = ", ".join(repr(key) for key in unknown)
+            raise ValidationError(
+                f"unknown {cls.__name__} parameter(s): {keys}; "
+                f"valid parameters: {', '.join(valid)}"
+            )
+        generated(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
 
 
 def check_fit_inputs(data: object, y: object) -> tuple[mops.MatrixLike, np.ndarray]:

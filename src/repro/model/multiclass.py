@@ -73,6 +73,24 @@ class MPSVMModel:
         return self.sv_pool.n_pool
 
     @property
+    def n_features(self) -> int:
+        """Feature count the model was trained on (pool column count)."""
+        return int(self.sv_pool.pool_data.shape[1])
+
+    def warm(self) -> "MPSVMModel":
+        """Materialize every lazily-built prediction array; returns self.
+
+        Sealing a serving session must leave nothing to build on the first
+        request, so this forces the stacked ``(A, B)`` sigmoid arrays (for
+        probabilistic models) and the pair-position indices that the
+        batched prediction path reads on every call.
+        """
+        if self.probability:
+            self.sigmoid_params()
+        self.pair_positions()
+        return self
+
+    @property
     def bias_of_last_svm(self) -> float:
         """Bias of the last binary SVM — the quantity Table 4 reports."""
         return self.records[-1].bias

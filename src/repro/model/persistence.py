@@ -106,8 +106,20 @@ def load_model(source: PathOrFile) -> MPSVMModel:
     header = next_line().split()
     if len(header) != 2 or header[0] != FORMAT_NAME:
         raise ModelFormatError(f"not a {FORMAT_NAME} file: {header!r}")
-    if int(header[1]) != FORMAT_VERSION:
-        raise ModelFormatError(f"unsupported model version {header[1]}")
+    try:
+        version = int(header[1])
+    except ValueError:
+        raise ModelFormatError(
+            f"malformed {FORMAT_NAME} version {header[1]!r}: expected an "
+            f"integer (this writer produces version {FORMAT_VERSION})"
+        ) from None
+    if version != FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported {FORMAT_NAME} format version: expected "
+            f"{FORMAT_VERSION}, found {version}; re-save the model with "
+            f"this version of repro (repro.save_model) or load it with a "
+            f"release that writes version {version}"
+        )
 
     kernel_fields = next_line().split()
     if kernel_fields[0] != "kernel" or len(kernel_fields) < 2:

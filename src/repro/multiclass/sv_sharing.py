@@ -16,6 +16,7 @@ paper's prediction phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -126,6 +127,62 @@ class SupportVectorPool:
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _weighted_sums(
+        self,
+        engine: Engine,
+        block: np.ndarray,
+        svm: PooledSVM,
+        *,
+        sliced: bool,
+        category: str,
+    ) -> np.ndarray:
+        """One SVM's ``sum_i alpha_i y_i K(x, sv_i) + b`` over a kernel block.
+
+        ``sliced=True`` gathers the SVM's columns out of a test-vs-pool
+        block; ``sliced=False`` takes a block already restricted to the
+        SVM's own support vectors.  The reduction runs through the
+        fixed-shape tiled product so every output value is bitwise
+        independent of how the test batch was composed (the invariant the
+        serving layer's micro-batching relies on; see
+        ``repro.sparse.ops.MATMUL_TILE_ROWS``).
+        """
+        m = block.shape[0]
+        columns = block[:, svm.pool_positions] if sliced else block
+        values = mops.matmul_transpose(columns, svm.coefficients[None, :])[:, 0]
+        engine.charge(
+            category,
+            flops=2 * m * svm.pool_positions.size,
+            bytes_read=m * svm.pool_positions.size * FLOAT_BYTES,
+            bytes_written=m * FLOAT_BYTES,
+            launches=1,
+        )
+        return values + svm.bias
+
+    def decision_values_from_block(
+        self,
+        engine: Engine,
+        block: np.ndarray,
+        *,
+        category: str = "decision_values",
+    ) -> np.ndarray:
+        """Decision values from a precomputed test-vs-pool kernel block.
+
+        ``block`` must be the full ``(m, n_pool)`` kernel matrix between
+        the test batch and the shared pool (what :class:`InferenceSession`
+        keeps resident in its tile cache); each SVM's decision values are
+        the cheap weighted sums over its slice.
+        """
+        if block.shape[1] != self.n_pool:
+            raise ValidationError(
+                f"block has {block.shape[1]} columns; pool holds {self.n_pool}"
+            )
+        out = np.empty((block.shape[0], len(self.svms)))
+        for column, svm in enumerate(self.svms):
+            out[:, column] = self._weighted_sums(
+                engine, block, svm, sliced=True, category=category
+            )
+        return out
+
     def decision_values(
         self,
         engine: Engine,
@@ -134,6 +191,7 @@ class SupportVectorPool:
         *,
         shared: bool = True,
         category: str = "decision_values",
+        computer: Optional[KernelRowComputer] = None,
     ) -> np.ndarray:
         """Decision values of every test instance under every binary SVM.
 
@@ -142,10 +200,15 @@ class SupportVectorPool:
         ``shared=True`` (GMP-SVM) computes the test-vs-pool kernel block
         once; ``shared=False`` (the GPU baseline) recomputes the block of
         each SVM's own support vectors separately, as Phase (iii)(1) does.
+        ``computer`` optionally supplies a prebuilt pool-side
+        :class:`KernelRowComputer` (with its norms already resident) so a
+        sealed serving session skips the per-call pool preparation.
         """
-        computer = KernelRowComputer(engine, kernel, self.pool_data, category=category)
+        if computer is None:
+            computer = KernelRowComputer(
+                engine, kernel, self.pool_data, category=category
+            )
         m = mops.n_rows(test_data)
-        out = np.empty((m, len(self.svms)))
         norms_test = (
             KernelFunction.compute_norms(engine, test_data, category=category)
             if kernel.needs_norms
@@ -155,18 +218,11 @@ class SupportVectorPool:
             block = computer.block(
                 test_data, norms_other=norms_test, category=category
             )
-            for column, svm in enumerate(self.svms):
-                values = block[:, svm.pool_positions] @ svm.coefficients
-                engine.charge(
-                    category,
-                    flops=2 * m * svm.pool_positions.size,
-                    bytes_read=m * svm.pool_positions.size * FLOAT_BYTES,
-                    bytes_written=m * FLOAT_BYTES,
-                    launches=1,
-                )
-                out[:, column] = values + svm.bias
-            return out
+            return self.decision_values_from_block(
+                engine, block, category=category
+            )
 
+        out = np.empty((m, len(self.svms)))
         for column, svm in enumerate(self.svms):
             block = computer.block(
                 test_data,
@@ -174,13 +230,7 @@ class SupportVectorPool:
                 column_indices=svm.pool_positions,
                 category=category,
             )
-            values = block @ svm.coefficients
-            engine.charge(
-                category,
-                flops=2 * m * svm.pool_positions.size,
-                bytes_read=m * svm.pool_positions.size * FLOAT_BYTES,
-                bytes_written=m * FLOAT_BYTES,
-                launches=1,
+            out[:, column] = self._weighted_sums(
+                engine, block, svm, sliced=False, category=category
             )
-            out[:, column] = values + svm.bias
         return out

@@ -1,0 +1,22 @@
+"""The serving layer: sealed inference sessions and micro-batched dispatch.
+
+- :class:`InferenceSession` — seals a fitted model (warm SV pool, resident
+  norms, stacked sigmoid arrays, one persistent engine) and serves
+  repeated predictions with zero per-call setup;
+- :class:`MicroBatcher` — coalesces small requests into fused batches
+  dispatched through one session call each, with per-request simulated
+  queueing/compute latency accounting.
+
+See DESIGN.md §11 for the seal/dispatch lifecycle.
+"""
+
+from repro.serving.batcher import BatcherStats, MicroBatcher, ServedRequest
+from repro.serving.session import InferenceSession, SessionStats
+
+__all__ = [
+    "BatcherStats",
+    "InferenceSession",
+    "MicroBatcher",
+    "ServedRequest",
+    "SessionStats",
+]

@@ -1,0 +1,315 @@
+"""Micro-batching request queue over a sealed :class:`InferenceSession`.
+
+A server taking single-instance requests one at a time pays the full
+per-dispatch overhead — kernel launches, sigmoid and coupling passes — for
+every instance.  The paper's prediction phase is built for exactly the
+opposite regime: one fused batch through the shared test-vs-pool block and
+the batched coupling solver.  :class:`MicroBatcher` bridges the two: it
+queues incoming requests and coalesces them into fused batches of up to
+``max_batch`` rows, waiting at most ``max_wait_s`` of simulated time after
+a batch's first request before dispatching.
+
+The queue is FIFO and never reorders responses: a batch closes early when
+the next request needs a different computation (labels vs. decision
+values) or a different matrix representation (dense vs. CSR).  Each fused
+batch runs as *one* session call; the result rows are split back per
+request afterwards.  Because every numeric stage underneath is bitwise
+independent of batch composition (see :mod:`repro.serving.session`), each
+request's rows are bit-for-bit what a one-shot call on that request alone
+would return.
+
+Timing is simulated: requests carry an arrival timestamp on the session's
+simulated clock axis, the batcher tracks a virtual "now" that advances
+through queue waits and batch compute, and each request records its
+queueing, compute and total latency.  When the session carries a tracer,
+every dispatch emits a ``serve_batch`` span and one ``serve_request``
+event per member request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.validation import check_predict_inputs
+from repro.exceptions import ValidationError
+from repro.serving.session import InferenceSession
+from repro.sparse import CSRMatrix
+from repro.sparse import ops as mops
+from repro.telemetry.tracer import maybe_span
+
+__all__ = ["MicroBatcher", "ServedRequest", "BatcherStats"]
+
+REQUEST_KINDS = ("predict_proba", "predict", "decision_function")
+
+
+@dataclass
+class ServedRequest:
+    """One queued request and, after :meth:`MicroBatcher.drain`, its result."""
+
+    index: int
+    kind: str
+    data: object = field(repr=False)
+    n_rows: int = 0
+    arrival_s: float = 0.0
+    done: bool = False
+    batch_id: Optional[int] = None
+    queue_s: float = 0.0
+    compute_s: float = 0.0
+    latency_s: float = 0.0
+    _result: object = field(default=None, repr=False)
+
+    @property
+    def result(self) -> np.ndarray:
+        """The request's rows (probabilities, labels or decision values)."""
+        if not self.done:
+            raise ValidationError(
+                f"request #{self.index} has not been dispatched yet; call "
+                "MicroBatcher.drain() first"
+            )
+        return self._result
+
+
+@dataclass
+class BatcherStats:
+    """Aggregate dispatch statistics across all drained batches."""
+
+    n_batches: int = 0
+    n_requests: int = 0
+    n_rows: int = 0
+    latencies_s: list = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests per fused dispatch."""
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Simulated per-request latency percentile (q in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+
+def _compute_group(session: InferenceSession, kind: str) -> str:
+    """Which fused computation a request needs (requests fuse per group)."""
+    if kind == "decision_function":
+        return "decision"
+    if kind == "predict" and not session.model.probability:
+        return "vote"
+    return "proba"  # predict_proba, and predict via argmax-probability
+
+
+def _matrix_group(data: mops.MatrixLike) -> str:
+    return "csr" if isinstance(data, CSRMatrix) else "dense"
+
+
+def _fuse(matrices: list) -> mops.MatrixLike:
+    if len(matrices) == 1:
+        return matrices[0]
+    if isinstance(matrices[0], CSRMatrix):
+        return CSRMatrix.vstack(matrices)
+    return np.vstack(matrices)
+
+
+class MicroBatcher:
+    """Coalesces small requests into fused dispatches through one session.
+
+    Parameters
+    ----------
+    session:
+        The sealed :class:`InferenceSession` dispatches run against.
+    max_batch:
+        Maximum requests fused into one dispatch (>= 1).
+    max_wait_s:
+        Longest simulated time a batch's first request waits for company
+        before the batch dispatches anyway.  0 still fuses requests that
+        arrived at the same instant.
+    """
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        *,
+        max_batch: int = 64,
+        max_wait_s: float = 0.0,
+    ) -> None:
+        if not isinstance(session, InferenceSession):
+            raise ValidationError(
+                f"MicroBatcher requires an InferenceSession, got "
+                f"{type(session).__name__}"
+            )
+        if int(max_batch) < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValidationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.session = session
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.stats = BatcherStats()
+        self._pending: list[ServedRequest] = []
+        self._next_index = 0
+        self._next_batch_id = 0
+        self._virtual_now = session.simulated_seconds
+
+    # ------------------------------------------------------------------
+    # Queueing
+    # ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        """Requests queued and not yet dispatched."""
+        return len(self._pending)
+
+    @property
+    def virtual_now_s(self) -> float:
+        """The batcher's current position on the simulated time axis."""
+        return self._virtual_now
+
+    def submit(
+        self,
+        X: object,
+        *,
+        kind: str = "predict_proba",
+        arrival_s: Optional[float] = None,
+    ) -> ServedRequest:
+        """Queue one request; returns its handle (resolved by :meth:`drain`).
+
+        ``arrival_s`` places the request on the simulated time axis
+        (default: the batcher's current virtual time).  Arrivals must be
+        non-decreasing across submissions — the queue is FIFO.
+        """
+        if kind not in REQUEST_KINDS:
+            raise ValidationError(
+                f"kind must be one of {REQUEST_KINDS}, got {kind!r}"
+            )
+        data = check_predict_inputs(X, self.session.n_features)
+        arrival = self._virtual_now if arrival_s is None else float(arrival_s)
+        if self._pending and arrival < self._pending[-1].arrival_s:
+            raise ValidationError(
+                f"arrival_s={arrival} precedes the previous request's "
+                f"arrival ({self._pending[-1].arrival_s}); the queue is FIFO"
+            )
+        request = ServedRequest(
+            index=self._next_index,
+            kind=kind,
+            data=data,
+            n_rows=mops.n_rows(data),
+            arrival_s=arrival,
+        )
+        self._next_index += 1
+        self._pending.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def drain(self) -> list[ServedRequest]:
+        """Dispatch every pending request; returns them in submission order.
+
+        Batches form FIFO: starting from the oldest pending request, later
+        requests join while they share its computation and representation,
+        the batch is below ``max_batch``, and they arrived within
+        ``max_wait_s`` of the batch's first request.  A full batch
+        dispatches at its last member's arrival; a window-limited batch at
+        window close; the final flush dispatches as soon as its members
+        have all arrived.
+        """
+        queue = self._pending
+        self._pending = []
+        drained: list[ServedRequest] = []
+        i = 0
+        while i < len(queue):
+            head = queue[i]
+            group = (
+                _compute_group(self.session, head.kind),
+                _matrix_group(head.data),
+            )
+            window_end = head.arrival_s + self.max_wait_s
+            batch = [head]
+            j = i + 1
+            while j < len(queue) and len(batch) < self.max_batch:
+                nxt = queue[j]
+                if (
+                    _compute_group(self.session, nxt.kind),
+                    _matrix_group(nxt.data),
+                ) != group or nxt.arrival_s > window_end:
+                    break
+                batch.append(nxt)
+                j += 1
+            full = len(batch) == self.max_batch
+            more_waiting = j < len(queue)
+            last_arrival = batch[-1].arrival_s
+            close_s = window_end if (more_waiting and not full) else last_arrival
+            self._dispatch(batch, group[0], max(close_s, last_arrival))
+            drained.extend(batch)
+            i = j
+        return drained
+
+    def _dispatch(
+        self, batch: list[ServedRequest], compute_group: str, close_s: float
+    ) -> None:
+        session = self.session
+        engine = session.engine
+        dispatch_s = max(self._virtual_now, close_s)
+        fused = _fuse([request.data for request in batch])
+        n_rows = mops.n_rows(fused)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+
+        sim_before = engine.clock.elapsed_s
+        tracer = session.config.tracer
+        with maybe_span(
+            tracer,
+            "serve_batch",
+            clock=engine.clock,
+            batch_id=batch_id,
+            compute=compute_group,
+            n_requests=len(batch),
+            n_rows=n_rows,
+            dispatch_s=dispatch_s,
+        ) as span:
+            if compute_group == "proba":
+                fused_proba = session.predict_proba(fused)
+                fused_rows = fused_proba
+            elif compute_group == "decision":
+                fused_rows = session.decision_function(fused)
+            else:  # "vote": labels of a non-probabilistic model
+                fused_rows = session.predict(fused)
+            compute_s = engine.clock.elapsed_s - sim_before
+            span.set(compute_s=compute_s)
+        completion_s = dispatch_s + compute_s
+
+        start = 0
+        for request in batch:
+            stop = start + request.n_rows
+            rows = fused_rows[start:stop]
+            if compute_group == "proba" and request.kind == "predict":
+                rows = session.model.labels_from_positions(
+                    np.argmax(rows, axis=1)
+                )
+            request._result = rows
+            request.batch_id = batch_id
+            request.queue_s = dispatch_s - request.arrival_s
+            request.compute_s = compute_s
+            request.latency_s = completion_s - request.arrival_s
+            request.done = True
+            start = stop
+            if tracer is not None:
+                tracer.event(
+                    "serve_request",
+                    clock=engine.clock,
+                    index=request.index,
+                    kind=request.kind,
+                    batch_id=batch_id,
+                    n_rows=request.n_rows,
+                    queue_s=request.queue_s,
+                    compute_s=request.compute_s,
+                    latency_s=request.latency_s,
+                )
+            self.stats.latencies_s.append(request.latency_s)
+        self.stats.n_batches += 1
+        self.stats.n_requests += len(batch)
+        self.stats.n_rows += n_rows
+        self._virtual_now = completion_s

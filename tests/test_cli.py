@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cli import predict_main, train_main
+from repro.cli import predict_main, serve_bench_main, train_main
 from repro.data import gaussian_blobs
 from repro.sparse import CSRMatrix, dump_libsvm
 
@@ -186,3 +186,69 @@ class TestObservability:
         train, _, tmp = svm_files
         assert train_main(["-q", str(train), str(tmp / "m")]) == 0
         assert not list(tmp.glob("*.json")) and not list(tmp.glob("*.jsonl"))
+
+
+class TestServeBench:
+    @pytest.fixture
+    def trained(self, svm_files):
+        train, test, tmp = svm_files
+        model = tmp / "model"
+        assert train_main(["-q", "-c", "10", "-g", "0.4", str(train), str(model)]) == 0
+        return test, model
+
+    def test_reports_warm_speedup(self, trained, capsys):
+        test, model = trained
+        code = serve_bench_main(
+            [str(test), str(model), "-n", "48", "--max-batch", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 48 requests" in out
+        assert "warm speedup" in out
+        assert "latency p50/p99" in out
+
+    def test_report_json_metrics(self, trained, tmp_path):
+        import json
+
+        test, model = trained
+        report = tmp_path / "serve.json"
+        code = serve_bench_main([
+            "-q", str(test), str(model), "-n", "32",
+            "--max-batch", "8", "--report-json", str(report),
+        ])
+        assert code == 0
+        metrics = json.loads(report.read_text())
+        assert metrics["n_requests"] == 32
+        assert metrics["n_batches"] == 4
+        assert metrics["mean_batch_size"] == 8.0
+        assert metrics["warm_simulated_s"] > 0
+        assert metrics["speedup"] > 1.0
+        assert metrics["latency_p99_s"] >= metrics["latency_p50_s"] > 0
+
+    def test_trace_has_serving_spans(self, trained, tmp_path):
+        import json
+
+        test, model = trained
+        trace = tmp_path / "serve_trace.jsonl"
+        code = serve_bench_main([
+            "-q", str(test), str(model), "-n", "8", "--trace", str(trace),
+        ])
+        assert code == 0
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().strip().splitlines()
+        }
+        assert {"serve_seal", "serve_batch", "serve_request"} <= names
+
+    def test_decision_function_kind(self, trained):
+        test, model = trained
+        assert serve_bench_main([
+            "-q", str(test), str(model), "-n", "8",
+            "--kind", "decision_function",
+        ]) == 0
+
+    def test_missing_model_errors(self, trained, tmp_path, capsys):
+        test, _ = trained
+        code = serve_bench_main([str(test), str(tmp_path / "nope.model")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -130,6 +130,31 @@ class TestPersistence:
         with pytest.raises(ModelFormatError, match="version"):
             load_model(io.StringIO("repro-mpsvm 99\n"))
 
+    def test_version_error_names_expected_and_found(self):
+        """Forward compatibility: a clear expected-vs-found diagnosis."""
+        from repro.model.persistence import FORMAT_VERSION
+
+        with pytest.raises(ModelFormatError) as excinfo:
+            load_model(io.StringIO("repro-mpsvm 99\n"))
+        message = str(excinfo.value)
+        assert f"expected {FORMAT_VERSION}" in message
+        assert "found 99" in message
+
+    def test_non_integer_version_is_format_error(self):
+        """A mangled version field must not leak a bare ValueError."""
+        with pytest.raises(ModelFormatError, match="expected an integer"):
+            load_model(io.StringIO("repro-mpsvm banana\n"))
+
+    def test_future_version_of_valid_payload_rejected(self, fitted):
+        """A well-formed file from a hypothetical future writer still
+        fails with the version diagnosis, not a parse error mid-file."""
+        buffer = io.StringIO()
+        save_model(fitted[0].model_, buffer)
+        lines = buffer.getvalue().splitlines()
+        lines[0] = "repro-mpsvm 2"
+        with pytest.raises(ModelFormatError, match="expected 1, found 2"):
+            load_model(io.StringIO("\n".join(lines) + "\n"))
+
     def test_rejects_truncated_file(self, fitted):
         buffer = io.StringIO()
         save_model(fitted[0].model_, buffer)

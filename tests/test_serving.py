@@ -1,0 +1,322 @@
+"""Serving-layer tests: sealed sessions, micro-batching, bitwise parity.
+
+The acceptance bar for the serving layer is *bitwise* parity: every row a
+session (or a micro-batched dispatch) returns must be bit-for-bit what the
+one-shot ``predict_*_model`` functions produce for the same input — across
+class counts, dense and sparse inputs, and arbitrary request fusion.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC, InferenceSession, MicroBatcher
+from repro.core.predictor import (
+    PredictorConfig,
+    decision_matrix,
+    predict_labels_model,
+    predict_proba_model,
+)
+from repro.data import gaussian_blobs
+from repro.exceptions import NotFittedError, ValidationError
+from repro.gpusim import scaled_tesla_p100
+from repro.serving.batcher import ServedRequest
+from repro.sparse import CSRMatrix
+
+
+def _fit(k, n=140, seed=None):
+    x, y = gaussian_blobs(n, 5, k, seed=7 * k if seed is None else seed)
+    clf = GMPSVC(C=10.0, gamma=0.4, working_set_size=32).fit(x, y)
+    return clf, x, y
+
+
+@pytest.fixture(scope="module")
+def fitted3():
+    return _fit(3)
+
+
+@pytest.fixture(scope="module")
+def session3(fitted3):
+    return InferenceSession.from_estimator(fitted3[0])
+
+
+def _one_shot_proba(model, data):
+    config = PredictorConfig(device=scaled_tesla_p100())
+    probabilities, _ = predict_proba_model(config, model, data)
+    return probabilities
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("k", [2, 3, 10])
+    def test_proba_bitwise_dense(self, k):
+        clf, x, _ = _fit(k, n=60 * k if k > 3 else 140)
+        session = InferenceSession.from_estimator(clf)
+        expected = _one_shot_proba(clf.model_, x)
+        assert np.array_equal(session.predict_proba(x), expected)
+
+    @pytest.mark.parametrize("k", [2, 3, 10])
+    def test_proba_bitwise_sparse(self, k):
+        clf, x, _ = _fit(k, n=60 * k if k > 3 else 140)
+        session = InferenceSession.from_estimator(clf)
+        sparse = CSRMatrix.from_dense(x)
+        expected = _one_shot_proba(clf.model_, sparse)
+        assert np.array_equal(session.predict_proba(sparse), expected)
+
+    def test_labels_bitwise(self, fitted3, session3):
+        clf, x, _ = fitted3
+        config = PredictorConfig(device=scaled_tesla_p100())
+        expected, _ = predict_labels_model(config, clf.model_, x)
+        assert np.array_equal(session3.predict(x), expected)
+
+    def test_decision_function_bitwise(self, fitted3, session3):
+        clf, x, _ = fitted3
+        engine = PredictorConfig(device=scaled_tesla_p100()).make_engine()
+        expected = decision_matrix(engine, clf.model_, x)
+        assert np.array_equal(session3.decision_function(x), expected)
+
+    def test_single_row_matches_full_batch_rows(self, fitted3, session3):
+        """Row i served alone is bitwise row i of the full-batch result."""
+        _, x, _ = fitted3
+        full = session3.predict_proba(x[:16])
+        for i in (0, 7, 15):
+            assert np.array_equal(
+                session3.predict_proba(x[i : i + 1])[0], full[i]
+            )
+
+    def test_repeated_calls_identical(self, fitted3, session3):
+        _, x, _ = fitted3
+        first = session3.predict_proba(x[:20])
+        second = session3.predict_proba(x[:20])
+        assert np.array_equal(first, second)
+
+    def test_nonprobabilistic_labels(self):
+        x, y = gaussian_blobs(120, 5, 3, seed=5)
+        clf = GMPSVC(C=10.0, gamma=0.4, probability=False).fit(x, y)
+        session = InferenceSession.from_estimator(clf)
+        assert np.array_equal(session.predict(x), clf.predict(x))
+        with pytest.raises(NotFittedError):
+            session.predict_proba(x)
+
+
+class TestSessionLifecycle:
+    def test_requires_fitted_model(self):
+        with pytest.raises(NotFittedError):
+            InferenceSession("not a model")
+        with pytest.raises(NotFittedError):
+            InferenceSession.from_estimator(GMPSVC())
+
+    def test_negative_tile_cache_rejected(self, fitted3):
+        with pytest.raises(ValidationError):
+            InferenceSession(fitted3[0].model_, tile_cache_entries=-1)
+
+    def test_seal_paid_once(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf)
+        sealed = session.stats.seal_simulated_s
+        assert sealed > 0
+        session.predict_proba(x[:8])
+        session.predict_proba(x[:8])
+        assert session.stats.seal_simulated_s == sealed
+        assert session.stats.n_calls == 2
+        assert session.stats.n_rows == 16
+
+    def test_simulated_clock_accumulates(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf)
+        t0 = session.simulated_seconds
+        session.predict_proba(x[:8])
+        t1 = session.simulated_seconds
+        session.predict_proba(x[:8])
+        assert t0 > 0 and t1 > t0 and session.simulated_seconds > t1
+
+    def test_warm_cheaper_than_cold_per_call(self, fitted3):
+        """A warm serve call charges less than the cold one-shot path."""
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf)
+        row = x[:1]
+        session.predict_proba(row)  # exercise once
+        session.predict_proba(row)
+        warm = session.stats.per_call_simulated_s[-1]
+        config = PredictorConfig(device=scaled_tesla_p100())
+        _, report = predict_proba_model(config, clf.model_, row)
+        assert warm < report.simulated_seconds
+
+
+class TestTileCache:
+    def test_repeat_requests_hit_and_stay_bitwise(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf, tile_cache_entries=4)
+        expected = _one_shot_proba(clf.model_, x[:6])
+        first = session.predict_proba(x[:6])
+        t_miss = session.stats.per_call_simulated_s[-1]
+        second = session.predict_proba(x[:6])
+        t_hit = session.stats.per_call_simulated_s[-1]
+        assert np.array_equal(first, expected)
+        assert np.array_equal(second, expected)
+        assert session.stats.tile_hits == 1
+        assert session.stats.tile_misses == 1
+        assert session.stats.tile_hit_rate == 0.5
+        assert t_hit < t_miss  # the kernel block was not recomputed
+
+    def test_lru_eviction(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf, tile_cache_entries=1)
+        session.predict_proba(x[:4])
+        session.predict_proba(x[4:8])  # evicts the first tile
+        session.predict_proba(x[:4])  # miss again
+        assert session.stats.tile_hits == 0
+        assert session.stats.tile_misses == 3
+
+    def test_distinct_requests_never_collide(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf, tile_cache_entries=8)
+        a = session.predict_proba(x[:4])
+        b = session.predict_proba(x[4:8])
+        assert np.array_equal(a, _one_shot_proba(clf.model_, x[:4]))
+        assert np.array_equal(b, _one_shot_proba(clf.model_, x[4:8]))
+
+
+class TestMicroBatcher:
+    def test_mixed_size_fused_dispatch_bitwise(self, fitted3):
+        """Fused mixed-size requests return bitwise one-shot rows."""
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf)
+        batcher = MicroBatcher(session, max_batch=8)
+        sizes = [1, 3, 2, 1, 4, 1]
+        requests, start = [], 0
+        for size in sizes:
+            requests.append(batcher.submit(x[start : start + size]))
+            start += size
+        drained = batcher.drain()
+        assert [r.index for r in drained] == list(range(len(sizes)))
+        start = 0
+        for request, size in zip(requests, sizes):
+            expected = _one_shot_proba(clf.model_, x[start : start + size])
+            assert np.array_equal(request.result, expected)
+            start += size
+        assert batcher.stats.n_batches == 1
+        assert batcher.stats.n_requests == len(sizes)
+
+    def test_sparse_requests_bitwise(self, fitted3):
+        clf, x, _ = fitted3
+        session = InferenceSession.from_estimator(clf)
+        batcher = MicroBatcher(session, max_batch=4)
+        sparse = CSRMatrix.from_dense(x[:6])
+        handles = [
+            batcher.submit(CSRMatrix.from_dense(x[i : i + 2]))
+            for i in range(0, 6, 2)
+        ]
+        batcher.drain()
+        expected = _one_shot_proba(clf.model_, sparse)
+        fused = np.vstack([h.result for h in handles])
+        assert np.array_equal(fused, expected)
+
+    def test_max_batch_splits_dispatches(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(
+            InferenceSession.from_estimator(clf), max_batch=2
+        )
+        for i in range(5):
+            batcher.submit(x[i : i + 1])
+        batcher.drain()
+        assert batcher.stats.n_batches == 3  # 2 + 2 + 1
+
+    def test_window_close_splits_late_arrivals(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(
+            InferenceSession.from_estimator(clf), max_batch=8, max_wait_s=1.0
+        )
+        batcher.submit(x[:1], arrival_s=0.0)
+        batcher.submit(x[1:2], arrival_s=0.5)  # inside the window
+        batcher.submit(x[2:3], arrival_s=5.0)  # outside -> second batch
+        batcher.drain()
+        assert batcher.stats.n_batches == 2
+
+    def test_kind_change_closes_batch(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(InferenceSession.from_estimator(clf), max_batch=8)
+        batcher.submit(x[:1], kind="predict_proba")
+        batcher.submit(x[1:2], kind="decision_function")
+        batcher.submit(x[2:3], kind="predict_proba")
+        batcher.drain()
+        assert batcher.stats.n_batches == 3  # FIFO: no reordering around kinds
+
+    def test_representation_change_closes_batch(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(InferenceSession.from_estimator(clf), max_batch=8)
+        batcher.submit(x[:1])
+        batcher.submit(CSRMatrix.from_dense(x[1:2]))
+        batcher.drain()
+        assert batcher.stats.n_batches == 2
+
+    def test_predict_kind_fuses_with_proba(self, fitted3):
+        """predict and predict_proba share the fused probability pass."""
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(InferenceSession.from_estimator(clf), max_batch=8)
+        proba_req = batcher.submit(x[:2], kind="predict_proba")
+        label_req = batcher.submit(x[2:4], kind="predict")
+        batcher.drain()
+        assert batcher.stats.n_batches == 1
+        assert np.array_equal(
+            proba_req.result, _one_shot_proba(clf.model_, x[:2])
+        )
+        assert np.array_equal(label_req.result, clf.predict(x[2:4]))
+
+    def test_latency_accounting(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(
+            InferenceSession.from_estimator(clf), max_batch=4, max_wait_s=2.0
+        )
+        early = batcher.submit(x[:1], arrival_s=0.0)
+        late = batcher.submit(x[1:2], arrival_s=1.5)
+        batcher.drain()
+        # Same batch: the early request queued ~1.5s longer.
+        assert early.batch_id == late.batch_id
+        assert early.queue_s == pytest.approx(late.queue_s + 1.5)
+        assert early.compute_s == late.compute_s > 0
+        assert early.latency_s == early.queue_s + early.compute_s
+        assert batcher.stats.latency_percentile(100.0) >= early.latency_s
+        assert batcher.stats.mean_batch_size == 2.0
+
+    def test_result_before_drain_raises(self, fitted3):
+        clf, x, _ = fitted3
+        batcher = MicroBatcher(InferenceSession.from_estimator(clf))
+        handle = batcher.submit(x[:1])
+        with pytest.raises(ValidationError):
+            handle.result
+        assert batcher.n_pending == 1
+        batcher.drain()
+        assert batcher.n_pending == 0
+        assert isinstance(handle, ServedRequest) and handle.done
+
+    def test_validation_errors(self, fitted3, session3):
+        clf, x, _ = fitted3
+        with pytest.raises(ValidationError):
+            MicroBatcher("not a session")
+        with pytest.raises(ValidationError):
+            MicroBatcher(session3, max_batch=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(session3, max_wait_s=-1.0)
+        batcher = MicroBatcher(session3)
+        with pytest.raises(ValidationError):
+            batcher.submit(x[:1], kind="frobnicate")
+        batcher.submit(x[:1], arrival_s=2.0)
+        with pytest.raises(ValidationError):
+            batcher.submit(x[:1], arrival_s=1.0)  # arrivals must not regress
+
+
+class TestServingTelemetry:
+    def test_spans_and_request_events(self, fitted3):
+        from repro.telemetry import Tracer
+
+        clf, x, _ = fitted3
+        tracer = Tracer()
+        config = PredictorConfig(device=scaled_tesla_p100(), tracer=tracer)
+        session = InferenceSession(clf.model_, config)
+        batcher = MicroBatcher(session, max_batch=4)
+        batcher.submit(x[:1])
+        batcher.submit(x[1:3])
+        batcher.drain()
+        names = [record["name"] for record in tracer.to_records()]
+        assert "serve_seal" in names
+        assert "serve_batch" in names
+        assert names.count("serve_request") == 2
