@@ -1,0 +1,141 @@
+"""Sharded cluster training across 1, 2 and 4 simulated devices.
+
+The one-against-one decomposition's 45 pairwise problems (k = 10) are the
+unit of distribution: ``train_multiclass_sharded`` places them on the
+cluster's devices, runs the interleaved wave driver per device, and merges
+the per-device binary models back over the peer links.  This bench trains
+the same workload at every device count and reports:
+
+- the cluster makespan (busiest device's simulated timeline) and its
+  speedup over the single-device driver;
+- per-device utilization (busy time over makespan) and interconnect
+  transfer volume;
+- a bitwise model-parity flag — sharding must reproduce the single-device
+  model exactly, for every device count and placement strategy.
+
+The compute half of a device's wave makespan is the shared per-device
+resource, so splitting 45 compute-bound solves across 4 devices divides
+the dominant term by ~4; the floor asserted here (``MIN_SPEEDUP_4DEV``)
+leaves room for the non-dividing parts (per-device transfers, latency
+chains, the merge).  All asserted numbers are simulated and exactly
+reproducible; the committed ``BENCH_distributed.json`` baseline gates
+them in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, TrainerConfig, train_multiclass_sharded
+from repro.core.trainer import train_multiclass
+from repro.data import gaussian_blobs
+from repro.gpusim.device import scaled_tesla_p100
+from repro.kernels.functions import kernel_from_name
+from repro.perf.speedup import format_table
+
+from benchmarks import common
+
+pytestmark = pytest.mark.slow
+
+N = 1000
+N_FEATURES = 16
+N_CLASSES = 10
+PENALTY = 1.0
+GAMMA = 0.3
+WORKING_SET = 32
+DEVICE_COUNTS = (1, 2, 4)
+MIN_SPEEDUP_4DEV = 2.5
+
+
+def _workload():
+    x, y = gaussian_blobs(
+        n=N, n_features=N_FEATURES, n_classes=N_CLASSES, seed=11
+    )
+    kernel = kernel_from_name("gaussian", gamma=GAMMA)
+    config = TrainerConfig(
+        device=scaled_tesla_p100(), working_set_size=WORKING_SET
+    )
+    return x, y, kernel, config
+
+
+def models_bitwise_equal(model_a, model_b) -> bool:
+    """Identical pairwise records down to the last bit."""
+    for rec_a, rec_b in zip(model_a.records, model_b.records):
+        if not (
+            np.array_equal(rec_a.coefficients, rec_b.coefficients)
+            and np.array_equal(rec_a.global_sv_indices, rec_b.global_sv_indices)
+            and rec_a.bias == rec_b.bias
+        ):
+            return False
+    return True
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    x, y, kernel, config = _workload()
+    model_single, report_single = train_multiclass(config, x, y, kernel, PENALTY)
+    single_s = report_single.simulated_seconds
+
+    rows: dict[str, dict[str, float]] = {
+        "single": {
+            "sim(s)": single_s,
+            "speedup": 1.0,
+            "min_util": 1.0,
+            "xfer(KB)": 0.0,
+            "parity": 1.0,
+        }
+    }
+    for n_devices in DEVICE_COUNTS:
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=n_devices
+        )
+        model, report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, PENALTY, placement="affinity"
+        )
+        rows[f"{n_devices}dev"] = {
+            "sim(s)": report.simulated_seconds,
+            "speedup": single_s / report.simulated_seconds,
+            "min_util": min(
+                entry["utilization"] for entry in report.per_device
+            ),
+            "xfer(KB)": report.transfer_bytes_total / 1e3,
+            "parity": float(models_bitwise_equal(model_single, model)),
+        }
+
+    # The naive placement must reproduce the model bit-for-bit too.
+    cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=4)
+    model_rr, report_rr = train_multiclass_sharded(
+        config, cluster, x, y, kernel, PENALTY, placement="round_robin"
+    )
+    rows["4dev_rrobin"] = {
+        "sim(s)": report_rr.simulated_seconds,
+        "speedup": single_s / report_rr.simulated_seconds,
+        "min_util": min(entry["utilization"] for entry in report_rr.per_device),
+        "xfer(KB)": report_rr.transfer_bytes_total / 1e3,
+        "parity": float(models_bitwise_equal(model_single, model_rr)),
+    }
+    return rows
+
+
+def _render(rows) -> str:
+    return format_table(
+        rows,
+        ["sim(s)", "speedup", "min_util", "xfer(KB)", "parity"],
+        title=f"Sharded cluster training — k={N_CLASSES} synthetic",
+        row_label="cluster",
+    )
+
+
+def test_distributed(benchmark):
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    common.record_table("distributed", _render(rows), metrics=rows)
+    # Sharding must never change the trained model...
+    assert all(row["parity"] == 1.0 for row in rows.values())
+    # ...and four devices must beat the ISSUE floor on the timeline.
+    assert rows["4dev"]["speedup"] >= MIN_SPEEDUP_4DEV
+    # Affinity placement should not lose to naive round-robin.
+    assert rows["4dev"]["sim(s)"] <= rows["4dev_rrobin"]["sim(s)"]
+
+
+if __name__ == "__main__":
+    print(_render(build_rows()))

@@ -308,11 +308,79 @@ def run_serving(m: int = 2000, max_batch: int = 32) -> dict[str, float]:
     }
 
 
+def run_distributed() -> dict[str, float]:
+    """Sharded cluster training vs the single-device driver, deterministic side.
+
+    Trains one k = 10 workload on simulated clusters of 1, 2 and 4
+    devices and reports cluster makespans, speedups over the
+    single-device driver, per-device utilization, interconnect volume
+    and bitwise model-parity flags (every device count and placement
+    must reproduce the single-device model exactly).  All metrics come
+    off the simulated timeline, so the regression gate can pin them.
+    """
+    import numpy as np
+
+    from repro import ClusterSpec, TrainerConfig, train_multiclass_sharded
+    from repro.core.trainer import train_multiclass
+    from repro.data import gaussian_blobs
+    from repro.gpusim.device import scaled_tesla_p100
+    from repro.kernels.functions import kernel_from_name
+
+    x, y = gaussian_blobs(n=1000, n_features=16, n_classes=10, seed=11)
+    kernel = kernel_from_name("gaussian", gamma=0.3)
+    config = TrainerConfig(device=scaled_tesla_p100(), working_set_size=32)
+
+    model_single, report_single = train_multiclass(config, x, y, kernel, 1.0)
+
+    def parity(model) -> bool:
+        return all(
+            np.array_equal(a.global_sv_indices, b.global_sv_indices)
+            and np.array_equal(a.coefficients, b.coefficients)
+            and a.bias == b.bias
+            for a, b in zip(model_single.records, model.records)
+        )
+
+    metrics: dict[str, float] = {
+        "single_simulated_seconds": report_single.simulated_seconds,
+        "n_binary_svms": float(report_single.n_binary_svms),
+    }
+    for n_devices in (1, 2, 4):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=n_devices)
+        model, report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, 1.0, placement="affinity"
+        )
+        tag = f"{n_devices}dev"
+        metrics[f"makespan_{tag}_seconds"] = report.simulated_seconds
+        metrics[f"speedup_{tag}"] = (
+            report_single.simulated_seconds / report.simulated_seconds
+        )
+        metrics[f"model_parity_{tag}"] = float(parity(model))
+        metrics[f"transfer_bytes_{tag}"] = float(report.transfer_bytes_total)
+        metrics[f"placement_balance_{tag}"] = report.placement["balance"]
+        if n_devices == 4:
+            for entry in report.per_device:
+                metrics[f"utilization_4dev_d{entry['device']}"] = entry[
+                    "utilization"
+                ]
+                metrics[f"transfer_bytes_4dev_d{entry['device']}"] = float(
+                    entry["transfer_bytes"]
+                )
+    # The naive placement must also reproduce the model bit-for-bit.
+    cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=4)
+    model_rr, report_rr = train_multiclass_sharded(
+        config, cluster, x, y, kernel, 1.0, placement="round_robin"
+    )
+    metrics["model_parity_4dev_round_robin"] = float(parity(model_rr))
+    metrics["makespan_4dev_round_robin_seconds"] = report_rr.simulated_seconds
+    return metrics
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
     "coupling": run_coupling,
     "train_interleave": run_train_interleave,
     "serving": run_serving,
+    "distributed": run_distributed,
 }
 
 
@@ -335,7 +403,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="output path (default: benchmarks/results/BENCH_<name>.json)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available benchmark runner names and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(BENCH_RUNNERS):
+            print(name)
+        return 0
     metrics = BENCH_RUNNERS[args.bench]()
     target = write_bench_json(args.bench, metrics, path=args.emit_json)
     print(f"wrote {target}")

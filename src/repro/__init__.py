@@ -20,6 +20,10 @@ Public entry points:
 - :class:`InferenceSession` / :class:`MicroBatcher` — the serving layer:
   seal a fitted model once, serve micro-batched requests against the warm
   state (DESIGN.md §11);
+- :class:`ClusterSpec` / :func:`train_multiclass_sharded` /
+  :class:`ShardedInferenceRouter` — multi-device sharding over a simulated
+  GPU cluster; models and probabilities stay bitwise identical to the
+  single-device paths (DESIGN.md §12);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
@@ -27,6 +31,11 @@ Public entry points:
 """
 
 from repro.core.gmp import GMPSVC
+from repro.distributed import (
+    ClusterSpec,
+    ShardedInferenceRouter,
+    train_multiclass_sharded,
+)
 from repro.core.oneclass import OneClassSVM
 from repro.core.predictor import PredictorConfig
 from repro.core.svc import SVC
@@ -47,10 +56,11 @@ from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CSRMatrix",
+    "ClusterSpec",
     "ConvergenceWarning",
     "DeviceMemoryError",
     "GMPSVC",
@@ -63,6 +73,7 @@ __all__ = [
     "ReproError",
     "SVC",
     "SVR",
+    "ShardedInferenceRouter",
     "SolverError",
     "SparseFormatError",
     "Tracer",
@@ -73,4 +84,5 @@ __all__ = [
     "load_libsvm",
     "load_model",
     "save_model",
+    "train_multiclass_sharded",
 ]

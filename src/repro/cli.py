@@ -76,6 +76,12 @@ def _train_parser() -> argparse.ArgumentParser:
                         help="which reproduced system trains the model")
     parser.add_argument("--working-set", type=int, default=48,
                         help="GPU buffer rows / working-set size (gmp-svm, cmp-svm)")
+    parser.add_argument("--devices", type=int, default=1, metavar="N",
+                        help="shard training across N simulated GPUs "
+                             "(gmp-svm only; models stay bitwise identical)")
+    parser.add_argument("--placement", default="affinity",
+                        choices=("affinity", "round_robin"),
+                        help="pair-to-device placement when --devices > 1")
     parser.add_argument("--report", action="store_true",
                         help="print the simulated-cost report after training")
     parser.add_argument("--report-json", metavar="PATH", default=None,
@@ -107,15 +113,48 @@ def _build_cli_classifier(args: argparse.Namespace):
     return CMPSVMClassifier(working_set_size=args.working_set, **kwargs)
 
 
+def _fit_sharded(classifier, data, labels, args, tracer) -> None:
+    """Fit a GMPSVC across ``--devices`` simulated GPUs (bitwise-equal model)."""
+    from repro.core.validation import check_fit_inputs
+    from repro.distributed import ClusterSpec, train_multiclass_sharded
+    from repro.sparse import ops as mops
+
+    data, labels = check_fit_inputs(data, labels)
+    kernel = classifier._build_kernel(mops.n_cols(data))
+    config = classifier._trainer_config()
+    config.tracer = tracer
+    cluster = ClusterSpec(device=config.device, n_devices=args.devices)
+    classifier.model_, classifier.training_report_ = train_multiclass_sharded(
+        config,
+        cluster,
+        data,
+        labels,
+        kernel,
+        float(classifier.C),
+        placement=args.placement,
+    )
+    classifier.n_features_in_ = mops.n_cols(data)
+    classifier.classes_ = classifier.model_.classes
+
+
 def train_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-train``; returns a process exit code."""
     args = _train_parser().parse_args(argv)
     tracer = Tracer() if args.trace else None
     try:
+        if args.devices < 1:
+            raise ReproError(f"--devices must be >= 1, got {args.devices}")
+        if args.devices > 1 and args.system != "gmp-svm":
+            raise ReproError(
+                "--devices shards the GPU system only; use --system gmp-svm"
+            )
         data, labels = load_libsvm(args.training_file)
         classifier = _build_cli_classifier(args)
         classifier.tracer = tracer
-        classifier.fit(data, labels)
+        if args.devices > 1:
+            _fit_sharded(classifier, data, labels, args, tracer)
+        else:
+            classifier.fit(data, labels)
         model_path = (
             args.model_file
             if args.model_file
@@ -138,11 +177,23 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
               f"{data.shape[0]} x {data.shape[1]} instances "
               f"({model.n_classes} classes)")
         print(f"support vectors (shared pool): {model.n_support_total}")
-        print(f"simulated {report.device_name} time: "
-              f"{report.simulated_seconds * 1e3:.3f} ms")
+        if args.devices > 1:
+            print(f"simulated {report.cluster_name} makespan: "
+                  f"{report.simulated_seconds * 1e3:.3f} ms "
+                  f"(cluster speedup {report.cluster_speedup:.2f}x)")
+            for entry in report.per_device:
+                print(f"  device {entry['device']}: {entry['n_svms']:3d} SVMs  "
+                      f"{entry['simulated_seconds'] * 1e3:8.3f} ms  "
+                      f"utilization {entry['utilization']:6.1%}  "
+                      f"transfers {entry['transfer_bytes']} B")
+        else:
+            print(f"simulated {report.device_name} time: "
+                  f"{report.simulated_seconds * 1e3:.3f} ms")
         print(f"model saved to {model_path}")
         if args.report:
-            for category, fraction in sorted(report.fraction_breakdown().items()):
+            for category, fraction in sorted(
+                report.clock.fraction_breakdown().items()
+            ):
                 print(f"  {category:18s} {fraction:6.1%}")
     return 0
 

@@ -96,6 +96,10 @@ def run_interleaved(
     telemetry spans their simulated-time axis (the trainer passes the
     master clock).
     """
+    for member in members:
+        limits.validate_task(
+            member.name, blocks=member.blocks, mem_bytes=member.mem_bytes
+        )
     pending = deque(members)
     running: list[PairMember] = []
     timeline = SimClock()

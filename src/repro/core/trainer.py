@@ -197,26 +197,9 @@ def _train_multiclass_impl(
     # Ship the training data to the device once (PCIe).
     master.transfer(mops.matrix_nbytes(data), category="transfer")
 
-    shared: Optional[SharedClassPairKernels] = None
-    shared_computer: Optional[KernelRowComputer] = None
-    # With a single pair there is nothing to share across SVMs ("GMP-SVM is
-    # in fact the same as the GPU baseline when handling binary problems"),
-    # so the sharing layer only engages for true multi-class problems.
-    if config.share_kernel_values and classes.size > 2 and config.decomposition == "ovo":
-        shared_computer = KernelRowComputer(master, kernel, data)
-        shared_computer.diagonal()  # norms + diagonal once, on the master
-        # The cross-SVM segment store lives in device memory like any
-        # other kernel-value cache; bound it to a quarter of the device so
-        # it shares (rather than silently replaces) the per-SVM buffers.
-        shared = SharedClassPairKernels(
-            shared_computer,
-            partition,
-            max_bytes=(
-                config.share_budget_bytes
-                if config.share_budget_bytes is not None
-                else config.device.global_mem_bytes // 4
-            ),
-        )
+    shared, shared_computer = _make_shared_store(
+        config, master, kernel, data, classes, partition
+    )
 
     tasks: list[ScheduledTask] = []
     per_svm_records: list[BinarySVMRecord] = []
@@ -255,55 +238,22 @@ def _train_multiclass_impl(
     wave_trace: Optional[list[dict]] = None
 
     if use_interleaved:
-        members: list[PairMember] = []
-        for index, problem in enumerate(problems):
-            engine = make_engine(
-                config.device,
-                flop_efficiency=config.flop_efficiency,
-                bandwidth_efficiency=config.bandwidth_efficiency,
+        members: list[PairMember] = [
+            _make_pair_member(
+                config,
+                classes,
+                index,
+                problem,
+                penalty,
+                data,
+                kernel,
+                shared=shared,
+                shared_computer=shared_computer,
                 counters=master.counters,
             )
-            if shared is not None and shared_computer is not None:
-                rows = _SharedPairRows(engine, shared, shared_computer, problem)
-            else:
-                rows = KernelRowComputer(
-                    engine, kernel, mops.take_rows(data, problem.global_indices)
-                )
-            penalty_vector = _class_weighted_penalties(
-                config, classes, problem, penalty
-            )
-            # Sessions cannot keep a per-pair span open across waves
-            # (spans are stack-nested), so they run untraced; the
-            # solve_pair/solver.batch_smo spans are emitted at
-            # finalization below with the same attributes.
-            solver = _batched_solver(
-                config,
-                penalty,
-                tracer=None,
-                record_rounds=(
-                    config.collect_round_telemetry or tracer is not None
-                ),
-            )
-            session = solver.start(
-                rows, problem.labels, penalty_vector=penalty_vector
-            )
-            members.append(
-                PairMember(
-                    index=index,
-                    problem=problem,
-                    engine=engine,
-                    session=session,
-                    mem_bytes=_batched_task_bytes(config, problem.n),
-                    blocks=config.blocks_per_svm,
-                )
-            )
-        limits = WaveLimits(
-            num_sms=config.device.num_sms,
-            mem_budget_bytes=max(
-                config.device.global_mem_bytes - mops.matrix_nbytes(data), 1
-            ),
-            max_concurrent=config.max_concurrent_svms,
-        )
+            for index, problem in enumerate(problems)
+        ]
+        limits = _interleave_limits(config, mops.matrix_nbytes(data))
         outcome = run_interleaved(
             members,
             limits,
@@ -316,46 +266,16 @@ def _train_multiclass_impl(
         # sigmoids) must not depend on the order sessions terminated.
         finalize_clock = SimClock()
         for member in members:
-            engine = member.engine
-            problem = member.problem
-            result = member.result
-            before = engine.clock.copy()
-            with maybe_span(
-                tracer,
-                "solve_pair",
-                clock=engine.clock,
-                pair=(problem.s, problem.t),
-                n=problem.n,
-            ) as pair_span:
-                diagnostics = result.diagnostics or {}
-                with maybe_span(
-                    tracer,
-                    "solver.batch_smo",
-                    clock=engine.clock,
-                    n=problem.n,
-                    working_set_size=diagnostics.get("working_set_size"),
-                    new_per_round=diagnostics.get("new_per_round"),
-                ) as solver_span:
-                    solver_span.set(
-                        rounds=result.rounds,
-                        iterations=result.iterations,
-                        converged=result.converged,
-                        buffer_hit_rate=result.buffer_hit_rate,
-                    )
-                penalty_vector = _class_weighted_penalties(
-                    config, classes, problem, penalty
-                )
-                record, pool_entry, svm_stats = _finalize_pair(
-                    config, engine, problem, result, data, kernel, penalty,
-                    penalty_vector=penalty_vector, pair_span=pair_span,
-                )
+            record, pool_entry, svm_stats, delta = _finalize_member(
+                config, classes, member, data, kernel, penalty, tracer
+            )
             per_svm_records.append(record)
             pool_entries.append(pool_entry)
             per_svm_stats.append(svm_stats)
-            total_iterations += result.iterations
-            total_rows_computed += result.kernel_rows_computed
+            total_iterations += member.result.iterations
+            total_rows_computed += member.result.kernel_rows_computed
             peak_task_mem = max(peak_task_mem, member.mem_bytes)
-            finalize_clock.merge(engine.clock.since(before))
+            finalize_clock.merge(delta)
         interleave_outcome = outcome
         interleave_finalize = finalize_clock
         schedule_source = "wave_trace"
@@ -553,6 +473,159 @@ def _finalize_pair(
             simulated_seconds=engine.clock.elapsed_s,
         )
     return record, pool_entry, svm_stats
+
+
+def _make_shared_store(
+    config: TrainerConfig,
+    engine: Engine,
+    kernel: KernelFunction,
+    data: mops.MatrixLike,
+    classes: np.ndarray,
+    partition: list,
+) -> tuple[Optional[SharedClassPairKernels], Optional[KernelRowComputer]]:
+    """The cross-SVM segment share for one device, or ``(None, None)``.
+
+    With a single pair there is nothing to share across SVMs ("GMP-SVM is
+    in fact the same as the GPU baseline when handling binary problems"),
+    so the sharing layer only engages for true multi-class problems.  The
+    store is bound to a quarter of device memory so it shares (rather
+    than silently replaces) the per-SVM buffers.  The distributed trainer
+    builds one such store per device over that device's master engine.
+    """
+    if not (
+        config.share_kernel_values
+        and classes.size > 2
+        and config.decomposition == "ovo"
+    ):
+        return None, None
+    shared_computer = KernelRowComputer(engine, kernel, data)
+    shared_computer.diagonal()  # norms + diagonal once, on the master
+    shared = SharedClassPairKernels(
+        shared_computer,
+        partition,
+        max_bytes=(
+            config.share_budget_bytes
+            if config.share_budget_bytes is not None
+            else config.device.global_mem_bytes // 4
+        ),
+    )
+    return shared, shared_computer
+
+
+def _make_pair_member(
+    config: TrainerConfig,
+    classes: np.ndarray,
+    index: int,
+    problem,
+    penalty: float,
+    data: mops.MatrixLike,
+    kernel: KernelFunction,
+    *,
+    shared: Optional[SharedClassPairKernels],
+    shared_computer: Optional[KernelRowComputer],
+    counters,
+) -> PairMember:
+    """One resumable wave-driver member for a pairwise problem.
+
+    The member gets its own engine clock (``counters`` shared with the
+    caller's master so op totals aggregate).  Sessions cannot keep a
+    per-pair span open across waves (spans are stack-nested), so they run
+    untraced; the ``solve_pair``/``solver.batch_smo`` spans are emitted by
+    :func:`_finalize_member` with the same attributes.
+    """
+    engine = make_engine(
+        config.device,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        counters=counters,
+    )
+    if shared is not None and shared_computer is not None:
+        rows = _SharedPairRows(engine, shared, shared_computer, problem)
+    else:
+        rows = KernelRowComputer(
+            engine, kernel, mops.take_rows(data, problem.global_indices)
+        )
+    penalty_vector = _class_weighted_penalties(config, classes, problem, penalty)
+    solver = _batched_solver(
+        config,
+        penalty,
+        tracer=None,
+        record_rounds=(
+            config.collect_round_telemetry or config.tracer is not None
+        ),
+    )
+    session = solver.start(rows, problem.labels, penalty_vector=penalty_vector)
+    return PairMember(
+        index=index,
+        problem=problem,
+        engine=engine,
+        session=session,
+        mem_bytes=_batched_task_bytes(config, problem.n),
+        blocks=config.blocks_per_svm,
+    )
+
+
+def _interleave_limits(config: TrainerConfig, resident_bytes: int) -> WaveLimits:
+    """Wave packing rules for one device holding ``resident_bytes`` of data."""
+    return WaveLimits(
+        num_sms=config.device.num_sms,
+        mem_budget_bytes=max(
+            config.device.global_mem_bytes - resident_bytes, 1
+        ),
+        max_concurrent=config.max_concurrent_svms,
+    )
+
+
+def _finalize_member(
+    config: TrainerConfig,
+    classes: np.ndarray,
+    member: PairMember,
+    data: mops.MatrixLike,
+    kernel: KernelFunction,
+    penalty: float,
+    tracer: Optional[Tracer],
+):
+    """Finalize one wave-driver member after its session terminated.
+
+    Emits the per-pair telemetry spans and runs :func:`_finalize_pair`.
+    Returns ``(record, pool_entry, svm_stats, clock_delta)`` where the
+    delta covers only the finalization charges (sigmoid fit, decision
+    values) on the member's engine.
+    """
+    engine = member.engine
+    problem = member.problem
+    result = member.result
+    before = engine.clock.copy()
+    with maybe_span(
+        tracer,
+        "solve_pair",
+        clock=engine.clock,
+        pair=(problem.s, problem.t),
+        n=problem.n,
+    ) as pair_span:
+        diagnostics = result.diagnostics or {}
+        with maybe_span(
+            tracer,
+            "solver.batch_smo",
+            clock=engine.clock,
+            n=problem.n,
+            working_set_size=diagnostics.get("working_set_size"),
+            new_per_round=diagnostics.get("new_per_round"),
+        ) as solver_span:
+            solver_span.set(
+                rounds=result.rounds,
+                iterations=result.iterations,
+                converged=result.converged,
+                buffer_hit_rate=result.buffer_hit_rate,
+            )
+        penalty_vector = _class_weighted_penalties(
+            config, classes, problem, penalty
+        )
+        record, pool_entry, svm_stats = _finalize_pair(
+            config, engine, problem, result, data, kernel, penalty,
+            penalty_vector=penalty_vector, pair_span=pair_span,
+        )
+    return record, pool_entry, svm_stats, engine.clock.since(before)
 
 
 def _class_weighted_penalties(

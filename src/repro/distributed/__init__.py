@@ -1,0 +1,45 @@
+"""Multi-device sharded training and inference over a simulated cluster.
+
+The one-against-one decomposition's k(k-1)/2 independent binary problems
+shard naturally across devices.  This package adds the cluster substrate
+(:mod:`~repro.distributed.cluster`), the pair-to-device placement planner
+(:mod:`~repro.distributed.placement`), the sharded training driver with
+its cross-device SV merge (:mod:`~repro.distributed.trainer`) and the
+sharded inference router (:mod:`~repro.distributed.inference`).  Sharding
+changes only the simulated timeline — models, decision values and coupled
+probabilities stay bitwise identical to the single-device paths.
+"""
+
+from repro.distributed.cluster import (
+    HOST,
+    ClusterSpec,
+    DevicePool,
+    InterconnectSpec,
+)
+from repro.distributed.inference import (
+    SHARD_STRATEGIES,
+    ShardedInferenceRouter,
+)
+from repro.distributed.placement import (
+    PLACEMENT_STRATEGIES,
+    PlacementPlan,
+    plan_placement,
+)
+from repro.distributed.trainer import (
+    ClusterTrainingReport,
+    train_multiclass_sharded,
+)
+
+__all__ = [
+    "HOST",
+    "PLACEMENT_STRATEGIES",
+    "SHARD_STRATEGIES",
+    "ClusterSpec",
+    "ClusterTrainingReport",
+    "DevicePool",
+    "InterconnectSpec",
+    "PlacementPlan",
+    "ShardedInferenceRouter",
+    "plan_placement",
+    "train_multiclass_sharded",
+]

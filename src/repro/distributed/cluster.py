@@ -1,0 +1,246 @@
+"""A simulated multi-GPU cluster: device pool plus interconnect cost model.
+
+There is still no physical GPU here — :mod:`repro.gpusim` models one device
+through a cost model, and this module scales that to several.  A
+:class:`ClusterSpec` names ``n_devices`` identical :class:`DeviceSpec`
+instances joined by an :class:`InterconnectSpec`; a :class:`DevicePool`
+instantiates one engine (own clock, op counters, memory ledger) per device
+and charges every host↔device and device↔device copy against the endpoint
+clocks.
+
+Transfer model (mirrors the engine's op charge shape):
+
+- ``latency`` — one fixed per-transfer initiation cost (driver/DMA setup);
+- ``compute`` — ``nbytes / bandwidth``, the occupancy of the link.
+
+A device↔device copy occupies *both* endpoints (source reads out, sink
+writes in), so the charge lands on both clocks; a host↔device copy charges
+only the device (the host is not a simulated resource).  All transfers are
+tallied in a ``(src, dst) -> bytes`` ledger and, when a tracer is attached,
+emitted as ``transfer`` spans on the destination clock's time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ValidationError
+from repro.gpusim.clock import TimeCharge
+from repro.gpusim.device import DeviceSpec, scaled_tesla_p100
+from repro.gpusim.engine import Engine, make_engine
+from repro.telemetry.tracer import Tracer, maybe_span
+
+__all__ = ["InterconnectSpec", "ClusterSpec", "DevicePool", "HOST"]
+
+# Ledger key for the host endpoint of a transfer.
+HOST = -1
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Latency + bandwidth of the links joining the cluster.
+
+    Defaults model a PCIe 3.0 x16 host link and an NVLink-class peer
+    mesh — per-transfer initiation overhead plus a sustained byte rate.
+    """
+
+    host_latency_s: float = 10e-6
+    host_bandwidth_gbps: float = 12.0
+    peer_latency_s: float = 5e-6
+    peer_bandwidth_gbps: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.host_latency_s < 0 or self.peer_latency_s < 0:
+            raise ValidationError("interconnect latencies must be non-negative")
+        if self.host_bandwidth_gbps <= 0 or self.peer_bandwidth_gbps <= 0:
+            raise ValidationError("interconnect bandwidths must be positive")
+
+    def host_charge(self, nbytes: int) -> TimeCharge:
+        """Cost of moving ``nbytes`` over the host↔device link."""
+        return TimeCharge(
+            latency_s=self.host_latency_s,
+            compute_s=nbytes / (self.host_bandwidth_gbps * 1e9),
+        )
+
+    def peer_charge(self, nbytes: int) -> TimeCharge:
+        """Cost of moving ``nbytes`` over a device↔device link."""
+        return TimeCharge(
+            latency_s=self.peer_latency_s,
+            compute_s=nbytes / (self.peer_bandwidth_gbps * 1e9),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``n_devices`` identical simulated devices plus their interconnect."""
+
+    device: DeviceSpec = field(default_factory=scaled_tesla_p100)
+    n_devices: int = 1
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValidationError(
+                f"a cluster needs at least one device, got {self.n_devices}"
+            )
+        if self.device.kind != "gpu":
+            raise ValidationError(
+                "clusters shard across GPU devices; CPU systems run the "
+                f"single-device paths (got device kind {self.device.kind!r})"
+            )
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``4x Tesla P100 (scaled)``."""
+        return f"{self.n_devices}x {self.device.name}"
+
+
+class DevicePool:
+    """Per-device engines over one :class:`ClusterSpec`, plus transfers.
+
+    Each device gets its own :class:`~repro.gpusim.engine.Engine` — its
+    own simulated clock, op counters and memory ledger — built with the
+    same efficiency knobs single-device training uses.  The pool is the
+    only place interconnect time is charged, so per-device timelines
+    include exactly the copies that device took part in.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        flop_efficiency: Optional[float] = None,
+        bandwidth_efficiency: float = 1.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.tracer = tracer
+        self._engines = [
+            make_engine(
+                cluster.device,
+                flop_efficiency=flop_efficiency,
+                bandwidth_efficiency=bandwidth_efficiency,
+            )
+            for _ in range(cluster.n_devices)
+        ]
+        # (src, dst) -> bytes moved; HOST (-1) marks the host endpoint.
+        self.transfer_ledger: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_devices(self) -> int:
+        """Devices in the pool."""
+        return len(self._engines)
+
+    def engine(self, device: int) -> Engine:
+        """The engine of device ``device`` (0-based)."""
+        self._check_device(device)
+        return self._engines[device]
+
+    @property
+    def engines(self) -> list[Engine]:
+        """All device engines, in device order."""
+        return list(self._engines)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Bytes moved over the interconnect, all links combined."""
+        return sum(self.transfer_ledger.values())
+
+    def device_transfer_bytes(self, device: int) -> int:
+        """Bytes of every transfer device ``device`` took part in."""
+        self._check_device(device)
+        return sum(
+            nbytes
+            for (src, dst), nbytes in self.transfer_ledger.items()
+            if device in (src, dst)
+        )
+
+    @property
+    def makespan_s(self) -> float:
+        """Cluster wall time: the busiest device's simulated clock."""
+        return max(engine.clock.elapsed_s for engine in self._engines)
+
+    def utilization(self, device: int) -> float:
+        """Device busy time over the cluster makespan (1.0 = critical path)."""
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return 0.0
+        return self.engine(device).clock.elapsed_s / makespan
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def host_to_device(
+        self, device: int, nbytes: int, *, category: str = "transfer"
+    ) -> None:
+        """Charge a host→device copy to the device's clock."""
+        self._transfer(HOST, device, nbytes, category=category)
+
+    def device_to_host(
+        self, device: int, nbytes: int, *, category: str = "transfer"
+    ) -> None:
+        """Charge a device→host copy to the device's clock."""
+        self._transfer(device, HOST, nbytes, category=category)
+
+    def device_to_device(
+        self, src: int, dst: int, nbytes: int, *, category: str = "transfer"
+    ) -> None:
+        """Charge a peer copy; the link occupies both endpoint clocks."""
+        if src == dst:
+            return  # same-device "copy" moves nothing over the interconnect
+        self._transfer(src, dst, nbytes, category=category)
+
+    def _transfer(
+        self, src: int, dst: int, nbytes: int, *, category: str
+    ) -> None:
+        if nbytes < 0:
+            raise ValidationError("transfer size must be non-negative")
+        for endpoint in (src, dst):
+            if endpoint != HOST:
+                self._check_device(endpoint)
+        if nbytes == 0:
+            return
+        interconnect = self.cluster.interconnect
+        if HOST in (src, dst):
+            charge = interconnect.host_charge(nbytes)
+        else:
+            charge = interconnect.peer_charge(nbytes)
+        span_engine = None
+        for endpoint in (src, dst):
+            if endpoint == HOST:
+                continue
+            engine = self._engines[endpoint]
+            engine.clock.charge(category, charge)
+            engine.counters.record(pcie_bytes=int(nbytes))
+            span_engine = engine
+        self.transfer_ledger[(src, dst)] = (
+            self.transfer_ledger.get((src, dst), 0) + int(nbytes)
+        )
+        if self.tracer is not None and span_engine is not None:
+            with maybe_span(
+                self.tracer,
+                "transfer",
+                clock=span_engine.clock,
+                src="host" if src == HOST else src,
+                dst="host" if dst == HOST else dst,
+                nbytes=int(nbytes),
+                seconds=charge.latency_s + charge.compute_s,
+            ):
+                pass
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < len(self._engines):
+            raise ValidationError(
+                f"device {device} out of range for a "
+                f"{len(self._engines)}-device cluster"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DevicePool({self.cluster.name}, "
+            f"transfers={self.total_transfer_bytes}B)"
+        )

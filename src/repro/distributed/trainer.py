@@ -1,0 +1,424 @@
+"""Sharded multi-class training over a simulated GPU cluster.
+
+The one-against-one decomposition hands us k(k-1)/2 *independent* binary
+problems — the natural unit of distribution (Govada et al.'s observation).
+This driver:
+
+1. plans a placement of the pairwise problems onto the cluster's devices
+   (:mod:`repro.distributed.placement`);
+2. per device, ships the class blocks its problems need over the host
+   link, builds the same cross-SVM segment share single-device training
+   uses, and runs the existing resumable wave driver
+   (:func:`repro.core.interleave.run_interleaved`) over that device's
+   members — every device reuses the single-device execution machinery
+   unchanged, under a ``cluster_wave`` telemetry span;
+3. gathers the per-device binary models to the root device over the peer
+   links (``shard_merge`` span) and assembles one unified
+   :class:`~repro.multiclass.sv_sharing.SupportVectorPool` in global
+   problem order.
+
+**Bitwise parity.**  Every per-pair solve consumes kernel values computed
+per (instance row, full class column block) through the fixed-tile matmul
+discipline (``repro.sparse.ops``), so segment values are pure functions of
+the operand rows — independent of which device computes them, what else
+shares its waves, and where its tiles sit.  Finalization and pool assembly
+run in global problem order regardless of placement.  Training on any
+device count with any placement therefore produces records, pool and
+sigmoids bit-for-bit identical to ``train_multiclass`` on one device; only
+the *simulated timeline* (makespan, transfers, utilization) changes.
+
+Host-side note: arrays are plain NumPy and are not physically partitioned
+— the *cost model* charges each device for exactly the class-block bytes
+its placement requires, which is what the simulation measures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.interleave import run_interleaved
+from repro.core.trainer import (
+    TrainerConfig,
+    _finalize_member,
+    _interleave_limits,
+    _make_pair_member,
+    _make_shared_store,
+)
+from repro.distributed.cluster import ClusterSpec, DevicePool
+from repro.distributed.placement import plan_placement
+from repro.exceptions import ValidationError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import OpCounters
+from repro.gpusim.engine import FLOAT_BYTES
+from repro.kernels.functions import KernelFunction
+from repro.model.multiclass import MPSVMModel
+from repro.multiclass.decomposition import class_partition, pair_problems
+from repro.multiclass.sv_sharing import SupportVectorPool
+from repro.sparse import ops as mops
+from repro.telemetry.schema import REPORT_SCHEMA_VERSION
+from repro.telemetry.tracer import _json_safe, maybe_span
+
+__all__ = ["ClusterTrainingReport", "train_multiclass_sharded"]
+
+# Per-record constants shipped in the SV merge besides the index and
+# coefficient arrays: (s, t, bias, iteration count) plus sigmoid (A, B).
+_RECORD_HEADER_BYTES = 6 * FLOAT_BYTES
+
+
+@dataclass
+class ClusterTrainingReport:
+    """What one sharded training run cost across the cluster."""
+
+    simulated_seconds: float  # cluster makespan (busiest device)
+    clock: SimClock  # merged per-category breakdown, all devices
+    counters: OpCounters  # aggregate op totals, all devices
+    cluster_name: str
+    n_devices: int
+    n_binary_svms: int = 0
+    total_iterations: int = 0
+    kernel_rows_computed: int = 0
+    max_concurrency: int = 1  # largest wave on any single device
+    # Sum of per-device busy seconds over the makespan: how much faster
+    # the cluster ran than the same work laid end to end on one device.
+    cluster_speedup: float = 1.0
+    transfer_bytes_total: int = 0
+    merge_bytes: int = 0
+    placement: dict = field(default_factory=dict)
+    # One entry per device: timeline, utilization, transfers, work totals.
+    per_device: list[dict] = field(default_factory=list)
+    per_svm: list[dict] = field(default_factory=list)
+    schedule_source: str = "cluster_wave"
+
+    @property
+    def total_busy_seconds(self) -> float:
+        """Sum of every device's busy time (the serial-equivalent load)."""
+        return sum(entry["simulated_seconds"] for entry in self.per_device)
+
+    def breakdown(self) -> dict[str, float]:
+        """Simulated seconds per cost category, summed across devices."""
+        return self.clock.breakdown()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat, JSON-native, schema-versioned snapshot of this report."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kind": "cluster_training_report",
+            "cluster_name": self.cluster_name,
+            "n_devices": self.n_devices,
+            "simulated_seconds": self.simulated_seconds,
+            "breakdown": self.breakdown(),
+            "counters": asdict(self.counters),
+            "n_binary_svms": self.n_binary_svms,
+            "total_iterations": self.total_iterations,
+            "kernel_rows_computed": self.kernel_rows_computed,
+            "max_concurrency": self.max_concurrency,
+            "cluster_speedup": self.cluster_speedup,
+            "transfer_bytes_total": self.transfer_bytes_total,
+            "merge_bytes": self.merge_bytes,
+            "placement": _json_safe(self.placement),
+            "per_device": _json_safe(self.per_device),
+            "per_svm": _json_safe(self.per_svm),
+            "schedule_source": self.schedule_source,
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot serialized to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def _check_config(config: TrainerConfig, cluster: ClusterSpec) -> TrainerConfig:
+    """Align the trainer config with the cluster's device."""
+    if config.solver != "batched":
+        raise ValidationError(
+            "sharded training drives resumable batched-SMO sessions; "
+            f"solver {config.solver!r} is not distributable"
+        )
+    if config.decomposition != "ovo":
+        raise ValidationError(
+            "sharded training partitions the one-against-one problems; "
+            f"decomposition {config.decomposition!r} is not supported"
+        )
+    if config.device is not cluster.device:
+        config = replace(config, device=cluster.device)
+    return config
+
+
+def _class_block_bytes(data: mops.MatrixLike, partition: dict) -> list[int]:
+    """Estimated resident bytes of each class's training-row block."""
+    total_rows = max(mops.n_rows(data), 1)
+    per_row = mops.matrix_nbytes(data) / total_rows
+    return [
+        int(round(partition[position].size * per_row))
+        for position in range(len(partition))
+    ]
+
+
+def _record_payload_bytes(record) -> int:
+    """Interconnect bytes one binary model costs in the SV merge."""
+    return int(
+        record.global_sv_indices.size * FLOAT_BYTES
+        + record.coefficients.size * FLOAT_BYTES
+        + _RECORD_HEADER_BYTES
+    )
+
+
+def train_multiclass_sharded(
+    config: TrainerConfig,
+    cluster: ClusterSpec,
+    data: mops.MatrixLike,
+    y: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+    *,
+    placement: str = "affinity",
+) -> tuple[MPSVMModel, ClusterTrainingReport]:
+    """Train a multi-class SVM sharded across a simulated cluster.
+
+    Models and probabilities are bitwise identical to single-device
+    :func:`~repro.core.trainer.train_multiclass` under the same config,
+    for every device count and placement strategy (see the module
+    docstring); the report carries the cluster timeline instead.
+
+    With ``config.tracer`` set, the run is recorded as a
+    ``train_cluster`` root span over per-device ``cluster_wave`` spans,
+    ``transfer`` spans for every interconnect copy and one
+    ``shard_merge`` span for the SV gather.
+    """
+    tracer = config.tracer
+    config = _check_config(config, cluster)
+    labels = np.asarray(y).ravel()
+    classes, partition = class_partition(labels)
+    if config.force_dense:
+        data = mops.to_dense(data)
+    problems = list(pair_problems(classes, partition))
+    plan = plan_placement(problems, cluster.n_devices, strategy=placement)
+    pool = DevicePool(
+        cluster,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        tracer=tracer,
+    )
+    block_bytes = _class_block_bytes(data, partition)
+
+    with maybe_span(
+        tracer,
+        "train_cluster",
+        n_devices=cluster.n_devices,
+        n_instances=mops.n_rows(data),
+        n_binary_svms=len(problems),
+        placement=placement,
+    ) as root_span:
+        finals: dict[int, tuple] = {}  # problem index -> finalize outputs
+        # Per-device accumulators; device master clocks live in the pool.
+        member_clocks = [SimClock() for _ in range(cluster.n_devices)]
+        device_stats = [
+            {"iterations": 0, "kernel_rows": 0, "resident_bytes": 0,
+             "max_concurrency": 1, "wave_trace": None}
+            for _ in range(cluster.n_devices)
+        ]
+        max_concurrency = 1
+
+        for device in range(cluster.n_devices):
+            problem_indices = plan.device_problems[device]
+            master = pool.engine(device)
+            if tracer is not None:
+                tracer.bind_clock(master.clock)
+            resident = sum(
+                block_bytes[c] for c in sorted(plan.device_classes[device])
+            )
+            device_stats[device]["resident_bytes"] = resident
+            with maybe_span(
+                tracer,
+                "cluster_wave",
+                clock=master.clock,
+                device=device,
+                n_svms=len(problem_indices),
+                resident_bytes=resident,
+            ) as device_span:
+                # Ship this device's class blocks over the host link.
+                pool.host_to_device(device, resident)
+                if not problem_indices:
+                    continue
+                shared, shared_computer = _make_shared_store(
+                    config, master, kernel, data, classes, partition
+                )
+                members = [
+                    _make_pair_member(
+                        config,
+                        classes,
+                        index,
+                        problems[index],
+                        penalty,
+                        data,
+                        kernel,
+                        shared=shared,
+                        shared_computer=shared_computer,
+                        counters=master.counters,
+                    )
+                    for index in problem_indices
+                ]
+                limits = _interleave_limits(config, resident)
+                outcome = run_interleaved(
+                    members,
+                    limits,
+                    shared=shared,
+                    tracer=tracer,
+                    span_clock=master.clock,
+                )
+                max_concurrency = max(max_concurrency, outcome.max_concurrency)
+
+                # Finalize this device's members (assembly restores global
+                # order below; finalization order is irrelevant to the
+                # numerics and each charge lands on its own engine).
+                finalize_clock = SimClock()
+                stats = device_stats[device]
+                for member in members:
+                    finals[member.index] = _finalize_member(
+                        config, classes, member, data, kernel, penalty, tracer
+                    )
+                    finalize_clock.merge(finals[member.index][3])
+                    stats["iterations"] += member.result.iterations
+                    stats["kernel_rows"] += member.result.kernel_rows_computed
+
+                member_clocks[device].merge(outcome.timeline)
+                member_clocks[device].merge(finalize_clock)
+                stats["max_concurrency"] = outcome.max_concurrency
+                stats["wave_trace"] = outcome.wave_trace
+                device_span.set(
+                    simulated_seconds=(
+                        master.clock.elapsed_s
+                        + member_clocks[device].elapsed_s
+                    ),
+                    max_concurrency=outcome.max_concurrency,
+                    iterations=stats["iterations"],
+                )
+            if tracer is not None:
+                tracer.bind_clock(None)
+
+        # --------------------------------------------------------------
+        # Cross-device SV merge: gather every shard's binary models to
+        # the root device, then build the unified pool in global problem
+        # order.
+        # --------------------------------------------------------------
+        root = 0
+        merge_bytes = 0
+        root_engine = pool.engine(root)
+        if tracer is not None:
+            tracer.bind_clock(root_engine.clock)
+        with maybe_span(
+            tracer,
+            "shard_merge",
+            clock=root_engine.clock,
+            root=root,
+            n_binary_svms=len(problems),
+        ) as merge_span:
+            for device in range(cluster.n_devices):
+                if device == root:
+                    continue
+                payload = sum(
+                    _record_payload_bytes(finals[index][0])
+                    for index in plan.device_problems[device]
+                )
+                merge_bytes += payload
+                pool.device_to_device(device, root, payload)
+            per_svm_records = [finals[i][0] for i in range(len(problems))]
+            pool_entries = [finals[i][1] for i in range(len(problems))]
+            per_svm_stats = [finals[i][2] for i in range(len(problems))]
+            sv_pool = SupportVectorPool.build(data, pool_entries)
+            merge_span.set(
+                merge_bytes=merge_bytes,
+                n_pool=sv_pool.n_pool,
+                sharing_factor=sv_pool.sharing_factor,
+            )
+        if tracer is not None:
+            tracer.bind_clock(None)
+
+        # --------------------------------------------------------------
+        # Cluster timeline: a device's busy time is its master clock
+        # (transfers, shared prefetches, merge) plus its members' wave-
+        # scaled solve/finalize time; the makespan is the busiest device.
+        # --------------------------------------------------------------
+        device_clocks: list[SimClock] = []
+        for device in range(cluster.n_devices):
+            clock = SimClock()
+            clock.merge(pool.engine(device).clock)
+            clock.merge(member_clocks[device])
+            device_clocks.append(clock)
+        makespan = max(clock.elapsed_s for clock in device_clocks)
+        busy_total = sum(clock.elapsed_s for clock in device_clocks)
+
+        per_device = []
+        for device in range(cluster.n_devices):
+            stats = device_stats[device]
+            busy = device_clocks[device].elapsed_s
+            per_device.append(
+                {
+                    "device": device,
+                    "n_svms": len(plan.device_problems[device]),
+                    "iterations": int(stats["iterations"]),
+                    "kernel_rows_computed": int(stats["kernel_rows"]),
+                    "resident_bytes": int(stats["resident_bytes"]),
+                    "simulated_seconds": float(busy),
+                    "utilization": float(
+                        busy / makespan if makespan > 0 else 0.0
+                    ),
+                    "transfer_bytes": pool.device_transfer_bytes(device),
+                    "max_concurrency": int(stats["max_concurrency"]),
+                    "wave_trace": stats["wave_trace"],
+                }
+            )
+
+        model = MPSVMModel(
+            classes=classes,
+            kernel=kernel,
+            penalty=float(penalty),
+            records=per_svm_records,
+            sv_pool=sv_pool,
+            probability=config.probability,
+            strategy=config.decomposition,
+            metadata={
+                "trainer": config.solver,
+                "device": config.device.name,
+                "cluster_devices": cluster.n_devices,
+                "placement": placement,
+            },
+        )
+
+        combined = SimClock()
+        counters = OpCounters()
+        for clock in device_clocks:
+            combined.merge(clock)
+        for engine in pool.engines:
+            counters.merge(engine.counters)
+        report = ClusterTrainingReport(
+            simulated_seconds=makespan,
+            clock=combined,
+            counters=counters,
+            cluster_name=cluster.name,
+            n_devices=cluster.n_devices,
+            n_binary_svms=len(problems),
+            total_iterations=sum(
+                stats["iterations"] for stats in device_stats
+            ),
+            kernel_rows_computed=sum(
+                stats["kernel_rows"] for stats in device_stats
+            ),
+            max_concurrency=max_concurrency,
+            cluster_speedup=(busy_total / makespan if makespan > 0 else 1.0),
+            transfer_bytes_total=pool.total_transfer_bytes,
+            merge_bytes=merge_bytes,
+            placement=plan.summary(),
+            per_device=per_device,
+            per_svm=per_svm_stats,
+        )
+        root_span.set(
+            simulated_seconds=report.simulated_seconds,
+            cluster_speedup=report.cluster_speedup,
+            transfer_bytes_total=report.transfer_bytes_total,
+            max_concurrency=report.max_concurrency,
+        )
+    return model, report

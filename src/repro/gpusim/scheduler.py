@@ -60,6 +60,27 @@ class WaveLimits:
         if self.max_concurrent is not None and self.max_concurrent < 1:
             raise ValidationError("max_concurrent must be >= 1")
 
+    def validate_task(
+        self, name: str, *, blocks: int, mem_bytes: int
+    ) -> None:
+        """Reject a task that cannot run on this device even alone.
+
+        A task whose SM-block count or memory footprint exceeds the device
+        capacity would previously underpack silently (a solo wave whose
+        simulated memory use exceeded the ledger).  Raise up front, naming
+        the task, so misconfigured footprints are diagnosable.
+        """
+        if blocks > self.num_sms:
+            raise ValidationError(
+                f"task {name!r} needs {blocks} SM blocks but the device "
+                f"has only {self.num_sms}"
+            )
+        if mem_bytes > self.mem_budget_bytes:
+            raise ValidationError(
+                f"task {name!r} needs {mem_bytes} bytes but the memory "
+                f"budget is {self.mem_budget_bytes} bytes"
+            )
+
     def admits(
         self,
         *,
@@ -71,9 +92,9 @@ class WaveLimits:
     ) -> bool:
         """Whether a task joins a wave already holding ``count`` tasks.
 
-        An empty wave admits anything: a task whose footprint alone
-        exceeds the budget degrades to running serially (its solver
-        streams through memory via the kernel buffer) rather than failing.
+        An empty wave admits anything that passed :meth:`validate_task`:
+        a task that fits the device but not alongside the wave's current
+        residents simply opens the next wave.
         """
         if count == 0:
             return True
@@ -244,16 +265,22 @@ class ConcurrentScheduler:
     ) -> SchedulePlan:
         """First-fit-decreasing packing by serial time.
 
-        A task whose memory footprint alone exceeds the budget still gets a
-        wave of its own: the underlying solvers stream through memory via
-        their kernel buffers, so a lone oversized task degrades to serial
-        execution rather than failing.
+        Every task is validated against the device capacity first: a task
+        whose SM-block count or memory footprint exceeds what the device
+        can hold even alone raises :class:`ValidationError` naming the
+        task (it used to underpack silently as a solo wave).
 
         With ``tracer`` set, the packing is recorded as a
         ``scheduler.plan`` span carrying wave count, concurrency and
         speedup attributes.
         """
         with maybe_span(tracer, "scheduler.plan", n_tasks=len(tasks)) as span:
+            for task in tasks:
+                self.limits.validate_task(
+                    task.name,
+                    blocks=task.cost.blocks,
+                    mem_bytes=task.cost.mem_bytes,
+                )
             pending = sorted(tasks, key=lambda t: t.cost.serial_s, reverse=True)
             waves: list[Wave] = []
             for task in pending:

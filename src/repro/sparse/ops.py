@@ -94,19 +94,24 @@ def row_norms_sq(matrix: MatrixLike) -> np.ndarray:
     return np.einsum("ij,ij->i", matrix, matrix)
 
 
-# Fixed row-tile for the dense-dense product.  BLAS derives its internal
+# Fixed tiles for the dense-dense product.  BLAS derives its internal
 # blocking — and with it the per-element accumulation order — from the
 # operand shapes, so the same row can come out bitwise-different depending
 # on how many rows it is batched with (a lone row even dispatches to a
-# different GEMV path).  Computing every product through constant-shape
-# ``(MATMUL_TILE_ROWS, k)`` calls, zero-padding the last tile, makes each
-# output row a pure function of ``(row, b)``, independent of batch
-# composition.  The interleaved trainer relies on this invariant: it fuses
-# the kernel-row demand of concurrently-running SVMs into union batches and
-# must still produce models bitwise-identical to the sequential schedule.
+# different GEMV path), and the same *column* can come out different
+# depending on which other columns ride along.  Computing every product
+# through constant-shape ``(MATMUL_TILE_ROWS, k) @ (k, MATMUL_TILE_COLS)``
+# calls on contiguous zero-padded tiles makes each output element a pure
+# function of ``(a_row, b_row)``, independent of batch composition on
+# *either* axis.  The interleaved trainer relies on the row half (it fuses
+# kernel-row demand of concurrent SVMs into union batches); the distributed
+# inference router relies on the column half (a pair-partitioned shard
+# computes test-vs-sub-pool blocks whose columns sit at different offsets
+# than in the single-device pool, and must still reproduce the same bits).
 # The CSR code paths are per-row loops / fixed-segment reductions and carry
 # the invariant for free.
 MATMUL_TILE_ROWS = 256
+MATMUL_TILE_COLS = 256
 
 
 def matmul_transpose(a: MatrixLike, b: MatrixLike) -> np.ndarray:
@@ -128,17 +133,32 @@ def matmul_transpose(a: MatrixLike, b: MatrixLike) -> np.ndarray:
     if b_sparse:
         return b.dot_dense(np.ascontiguousarray(np.asarray(a).T)).T
     dense_a = np.asarray(a)
-    dense_bt = np.asarray(b).T
-    tile = MATMUL_TILE_ROWS
+    dense_b = np.asarray(b)
+    tile_r = MATMUL_TILE_ROWS
+    tile_c = MATMUL_TILE_COLS
     m, k = dense_a.shape
-    out = np.empty((m, dense_bt.shape[1]), dtype=np.result_type(dense_a, dense_bt))
-    for start in range(0, m, tile):
-        chunk = dense_a[start : start + tile]
+    n = dense_b.shape[0]
+    dtype = np.result_type(dense_a, dense_b)
+    out = np.empty((m, n), dtype=dtype)
+    # Materialise every column tile as a contiguous (k, tile_c) operand up
+    # front: a strided transpose view and a padded copy can dispatch to
+    # different GEMM paths, which would break element purity between full
+    # and partial tiles.
+    col_tiles = []
+    for c_start in range(0, n, tile_c):
+        cols = min(tile_c, n - c_start)
+        block = np.zeros((k, tile_c), dtype=dtype)
+        block[:, :cols] = dense_b[c_start : c_start + cols].T
+        col_tiles.append((c_start, cols, block))
+    for r_start in range(0, m, tile_r):
+        chunk = dense_a[r_start : r_start + tile_r]
         rows = chunk.shape[0]
-        if rows < tile:
-            padded = np.zeros((tile, k), dtype=chunk.dtype)
+        if rows < tile_r or not chunk.flags.c_contiguous:
+            padded = np.zeros((tile_r, k), dtype=dtype)
             padded[:rows] = chunk
-            out[start : start + rows] = (padded @ dense_bt)[:rows]
-        else:
-            out[start : start + rows] = chunk @ dense_bt
+            chunk = padded
+        for c_start, cols, block in col_tiles:
+            out[r_start : r_start + rows, c_start : c_start + cols] = (
+                chunk @ block
+            )[:rows, :cols]
     return out

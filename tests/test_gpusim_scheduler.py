@@ -66,6 +66,25 @@ class TestWaveMakespan:
         plan = scheduler.plan(tasks)
         assert plan.makespan_s == pytest.approx(3.0)  # longest chain dominates
 
+    def test_zero_latency_tasks_serialise_on_compute(self):
+        # Pure-compute tasks have nothing to overlap: the wave makespan is
+        # exactly the compute sum and the speedup stays at 1.
+        scheduler = ConcurrentScheduler(scaled_tesla_p100())
+        tasks = [task(f"t{i}", latency=0.0, compute=0.25) for i in range(6)]
+        plan = scheduler.plan(tasks)
+        assert plan.makespan_s == pytest.approx(1.5)
+        assert plan.speedup == pytest.approx(1.0)
+
+    def test_single_task_waves_degrade_to_serial_makespan(self):
+        # With max_concurrent=1 every wave holds one task, so the plan's
+        # makespan must equal the serial sum exactly.
+        scheduler = ConcurrentScheduler(scaled_tesla_p100(), max_concurrent=1)
+        tasks = [task(f"t{i}", latency=0.3, compute=0.7) for i in range(5)]
+        plan = scheduler.plan(tasks)
+        assert plan.max_concurrency == 1
+        assert plan.makespan_s == pytest.approx(plan.serial_s)
+        assert plan.speedup == pytest.approx(1.0)
+
 
 class TestPackingConstraints:
     def test_memory_cap_forces_waves(self):
@@ -90,10 +109,25 @@ class TestPackingConstraints:
         plan = scheduler.plan(tasks)
         assert plan.max_concurrency == 3
 
-    def test_oversized_task_still_runs_alone(self):
+    def test_oversized_memory_task_is_rejected_by_name(self):
         scheduler = ConcurrentScheduler(scaled_tesla_p100(), mem_budget_bytes=10)
-        plan = scheduler.plan([task("huge", latency=1.0, mem=1000)])
+        with pytest.raises(ValidationError, match="huge"):
+            scheduler.plan([task("huge", latency=1.0, mem=1000)])
+
+    def test_oversized_block_task_is_rejected_by_name(self):
+        device = scaled_tesla_p100()  # 56 SMs
+        scheduler = ConcurrentScheduler(device)
+        with pytest.raises(ValidationError, match="wide"):
+            scheduler.plan([task("wide", latency=1.0, blocks=device.num_sms + 1)])
+
+    def test_task_exactly_at_capacity_is_admitted(self):
+        device = scaled_tesla_p100()
+        scheduler = ConcurrentScheduler(device, mem_budget_bytes=1000)
+        plan = scheduler.plan(
+            [task("full", latency=1.0, mem=1000, blocks=device.num_sms)]
+        )
         assert len(plan.waves) == 1
+        assert plan.makespan_s == pytest.approx(1.0)
 
     def test_bad_parameters(self):
         with pytest.raises(ValidationError):
@@ -137,11 +171,22 @@ class TestWaveLimits:
         kwargs.setdefault("mem_budget_bytes", 1000)
         return WaveLimits(**kwargs)
 
-    def test_empty_wave_admits_oversized_task(self):
+    def test_empty_wave_admits_any_validated_task(self):
         limits = self._limits()
         assert limits.admits(
             count=0, blocks=0, mem_bytes=0, task_blocks=99, task_mem_bytes=10**9
         )
+
+    def test_validate_task_names_the_offender(self):
+        limits = self._limits(num_sms=8, mem_budget_bytes=1000)
+        with pytest.raises(ValidationError, match="svm_3_7"):
+            limits.validate_task("svm_3_7", blocks=9, mem_bytes=0)
+        with pytest.raises(ValidationError, match="svm_0_1"):
+            limits.validate_task("svm_0_1", blocks=1, mem_bytes=1001)
+
+    def test_validate_task_accepts_exact_capacity(self):
+        limits = self._limits(num_sms=8, mem_budget_bytes=1000)
+        limits.validate_task("fits", blocks=8, mem_bytes=1000)
 
     def test_sm_capacity_bounds_admission(self):
         limits = self._limits(num_sms=8)

@@ -17,6 +17,7 @@ import repro
 # same change, with a CHANGES.md note.
 PUBLIC_API = [
     "CSRMatrix",
+    "ClusterSpec",
     "ConvergenceWarning",
     "DeviceMemoryError",
     "GMPSVC",
@@ -29,6 +30,7 @@ PUBLIC_API = [
     "ReproError",
     "SVC",
     "SVR",
+    "ShardedInferenceRouter",
     "SolverError",
     "SparseFormatError",
     "Tracer",
@@ -39,6 +41,7 @@ PUBLIC_API = [
     "load_libsvm",
     "load_model",
     "save_model",
+    "train_multiclass_sharded",
 ]
 
 
@@ -114,6 +117,36 @@ class TestSignatures:
         assert _params(repro.MicroBatcher.submit) == ["X", "kind", "arrival_s"]
         assert callable(repro.MicroBatcher.drain)
 
+    def test_router_surface(self):
+        assert _params(repro.ShardedInferenceRouter.__init__) == [
+            "model",
+            "cluster",
+            "strategy",
+            "config",
+            "placement",
+            "max_batch",
+            "max_wait_s",
+        ]
+        for method in (
+            "predict",
+            "predict_proba",
+            "decision_function",
+            "submit",
+            "drain",
+        ):
+            assert callable(getattr(repro.ShardedInferenceRouter, method))
+
+    def test_sharded_trainer_signature(self):
+        assert _params(repro.train_multiclass_sharded) == [
+            "config",
+            "cluster",
+            "data",
+            "y",
+            "kernel",
+            "penalty",
+            "placement",
+        ]
+
     def test_persistence_signatures(self):
         assert _params(repro.save_model) == ["model", "target"]
         assert _params(repro.load_model) == ["source"]
@@ -167,6 +200,17 @@ class TestDeepImportShims:
         assert load_model is repro.load_model
         assert CSRMatrix is repro.CSRMatrix
         assert Tracer is repro.Tracer
+
+    def test_distributed_aliases(self):
+        from repro.distributed import (
+            ClusterSpec,
+            ShardedInferenceRouter,
+            train_multiclass_sharded,
+        )
+
+        assert ClusterSpec is repro.ClusterSpec
+        assert ShardedInferenceRouter is repro.ShardedInferenceRouter
+        assert train_multiclass_sharded is repro.train_multiclass_sharded
 
     def test_exception_aliases(self):
         from repro.exceptions import ReproError, ValidationError
