@@ -11,8 +11,19 @@ Every metric present in the baseline must exist in the candidate and
 match within tolerance: ``|candidate - baseline| <= atol + rtol *
 |baseline|``.  Per-metric tolerance overrides (``--metric-rtol
 total_iterations=0.5``) accommodate metrics that legitimately wobble
-across platforms.  Exit status: 0 when all metrics pass, 1 on any
-regression or missing metric, 2 on unreadable/invalid input files.
+across platforms.  On top of the relative diff, ``--slo NAME=MAX``
+declares a *hard ceiling*: the candidate's ``NAME`` must exist and be
+``<= MAX`` regardless of what the baseline says — the committed
+latency-SLO contracts ride this flag in CI, so a baseline refresh can
+never quietly ratchet a latency bound upward.  Exit status: 0 when all
+metrics pass, 1 on any regression, missing metric, or SLO breach, 2 on
+unreadable/invalid/mismatched input files.
+
+Failures are always reported by metric name — a missing key or a
+non-numeric value names the offending metric and file rather than
+surfacing a raw ``KeyError``/``ValueError``, and a baseline/candidate
+``schema_version`` mismatch is an explicit exit-2 error (comparing
+across schema generations is meaningless).
 
 The gate is deliberately symmetric — an *improvement* beyond tolerance
 also fails, because it means the committed baseline is stale and should
@@ -43,7 +54,11 @@ def load_bench(path: object) -> dict:
     except (OSError, json.JSONDecodeError) as exc:
         raise _invalid_input(f"cannot read {path}: {exc}")
     schema = payload.get("schema_version", "")
-    if payload.get("kind") != EXPECTED_KIND or not schema.startswith("repro.bench/"):
+    if (
+        payload.get("kind") != EXPECTED_KIND
+        or not isinstance(schema, str)
+        or not schema.startswith("repro.bench/")
+    ):
         raise _invalid_input(
             f"{path} is not a repro.bench payload "
             f"(kind={payload.get('kind')!r}, schema={schema!r})"
@@ -51,6 +66,19 @@ def load_bench(path: object) -> dict:
     if not isinstance(payload.get("metrics"), dict):
         raise _invalid_input(f"{path} has no metrics mapping")
     return payload
+
+
+def _as_number(
+    metrics: dict, name: str, role: str
+) -> tuple[Optional[float], Optional[str]]:
+    """``(value, None)`` or ``(None, failure)`` naming the bad metric."""
+    value = metrics[name]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None, (
+            f"{name}: {role} value {value!r} is not numeric "
+            f"(got {type(value).__name__})"
+        )
+    return float(value), None
 
 
 def compare_metrics(
@@ -65,11 +93,20 @@ def compare_metrics(
     overrides = metric_rtol or {}
     failures: list[str] = []
     for name in sorted(baseline):
-        base = float(baseline[name])
-        if name not in candidate:
-            failures.append(f"{name}: missing from candidate")
+        base, problem = _as_number(baseline, name, "baseline")
+        if problem is not None:
+            failures.append(problem)
             continue
-        cand = float(candidate[name])
+        if name not in candidate:
+            failures.append(
+                f"{name}: present in baseline but missing from candidate "
+                "(emitter dropped a metric, or the baseline is stale)"
+            )
+            continue
+        cand, problem = _as_number(candidate, name, "candidate")
+        if problem is not None:
+            failures.append(problem)
+            continue
         tolerance = atol + overrides.get(name, rtol) * abs(base)
         if abs(cand - base) > tolerance:
             failures.append(
@@ -79,17 +116,42 @@ def compare_metrics(
     return failures
 
 
-def _parse_overrides(items: Sequence[str]) -> dict[str, float]:
-    overrides: dict[str, float] = {}
+def check_slos(
+    candidate: dict[str, float], slos: dict[str, float]
+) -> list[str]:
+    """Hard-ceiling checks: candidate[name] must exist and be <= ceiling."""
+    failures: list[str] = []
+    for name in sorted(slos):
+        ceiling = slos[name]
+        if name not in candidate:
+            failures.append(
+                f"{name}: SLO declared (<= {ceiling:.6g}) but metric is "
+                "missing from candidate"
+            )
+            continue
+        value, problem = _as_number(candidate, name, "candidate")
+        if problem is not None:
+            failures.append(problem)
+            continue
+        if value > ceiling:
+            failures.append(
+                f"{name}: SLO breach — candidate {value:.6g} exceeds "
+                f"ceiling {ceiling:.6g}"
+            )
+    return failures
+
+
+def _parse_name_floats(items: Sequence[str], flag: str) -> dict[str, float]:
+    parsed: dict[str, float] = {}
     for item in items:
         name, _, value = item.partition("=")
         if not name or not value:
-            raise _invalid_input(f"bad --metric-rtol {item!r} (want NAME=FLOAT)")
+            raise _invalid_input(f"bad {flag} {item!r} (want NAME=FLOAT)")
         try:
-            overrides[name] = float(value)
+            parsed[name] = float(value)
         except ValueError:
-            raise _invalid_input(f"bad --metric-rtol value in {item!r}")
-    return overrides
+            raise _invalid_input(f"bad {flag} value in {item!r}")
+    return parsed
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,7 +161,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Diff benchmark JSON against a committed baseline.",
     )
     parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
-    parser.add_argument("--candidate", required=True, help="freshly emitted BENCH_*.json")
+    parser.add_argument(
+        "--candidate", required=True, help="freshly emitted BENCH_*.json"
+    )
     parser.add_argument(
         "--rtol",
         type=float,
@@ -119,18 +183,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="NAME=FLOAT",
         help="per-metric relative-tolerance override (repeatable)",
     )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="NAME=MAX",
+        help=(
+            "hard ceiling: candidate NAME must exist and be <= MAX, "
+            "independent of the baseline (repeatable)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline = load_bench(args.baseline)
     candidate = load_bench(args.candidate)
+    base_schema = baseline.get("schema_version")
+    cand_schema = candidate.get("schema_version")
+    if base_schema != cand_schema:
+        raise _invalid_input(
+            f"schema_version mismatch: baseline {args.baseline} has "
+            f"{base_schema!r} but candidate {args.candidate} has "
+            f"{cand_schema!r} — refresh the committed baseline before gating"
+        )
     failures = compare_metrics(
         baseline["metrics"],
         candidate["metrics"],
         rtol=args.rtol,
         atol=args.atol,
-        metric_rtol=_parse_overrides(args.metric_rtol),
+        metric_rtol=_parse_name_floats(args.metric_rtol, "--metric-rtol"),
     )
-    checked = len(baseline["metrics"])
+    slos = _parse_name_floats(args.slo, "--slo")
+    failures.extend(check_slos(candidate["metrics"], slos))
+    checked = len(baseline["metrics"]) + len(slos)
     if failures:
         print(
             f"check_regression: FAIL — {len(failures)}/{checked} metric(s) "

@@ -375,12 +375,149 @@ def run_distributed() -> dict[str, float]:
     return metrics
 
 
+def run_http_serving() -> dict[str, float]:
+    """The HTTP front-end under load: capacity, latency SLOs, graceful shed.
+
+    Four deterministic load runs against fresh admission-controlled
+    servers (2 workers, adaptive micro-batching, per-tenant token
+    buckets, bounded queues):
+
+    - **calibration** — a saturating closed loop measures batched service
+      capacity;
+    - **uncontended** — steady open loop at 25% of capacity: the latency
+      baseline the SLO gate pins;
+    - **overload** — steady open loop at 2x capacity: the graceful-shed
+      contract (accepted p99 within 3x the uncontended p99, explicit
+      429/503 for the rest, server throughput holding near capacity);
+    - **bursty** — 4x on/off bursts at 1x mean: shedding absorbs bursts
+      instead of queueing them into the latency tail.
+
+    The overload run is executed twice on fresh servers; the
+    ``deterministic`` flag asserts byte-identical shed decisions and
+    latency lists.  Everything reported lives on the simulated clock.
+    """
+    import numpy as np
+
+    from benchmarks.loadgen import TrafficShape, run_closed_loop, run_open_loop
+    from repro import GMPSVC, InferenceSession
+    from repro.core.predictor import PredictorConfig
+    from repro.data import gaussian_blobs
+    from repro.gpusim import scaled_tesla_p100
+    from repro.server import AdmissionController, Dispatcher, TenantPolicy
+
+    x, y = gaussian_blobs(n=300, n_features=8, n_classes=3, seed=11)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model = GMPSVC(C=10.0, gamma=0.3, working_set_size=32).fit(x, y).model_
+    rows = [x[i : i + 1] for i in range(64)]
+
+    def build_server(*, alpha_rate_rps: float = 0.0) -> Dispatcher:
+        """A fresh 2-worker server; ``alpha_rate_rps=0`` means unlimited."""
+        session = InferenceSession(
+            model, PredictorConfig(device=scaled_tesla_p100())
+        )
+        generous = TenantPolicy(
+            rate_per_s=1e12, burst=1_000_000, max_queue=1_000_000
+        )
+        if alpha_rate_rps:
+            # The production shape: tenant "alpha" is rate-capped (sheds
+            # 429 when it exceeds its contract), everyone else is trusted
+            # but bounded by the queues (sheds 503 under overload).
+            admission = AdmissionController(
+                default_policy=TenantPolicy(
+                    rate_per_s=1e12, burst=1_000_000, max_queue=10
+                ),
+                policies={
+                    "alpha": TenantPolicy(
+                        rate_per_s=alpha_rate_rps, burst=16, max_queue=10
+                    )
+                },
+                max_queue_global=12,
+            )
+        else:
+            admission = AdmissionController(
+                default_policy=generous, max_queue_global=1_000_000
+            )
+        return Dispatcher(
+            session, n_workers=2, max_batch=16, admission=admission
+        )
+
+    # Calibration: saturating closed loop, generous limits -> capacity.
+    calibration = run_closed_loop(
+        build_server(), rows, n_clients=64, n_requests=512
+    )
+    capacity_rps = calibration.accepted_throughput_rps
+
+    tenants = (("alpha", 0.7), ("beta", 0.3))
+    priorities = ((0, 0.9), (2, 0.1))
+
+    def open_run(shape: TrafficShape, *, seed: int):
+        return run_open_loop(
+            build_server(alpha_rate_rps=0.5 * capacity_rps),
+            rows,
+            shape,
+            tenants=tenants,
+            priorities=priorities,
+            seed=seed,
+        )
+
+    n_target = 400  # arrivals per trace, in expectation
+    uncontended = open_run(
+        TrafficShape("steady", 0.25 * capacity_rps, n_target / (0.25 * capacity_rps)),
+        seed=5,
+    )
+    overload_shape = TrafficShape(
+        "steady", 2.0 * capacity_rps, n_target / (2.0 * capacity_rps)
+    )
+    overload = open_run(overload_shape, seed=7)
+    overload_repeat = open_run(overload_shape, seed=7)
+    bursty = open_run(
+        TrafficShape(
+            "bursty", capacity_rps, n_target / capacity_rps, burst_factor=4.0
+        ),
+        seed=9,
+    )
+
+    deterministic = (
+        overload.decision_log == overload_repeat.decision_log
+        and overload.accepted_latencies_s == overload_repeat.accepted_latencies_s
+        and overload.shed_statuses == overload_repeat.shed_statuses
+    )
+    all_explicit = all(
+        status in (429, 503)
+        for report in (uncontended, overload, bursty)
+        for status in report.shed_statuses
+    )
+    p99_unc = uncontended.latency_percentile(99.0)
+    p99_over = overload.latency_percentile(99.0)
+
+    metrics: dict[str, float] = {
+        "capacity_rps": capacity_rps,
+        "calibration_mean_batch_size": calibration.mean_batch_size,
+        "p99_degradation_ratio": p99_over / p99_unc if p99_unc else 0.0,
+        "deterministic": float(deterministic),
+        "all_sheds_explicit": float(all_explicit),
+        "overload_factor": 2.0,
+    }
+    metrics.update(uncontended.metrics("uncontended_"))
+    metrics.update(overload.metrics("overload_"))
+    metrics.update(bursty.metrics("bursty_"))
+    metrics["overload_evicted"] = float(
+        sum(
+            counters["shed_evicted"]
+            for counters in overload.per_tenant.values()
+        )
+    )
+    return metrics
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
     "coupling": run_coupling,
     "train_interleave": run_train_interleave,
     "serving": run_serving,
     "distributed": run_distributed,
+    "http_serving": run_http_serving,
 }
 
 

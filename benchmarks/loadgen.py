@@ -1,0 +1,328 @@
+"""Load generation for the HTTP serving front-end, on the simulated clock.
+
+Two driver families, both deterministic under a fixed seed:
+
+- **open loop** — arrivals come from a seeded non-homogeneous Poisson
+  process whose rate follows a :class:`TrafficShape` (``steady``,
+  ``bursty`` on/off square wave, or ``diurnal`` sinusoid — the
+  "millions of users" day compressed onto the simulated axis).  Arrival
+  times are independent of server behaviour, so an overloaded server
+  *must* shed rather than slow the offered stream — the regime the
+  admission-control contract is about.
+- **closed loop** — ``n_clients`` virtual users each keep exactly one
+  request in flight, issuing the next ``think_s`` after the previous
+  completion (shed requests retry after ``backoff_s``).  Offered load
+  self-limits to the server's service rate, which is what makes it the
+  right calibration probe for capacity.
+
+Both drivers run entirely on the dispatcher's virtual timeline: a
+10-minute diurnal trace costs milliseconds of wall time, and repeated
+runs produce byte-identical latency percentiles and shed decisions —
+the property ``BENCH_http_serving.json`` pins in CI.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.server.dispatcher import Dispatcher, ServerRequest
+
+__all__ = [
+    "LoadReport",
+    "TrafficShape",
+    "open_loop_arrivals",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+SHAPE_KINDS = ("steady", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """A rate profile lambda(t) for the open-loop arrival process.
+
+    Parameters
+    ----------
+    kind:
+        ``steady`` — constant ``rate_rps``; ``bursty`` — square wave
+        alternating ``rate_rps * burst_factor`` (for ``burst_duty`` of
+        each period) with a low trough that preserves the mean;
+        ``diurnal`` — sinusoid ``rate * (1 + amplitude * sin)`` over
+        ``period_s``.
+    rate_rps:
+        Mean offered rate over the whole trace, requests per simulated
+        second.
+    duration_s:
+        Trace length on the simulated axis.
+    """
+
+    kind: str
+    rate_rps: float
+    duration_s: float
+    period_s: Optional[float] = None
+    burst_factor: float = 4.0
+    burst_duty: float = 0.25
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHAPE_KINDS:
+            raise ValidationError(
+                f"kind must be one of {SHAPE_KINDS}, got {self.kind!r}"
+            )
+        if self.rate_rps <= 0 or self.duration_s <= 0:
+            raise ValidationError(
+                "rate_rps and duration_s must be > 0, got "
+                f"{self.rate_rps} and {self.duration_s}"
+            )
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ValidationError(
+                f"burst_duty must be in (0, 1), got {self.burst_duty}"
+            )
+        if self.burst_factor < 1.0:
+            raise ValidationError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValidationError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+
+    @property
+    def effective_period_s(self) -> float:
+        """Modulation period (defaults to a quarter of the trace)."""
+        return self.period_s if self.period_s else self.duration_s / 4.0
+
+    def rate_at(self, t_s: float) -> float:
+        """Instantaneous arrival rate at simulated time ``t_s``."""
+        if self.kind == "steady":
+            return self.rate_rps
+        phase = (t_s % self.effective_period_s) / self.effective_period_s
+        if self.kind == "bursty":
+            # Peak for burst_duty of the period; the trough rate keeps
+            # the time-averaged rate equal to rate_rps.
+            peak = self.rate_rps * self.burst_factor
+            trough = (
+                self.rate_rps
+                * (1.0 - self.burst_factor * self.burst_duty)
+                / (1.0 - self.burst_duty)
+            )
+            trough = max(0.0, trough)
+            return peak if phase < self.burst_duty else trough
+        # diurnal
+        return self.rate_rps * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * phase)
+        )
+
+    @property
+    def peak_rate_rps(self) -> float:
+        """Upper bound of lambda(t), for Poisson thinning."""
+        if self.kind == "steady":
+            return self.rate_rps
+        if self.kind == "bursty":
+            return self.rate_rps * self.burst_factor
+        return self.rate_rps * (1.0 + self.amplitude)
+
+
+def open_loop_arrivals(shape: TrafficShape, *, seed: int = 0) -> np.ndarray:
+    """Arrival times of a seeded non-homogeneous Poisson process.
+
+    Thinning (Lewis & Shedler): candidates at the peak rate, each kept
+    with probability ``rate(t) / peak``.  Deterministic per seed.
+    """
+    rng = np.random.default_rng(seed)
+    peak = shape.peak_rate_rps
+    times = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak)
+        if t >= shape.duration_s:
+            break
+        if rng.random() <= shape.rate_at(t) / peak:
+            times.append(t)
+    return np.asarray(times)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run against a dispatcher."""
+
+    driver: str
+    n_offered: int = 0
+    n_accepted: int = 0
+    n_shed_429: int = 0
+    n_shed_503: int = 0
+    makespan_s: float = 0.0
+    accepted_latencies_s: list = field(default_factory=list)
+    shed_statuses: list = field(default_factory=list)
+    decision_log: list = field(default_factory=list)
+    mean_batch_size: float = 0.0
+    per_tenant: dict = field(default_factory=dict)
+
+    @property
+    def n_shed(self) -> int:
+        """All shed requests, both 429 and 503."""
+        return self.n_shed_429 + self.n_shed_503
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed."""
+        return self.n_shed / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def accepted_throughput_rps(self) -> float:
+        """Accepted completions per simulated second of the run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.n_accepted / self.makespan_s
+
+    def latency_percentile(self, q: float) -> float:
+        """Accepted-request latency percentile (simulated seconds)."""
+        if not self.accepted_latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.accepted_latencies_s), q))
+
+    def metrics(self, prefix: str = "") -> dict[str, float]:
+        """Flat numeric summary for ``BENCH_*.json`` emission."""
+        p = prefix
+        return {
+            f"{p}offered": float(self.n_offered),
+            f"{p}accepted": float(self.n_accepted),
+            f"{p}shed_429": float(self.n_shed_429),
+            f"{p}shed_503": float(self.n_shed_503),
+            f"{p}shed_rate": self.shed_rate,
+            f"{p}makespan_s": self.makespan_s,
+            f"{p}throughput_rps": self.accepted_throughput_rps,
+            f"{p}latency_p50_s": self.latency_percentile(50.0),
+            f"{p}latency_p99_s": self.latency_percentile(99.0),
+            f"{p}mean_batch_size": self.mean_batch_size,
+        }
+
+
+def _tenant_for(rng: np.random.Generator, tenants: Sequence[tuple[str, float]]) -> str:
+    names = [name for name, _ in tenants]
+    weights = np.asarray([w for _, w in tenants], dtype=np.float64)
+    return str(rng.choice(names, p=weights / weights.sum()))
+
+
+def _finish(report: LoadReport, dispatcher: Dispatcher, tickets: list[ServerRequest]) -> LoadReport:
+    for ticket in tickets:
+        if ticket.shed:
+            if ticket.status == 429:
+                report.n_shed_429 += 1
+            else:
+                report.n_shed_503 += 1
+            report.shed_statuses.append(ticket.status)
+        else:
+            report.n_accepted += 1
+            report.accepted_latencies_s.append(ticket.latency_s)
+    report.n_offered = len(tickets)
+    stats = dispatcher.stats
+    report.makespan_s = stats.makespan_s
+    report.mean_batch_size = stats.mean_batch_size
+    report.decision_log = list(dispatcher.decision_log)
+    report.per_tenant = dispatcher.admission.counters_snapshot()
+    return report
+
+
+def run_open_loop(
+    dispatcher: Dispatcher,
+    rows: Sequence[object],
+    shape: TrafficShape,
+    *,
+    kind: str = "predict_proba",
+    tenants: Sequence[tuple[str, float]] = (("default", 1.0),),
+    priorities: Sequence[tuple[int, float]] = ((0, 1.0),),
+    seed: int = 0,
+) -> LoadReport:
+    """Drive one open-loop trace through ``dispatcher``; returns the report.
+
+    ``rows`` is the request pool — request *i* sends
+    ``rows[i % len(rows)]``.  Tenants and priorities are drawn per
+    request from the given weighted sets (seeded, so the full offered
+    stream is reproducible).
+    """
+    arrivals = open_loop_arrivals(shape, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    prio_values = [int(v) for v, _ in priorities]
+    prio_weights = np.asarray([w for _, w in priorities], dtype=np.float64)
+    prio_weights = prio_weights / prio_weights.sum()
+    tickets: list[ServerRequest] = []
+    for i, arrival in enumerate(arrivals):
+        tenant = _tenant_for(rng, tenants)
+        priority = int(rng.choice(prio_values, p=prio_weights))
+        tickets.append(
+            dispatcher.submit(
+                rows[i % len(rows)],
+                kind=kind,
+                tenant=tenant,
+                priority=priority,
+                arrival_s=float(arrival),
+            )
+        )
+    dispatcher.drain()
+    return _finish(LoadReport(driver="open_loop"), dispatcher, tickets)
+
+
+def run_closed_loop(
+    dispatcher: Dispatcher,
+    rows: Sequence[object],
+    *,
+    n_clients: int = 8,
+    n_requests: int = 256,
+    think_s: float = 0.0,
+    backoff_s: float = 0.0,
+    kind: str = "predict_proba",
+    tenant: str = "default",
+) -> LoadReport:
+    """Drive ``n_requests`` through ``n_clients`` one-in-flight users.
+
+    Each client issues, waits for its completion (or shed verdict), then
+    re-issues after ``think_s`` (``backoff_s`` after a shed).  Offered
+    load tracks service rate, so this measures saturated capacity.
+    """
+    if n_clients < 1:
+        raise ValidationError(f"n_clients must be >= 1, got {n_clients}")
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    heap: list[tuple[float, int]] = [(0.0, c) for c in range(n_clients)]
+    heapq.heapify(heap)
+    outstanding: dict[int, ServerRequest] = {}
+    tickets: list[ServerRequest] = []
+    issued = 0
+
+    def release_done(now_floor: float) -> None:
+        for client, ticket in list(outstanding.items()):
+            if ticket.shed:
+                next_t = max(now_floor, ticket.arrival_s + backoff_s)
+                heapq.heappush(heap, (next_t, client))
+                del outstanding[client]
+            elif ticket.done:
+                heapq.heappush(heap, (ticket.completion_s + think_s, client))
+                del outstanding[client]
+
+    while issued < n_requests:
+        release_done(dispatcher.now_s)
+        if heap:
+            t, client = heapq.heappop(heap)
+            arrival = max(t, dispatcher.now_s)
+            ticket = dispatcher.submit(
+                rows[issued % len(rows)],
+                kind=kind,
+                tenant=tenant,
+                arrival_s=arrival,
+            )
+            issued += 1
+            tickets.append(ticket)
+            outstanding[client] = ticket
+        elif outstanding:
+            dispatcher.drain()
+        else:  # pragma: no cover - defensive: no clients left to issue
+            break
+    dispatcher.drain()
+    return _finish(LoadReport(driver="closed_loop"), dispatcher, tickets)

@@ -24,6 +24,10 @@ Public entry points:
   :class:`ShardedInferenceRouter` — multi-device sharding over a simulated
   GPU cluster; models and probabilities stay bitwise identical to the
   single-device paths (DESIGN.md §12);
+- :class:`ServerApp` / :class:`TenantPolicy` — the HTTP front-end over
+  the serving layer: lossless wire protocol, per-tenant admission
+  control, worker-pool dispatch and graceful 429/503 shedding, behind
+  the ``repro-serve`` CLI (DESIGN.md §13);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
@@ -52,11 +56,12 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.model.persistence import load_model, save_model
+from repro.server import ServerApp, TenantPolicy
 from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CSRMatrix",
@@ -73,9 +78,11 @@ __all__ = [
     "ReproError",
     "SVC",
     "SVR",
+    "ServerApp",
     "ShardedInferenceRouter",
     "SolverError",
     "SparseFormatError",
+    "TenantPolicy",
     "Tracer",
     "TrainerConfig",
     "ValidationError",

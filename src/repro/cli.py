@@ -20,6 +20,12 @@ into an :class:`~repro.serving.InferenceSession`, replays the test file
 as single-instance requests through a :class:`~repro.serving.MicroBatcher`
 and prints simulated throughput plus p50/p99 latency, next to the cold
 per-request baseline.
+
+``repro-serve`` puts the same sealed session behind a real TCP socket
+(DESIGN.md §13): stdlib HTTP front-end with per-tenant admission
+control, worker-pool dispatch on the simulated clock and explicit
+429/503 shedding.  ``repro-serve model.repro --port 8080`` then ``POST
+/v1/predict_proba`` with ``{"instances": {"rows": [[...]]}}``.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ from repro.gpusim.device import scaled_tesla_p100
 from repro.sparse import load_libsvm
 from repro.telemetry import Tracer
 
-__all__ = ["train_main", "predict_main", "serve_bench_main"]
+__all__ = ["train_main", "predict_main", "serve_bench_main", "serve_main"]
 
 KERNEL_TYPES = {0: "linear", 1: "polynomial", 2: "gaussian", 3: "sigmoid"}
 SYSTEMS = ("gmp-svm", "libsvm", "libsvm-openmp", "gpu-baseline", "cmp-svm")
@@ -397,4 +403,130 @@ def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"latency p50/p99 (simulated): "
               f"{metrics['latency_p50_s'] * 1e3:.3f} / "
               f"{metrics['latency_p99_s'] * 1e3:.3f} ms")
+    return 0
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve a trained model over HTTP with per-tenant admission "
+            "control and micro-batched dispatch on the simulated clock."
+        ),
+    )
+    parser.add_argument("model_file", help="model written by repro-train")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulated worker lanes in the dispatcher")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="max requests fused per dispatch")
+    parser.add_argument("--rate-per-s", type=float, default=1000.0,
+                        help="default tenant token-bucket refill rate "
+                             "(requests per simulated second)")
+    parser.add_argument("--burst", type=int, default=32,
+                        help="default tenant token-bucket capacity")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="default per-tenant queue bound")
+    parser.add_argument("--max-queue-global", type=int, default=256,
+                        help="global queue bound across all tenants")
+    parser.add_argument("--tenant-policy", action="append", default=[],
+                        metavar="NAME=RATE,BURST,QUEUE",
+                        help="per-tenant override of rate/burst/queue "
+                             "(repeatable), e.g. alpha=100,16,8")
+    parser.add_argument("--arrival-mode", default="wall",
+                        choices=("wall", "virtual"),
+                        help="wall: map real inter-arrival gaps onto the "
+                             "simulated axis; virtual: X-Arrival-S header")
+    parser.add_argument("--max-requests", type=int, default=None,
+                        help="stop after serving N requests (smoke tests)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL span trace on shutdown")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    return parser
+
+
+def _parse_tenant_policies(items: Sequence[str]) -> dict:
+    from repro.server import TenantPolicy
+
+    policies = {}
+    for item in items:
+        name, _, spec = item.partition("=")
+        parts = spec.split(",")
+        if not name or len(parts) != 3:
+            raise ReproError(
+                f"bad --tenant-policy {item!r} (want NAME=RATE,BURST,QUEUE)"
+            )
+        try:
+            rate, burst, queue = float(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise ReproError(f"bad --tenant-policy {item!r}: {exc}")
+        policies[name] = TenantPolicy(
+            rate_per_s=rate, burst=burst, max_queue=queue
+        )
+    return policies
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-serve``; returns a process exit code."""
+    from repro.server import (
+        AdmissionController,
+        Dispatcher,
+        ServerApp,
+        TenantPolicy,
+        serve_http,
+    )
+    from repro.serving import InferenceSession
+
+    args = _serve_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
+    try:
+        model = load_model(args.model_file)
+        session = InferenceSession(
+            model,
+            PredictorConfig(device=scaled_tesla_p100(), tracer=tracer),
+        )
+        admission = AdmissionController(
+            default_policy=TenantPolicy(
+                rate_per_s=args.rate_per_s,
+                burst=args.burst,
+                max_queue=args.max_queue,
+            ),
+            policies=_parse_tenant_policies(args.tenant_policy),
+            max_queue_global=args.max_queue_global,
+        )
+        dispatcher = Dispatcher(
+            session,
+            n_workers=args.workers,
+            max_batch=args.max_batch,
+            admission=admission,
+            tracer=tracer,
+        )
+        app = ServerApp(dispatcher, arrival_mode=args.arrival_mode)
+
+        def ready(host: str, port: int) -> None:
+            if not args.quiet:
+                print(f"repro-serve: listening on http://{host}:{port} "
+                      f"({args.workers} workers, max_batch {args.max_batch})",
+                      flush=True)
+
+        served = serve_http(
+            app,
+            args.host,
+            args.port,
+            max_requests=args.max_requests,
+            ready_callback=ready,
+        )
+        dispatcher.shutdown(drain=True)
+        if tracer is not None:
+            tracer.write_jsonl(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        stats = dispatcher.stats
+        print(f"repro-serve: served {served} HTTP request(s); "
+              f"admitted {stats.n_admitted}, shed {stats.n_shed} "
+              f"(rate {stats.shed_rate:.1%})")
     return 0

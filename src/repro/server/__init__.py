@@ -1,0 +1,39 @@
+"""The HTTP serving front-end: wire protocol, admission control, dispatch.
+
+The network edge over the serving layer (DESIGN.md §13):
+
+- :mod:`repro.server.protocol` — lossless JSON wire format (base64
+  float64 buffers, so HTTP responses stay bitwise-equal to direct
+  session calls);
+- :mod:`repro.server.admission` — per-tenant token buckets, bounded
+  priority queues and graceful shedding (429/503 + retry-after);
+- :mod:`repro.server.dispatcher` — the worker-pool discrete-event loop
+  on the simulated clock, with adaptive micro-batching;
+- :mod:`repro.server.app` — routing, headers, WSGI, and the stdlib
+  socket server behind the ``repro-serve`` CLI.
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantCounters,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.server.app import ServerApp, serve_http
+from repro.server.dispatcher import Dispatcher, DispatcherStats, ServerRequest
+from repro.server.protocol import ProtocolError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Dispatcher",
+    "DispatcherStats",
+    "ProtocolError",
+    "ServerApp",
+    "ServerRequest",
+    "TenantCounters",
+    "TenantPolicy",
+    "TokenBucket",
+    "serve_http",
+]

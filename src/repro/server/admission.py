@@ -1,0 +1,326 @@
+"""Per-tenant admission control: token buckets, bounded queues, shedding.
+
+A front-end taking traffic from many tenants cannot let one hot client
+queue the others into timeout territory.  Admission happens *at arrival*,
+on the simulated clock, and is a pure function of (tenant policy, bucket
+state, queue occupancy, request priority) — which is what makes shed
+decisions deterministic and therefore testable and gateable in CI.
+
+Three verdicts:
+
+- **admit** — a token was available and the tenant's queue (and the
+  global queue) had room;
+- **429 rate_limited** — the tenant's token bucket is empty; the response
+  carries ``retry_after_s``, the exact simulated time until the next
+  token accrues (capped by the policy);
+- **503 overloaded** — queues are full.  Before rejecting, a
+  higher-priority arrival *evicts* the lowest-priority queued request
+  (which is shed with 503 ``evicted``) — overload never inverts
+  priorities: a request is only ever displaced by a strictly more
+  important one, and an arrival is only rejected when nothing queued is
+  less important than it.
+
+``shutting_down`` (503) covers the drain window: a stopping server
+completes what it admitted and refuses the rest.
+
+Every decision increments per-tenant counters
+(:class:`TenantCounters`), the raw material for the ``/v1/stats``
+endpoint and the load generator's shed-rate metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantCounters",
+    "TenantPolicy",
+    "TokenBucket",
+]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant (or the default for unknown ones).
+
+    Parameters
+    ----------
+    rate_per_s:
+        Sustained token refill rate (requests per simulated second).
+        ``0`` means the tenant is fully blocked (every request sheds).
+    burst:
+        Bucket capacity — how many requests may arrive back to back
+        before the sustained rate applies.
+    max_queue:
+        Most requests this tenant may have waiting (admitted, not yet
+        dispatched).  ``0`` means the tenant may never wait: requests
+        are only admitted when a worker can take them immediately, so a
+        zero-capacity queue plus a zero rate is a fully shed tenant.
+    max_retry_after_s:
+        Ceiling for the advertised ``retry_after_s`` (a blocked tenant
+        would otherwise advertise infinity).
+    """
+
+    rate_per_s: float = 1000.0
+    burst: int = 32
+    max_queue: int = 64
+    max_retry_after_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ValidationError(
+                f"rate_per_s must be >= 0, got {self.rate_per_s}"
+            )
+        if self.burst < 0:
+            raise ValidationError(f"burst must be >= 0, got {self.burst}")
+        if self.max_queue < 0:
+            raise ValidationError(
+                f"max_queue must be >= 0, got {self.max_queue}"
+            )
+        if self.max_retry_after_s <= 0:
+            raise ValidationError(
+                f"max_retry_after_s must be > 0, got {self.max_retry_after_s}"
+            )
+
+
+class TokenBucket:
+    """Deterministic token bucket on the simulated-time axis."""
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "updated_s")
+
+    def __init__(self, rate_per_s: float, burst: int, *, now_s: float = 0.0) -> None:
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_s = float(now_s)
+
+    def _refill(self, now_s: float) -> None:
+        if now_s > self.updated_s:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now_s - self.updated_s) * self.rate_per_s,
+            )
+            self.updated_s = now_s
+
+    def try_take(self, now_s: float) -> bool:
+        """Consume one token at ``now_s`` if available."""
+        self._refill(now_s)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self, now_s: float) -> float:
+        """Simulated seconds from ``now_s`` until one token is available."""
+        self._refill(now_s)
+        if self.tokens >= 1.0:
+            return 0.0
+        if self.rate_per_s <= 0.0:
+            return math.inf
+        return (1.0 - self.tokens) / self.rate_per_s
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant admission and completion tallies."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed_rate_limited: int = 0
+    shed_overloaded: int = 0
+    shed_evicted: int = 0
+    shed_shutdown: int = 0
+    completed: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total requests refused or displaced, any reason."""
+        return (
+            self.shed_rate_limited
+            + self.shed_overloaded
+            + self.shed_evicted
+            + self.shed_shutdown
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat snapshot for the stats endpoint."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed_rate_limited": self.shed_rate_limited,
+            "shed_overloaded": self.shed_overloaded,
+            "shed_evicted": self.shed_evicted,
+            "shed_shutdown": self.shed_shutdown,
+            "shed": self.shed,
+            "completed": self.completed,
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The verdict on one arrival (or one eviction)."""
+
+    admitted: bool
+    status: int = 200  # 200 admit, 429 rate-limited, 503 overloaded/down
+    reason: str = "admitted"
+    retry_after_s: Optional[float] = None
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    bucket: TokenBucket
+    queued: int = 0
+    counters: TenantCounters = field(default_factory=TenantCounters)
+
+
+class AdmissionController:
+    """Arrival-time gatekeeper shared by the dispatcher and the HTTP app.
+
+    Parameters
+    ----------
+    default_policy:
+        Applied to tenants without an explicit entry in ``policies``.
+    policies:
+        Per-tenant overrides, name to :class:`TenantPolicy`.
+    max_queue_global:
+        Bound on the total admitted-but-waiting population across all
+        tenants (the server's global backlog).
+    """
+
+    def __init__(
+        self,
+        *,
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[dict[str, TenantPolicy]] = None,
+        max_queue_global: int = 256,
+    ) -> None:
+        if max_queue_global < 0:
+            raise ValidationError(
+                f"max_queue_global must be >= 0, got {max_queue_global}"
+            )
+        self.default_policy = default_policy or TenantPolicy()
+        self._policies = dict(policies or {})
+        self.max_queue_global = int(max_queue_global)
+        self._tenants: dict[str, _TenantState] = {}
+        self.queued_global = 0
+
+    # ------------------------------------------------------------------
+    # Tenant state
+    # ------------------------------------------------------------------
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The effective policy for a tenant name."""
+        return self._policies.get(tenant, self.default_policy)
+
+    def _state(self, tenant: str, now_s: float) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            policy = self.policy_for(tenant)
+            state = _TenantState(
+                policy=policy,
+                bucket=TokenBucket(policy.rate_per_s, policy.burst, now_s=now_s),
+            )
+            self._tenants[tenant] = state
+        return state
+
+    def counters(self, tenant: str) -> TenantCounters:
+        """The (live) counters for a tenant; created on first touch."""
+        return self._state(tenant, 0.0).counters
+
+    def counters_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tenant counter dicts, for the stats endpoint."""
+        return {
+            name: state.counters.as_dict()
+            for name, state in sorted(self._tenants.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def offer(self, tenant: str, now_s: float) -> AdmissionDecision:
+        """Decide one arrival at simulated time ``now_s``.
+
+        Queue-capacity effects (including priority eviction) are decided
+        by the caller via :meth:`has_queue_room` / :meth:`note_*` —
+        this method owns the token bucket only.
+        """
+        state = self._state(tenant, now_s)
+        state.counters.offered += 1
+        if not state.bucket.try_take(now_s):
+            wait = state.bucket.seconds_until_token(now_s)
+            retry = min(wait, state.policy.max_retry_after_s)
+            state.counters.shed_rate_limited += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason="rate_limited",
+                retry_after_s=retry,
+            )
+        return AdmissionDecision(admitted=True)
+
+    def has_queue_room(self, tenant: str, now_s: float) -> bool:
+        """Whether tenant + global queue bounds leave room for one more."""
+        state = self._state(tenant, now_s)
+        return (
+            state.queued < state.policy.max_queue
+            and self.queued_global < self.max_queue_global
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping driven by the dispatcher
+    # ------------------------------------------------------------------
+    def note_enqueued(self, tenant: str) -> None:
+        """An admitted request joined the wait queue."""
+        self._state(tenant, 0.0).queued += 1
+        self.queued_global += 1
+
+    def note_dequeued(self, tenant: str) -> None:
+        """A queued request left the wait queue (dispatch or eviction)."""
+        state = self._state(tenant, 0.0)
+        state.queued = max(0, state.queued - 1)
+        self.queued_global = max(0, self.queued_global - 1)
+
+    def note_overloaded(self, tenant: str) -> AdmissionDecision:
+        """Record an overload rejection; returns the 503 verdict."""
+        self._state(tenant, 0.0).counters.shed_overloaded += 1
+        return AdmissionDecision(
+            admitted=False, status=503, reason="overloaded", retry_after_s=0.0
+        )
+
+    def note_evicted(self, tenant: str) -> AdmissionDecision:
+        """Record a queued request displaced by a higher-priority arrival."""
+        self._state(tenant, 0.0).counters.shed_evicted += 1
+        return AdmissionDecision(
+            admitted=False, status=503, reason="evicted", retry_after_s=0.0
+        )
+
+    def note_shutdown(self, tenant: str) -> AdmissionDecision:
+        """Record a request refused because the server is draining."""
+        self._state(tenant, 0.0).counters.shed_shutdown += 1
+        return AdmissionDecision(
+            admitted=False, status=503, reason="shutting_down", retry_after_s=None
+        )
+
+    def note_admitted(self, tenant: str) -> None:
+        """An arrival fully cleared admission (token + queue room)."""
+        self._state(tenant, 0.0).counters.admitted += 1
+
+    def note_completed(self, tenant: str) -> None:
+        """An admitted request finished computing."""
+        self._state(tenant, 0.0).counters.completed += 1
+
+    def refund_token(self, tenant: str, now_s: float) -> None:
+        """Return the token taken by an arrival that was then shed on queue room.
+
+        Keeps the bucket honest: a 503-shed request consumed no service,
+        so it should not count against the tenant's sustained rate.
+        """
+        state = self._state(tenant, now_s)
+        state.bucket._refill(now_s)
+        state.bucket.tokens = min(state.bucket.burst, state.bucket.tokens + 1.0)

@@ -1,0 +1,331 @@
+"""The HTTP/REST front-end: routing, headers, and a stdlib socket server.
+
+:class:`ServerApp` maps the wire protocol onto the dispatcher as a pure
+handler — ``handle_request(method, path, body, headers)`` returns
+``(status, headers, body)`` with no socket in sight — so the exact same
+code path serves three transports:
+
+- the in-process load generator and the test suite (deterministic:
+  arrival times ride the ``X-Arrival-S`` header on the simulated clock);
+- WSGI, via :meth:`ServerApp.wsgi`;
+- a real TCP socket, via :func:`serve_http` (stdlib
+  ``ThreadingHTTPServer``; requests serialize through one lock so the
+  simulated timeline stays well-ordered).
+
+Routes::
+
+    GET  /healthz                  liveness (no admission, no compute)
+    GET  /v1/stats                 dispatcher + per-tenant counters
+    POST /v1/predict_proba         probabilities  (m, n_classes)
+    POST /v1/predict               labels         (m,)
+    POST /v1/decision_function     decision values (m, n_svms)
+
+Tenancy and priority travel in headers (``X-Tenant``, body ``priority``);
+shed responses are explicit 429/503 with a ``Retry-After`` header and a
+machine-readable body, never a hung connection — overload degrades into
+fast, honest refusals.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import ReproError, ValidationError
+from repro.server import protocol
+from repro.server.dispatcher import Dispatcher, ServerRequest
+from repro.server.protocol import ProtocolError
+
+__all__ = ["ServerApp", "serve_http"]
+
+_POST_ROUTES = {
+    "/v1/predict_proba": "predict_proba",
+    "/v1/predict": "predict",
+    "/v1/decision_function": "decision_function",
+}
+
+ARRIVAL_MODES = ("virtual", "wall")
+
+
+class ServerApp:
+    """HTTP routing over one :class:`Dispatcher`.
+
+    Parameters
+    ----------
+    dispatcher:
+        The admission-controlled worker pool to serve through.
+    arrival_mode:
+        ``"virtual"`` (default): a request arrives at the simulated time
+        in its ``X-Arrival-S`` header, or at the dispatcher's current
+        virtual now — fully deterministic, the mode tests and the load
+        generator use.  ``"wall"``: wall-clock gaps between requests are
+        replayed onto the simulated axis (what a long-running socket
+        server wants, so token buckets refill in real time).
+    """
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        *,
+        arrival_mode: str = "virtual",
+    ) -> None:
+        if not isinstance(dispatcher, Dispatcher):
+            raise ValidationError(
+                f"ServerApp requires a Dispatcher, got {type(dispatcher).__name__}"
+            )
+        if arrival_mode not in ARRIVAL_MODES:
+            raise ValidationError(
+                f"arrival_mode must be one of {ARRIVAL_MODES}, got {arrival_mode!r}"
+            )
+        self.dispatcher = dispatcher
+        self.arrival_mode = arrival_mode
+        self._wall_origin: Optional[float] = None
+        self._wall_offset_s = 0.0
+        self.n_http_requests = 0
+
+    # ------------------------------------------------------------------
+    # Core handler
+    # ------------------------------------------------------------------
+    def handle_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[dict[str, str]] = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Serve one request; returns ``(status, headers, body)``."""
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        self.n_http_requests += 1
+        try:
+            if method == "GET":
+                return self._handle_get(path)
+            if method == "POST":
+                return self._handle_post(path, body, headers)
+            return self._error(405, "method_not_allowed", detail=method)
+        except ProtocolError as exc:
+            return self._error(400, "bad_request", detail=str(exc))
+        except ReproError as exc:
+            return self._error(422, "unprocessable", detail=str(exc))
+
+    def _handle_get(self, path: str) -> tuple[int, dict[str, str], bytes]:
+        if path == "/healthz":
+            body = json.dumps({"status": "ok"}).encode("utf-8")
+            return 200, {"Content-Type": "application/json"}, body
+        if path == "/v1/stats":
+            body = json.dumps(self.stats_snapshot(), sort_keys=True).encode(
+                "utf-8"
+            )
+            return 200, {"Content-Type": "application/json"}, body
+        return self._error(404, "not_found", detail=path)
+
+    def _handle_post(
+        self, path: str, body: bytes, headers: dict[str, str]
+    ) -> tuple[int, dict[str, str], bytes]:
+        kind = _POST_ROUTES.get(path)
+        if kind is None:
+            return self._error(404, "not_found", detail=path)
+        fields = protocol.decode_request(body)
+        tenant = headers.get("x-tenant", "default")
+        arrival_s = self._resolve_arrival(headers)
+        request = self.dispatcher.submit(
+            fields["instances"],
+            kind=kind,
+            tenant=tenant,
+            priority=fields["priority"],
+            arrival_s=arrival_s,
+        )
+        if request.shed:
+            return self._shed_response(request)
+        if not request.done:
+            # Synchronous HTTP semantics: the connection blocks until the
+            # simulation completes this request (later arrivals cannot
+            # precede it on this transport).
+            self.dispatcher.drain()
+        response = protocol.response_body(
+            request_id=request.request_id,
+            kind=kind,
+            result=request.result,
+            tenant=tenant,
+            queue_s=request.queue_s,
+            compute_s=request.compute_s,
+            latency_s=request.latency_s,
+            batch_id=request.batch_id,
+            batch_requests=request.batch_requests,
+        )
+        return 200, {"Content-Type": "application/json"}, response
+
+    def _resolve_arrival(self, headers: dict[str, str]) -> Optional[float]:
+        if self.arrival_mode == "wall":
+            now = time.perf_counter()
+            if self._wall_origin is None:
+                self._wall_origin = now
+                self._wall_offset_s = self.dispatcher.now_s
+            return self._wall_offset_s + (now - self._wall_origin)
+        raw = headers.get("x-arrival-s")
+        if raw is None:
+            return None  # the dispatcher's current virtual now
+        try:
+            arrival = float(raw)
+        except ValueError:
+            raise ProtocolError(f"X-Arrival-S is not a number: {raw!r}")
+        return arrival
+
+    def _shed_response(
+        self, request: ServerRequest
+    ) -> tuple[int, dict[str, str], bytes]:
+        decision = request.decision
+        headers = {"Content-Type": "application/json"}
+        if decision.retry_after_s is not None:
+            headers["Retry-After"] = format(decision.retry_after_s, ".6g")
+        body = protocol.error_body(
+            decision.status,
+            decision.reason,
+            tenant=request.tenant,
+            retry_after_s=decision.retry_after_s,
+        )
+        return decision.status, headers, body
+
+    def _error(
+        self, status: int, reason: str, *, detail: str = ""
+    ) -> tuple[int, dict[str, str], bytes]:
+        return (
+            status,
+            {"Content-Type": "application/json"},
+            protocol.error_body(status, reason, detail=detail),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Dispatcher totals + per-tenant counters, JSON-safe."""
+        stats = self.dispatcher.stats
+        return {
+            "n_http_requests": self.n_http_requests,
+            "n_workers": self.dispatcher.n_workers,
+            "n_queued": self.dispatcher.n_queued,
+            "virtual_now_s": self.dispatcher.now_s,
+            "offered": stats.n_offered,
+            "admitted": stats.n_admitted,
+            "shed": stats.n_shed,
+            "shed_rate": stats.shed_rate,
+            "dispatches": stats.n_dispatches,
+            "mean_batch_size": stats.mean_batch_size,
+            "accepted_throughput_rps": stats.accepted_throughput_rps,
+            "latency_p50_s": stats.latency_percentile(50.0),
+            "latency_p99_s": stats.latency_percentile(99.0),
+            "tenants": self.dispatcher.admission.counters_snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # WSGI
+    # ------------------------------------------------------------------
+    def wsgi(self, environ: dict, start_response: Callable):
+        """A minimal WSGI callable over :meth:`handle_request`."""
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        body = environ["wsgi.input"].read(length) if length else b""
+        headers = {
+            key[5:].replace("_", "-"): value
+            for key, value in environ.items()
+            if key.startswith("HTTP_")
+        }
+        status, response_headers, payload = self.handle_request(
+            environ.get("REQUEST_METHOD", "GET"),
+            environ.get("PATH_INFO", "/"),
+            body,
+            headers,
+        )
+        start_response(
+            f"{status} {_REASONS.get(status, 'Unknown')}",
+            sorted(response_headers.items()),
+        )
+        return [payload]
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+def serve_http(
+    app: ServerApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    max_requests: Optional[int] = None,
+    ready_callback: Optional[Callable[[str, int], None]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run ``app`` on a real TCP socket (stdlib ``ThreadingHTTPServer``).
+
+    Requests serialize through one lock, keeping the simulated timeline
+    well-ordered under concurrent connections.  ``max_requests`` stops
+    the server after that many requests (smoke tests, CI);
+    ``ready_callback(host, port)`` fires once the socket is bound.
+    Returns the number of requests served.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    lock = threading.Lock()
+    served = {"count": 0}
+
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            with lock:
+                status, headers, payload = app.handle_request(
+                    self.command,
+                    self.path,
+                    body,
+                    dict(self.headers.items()),
+                )
+                served["count"] += 1
+                stop = (
+                    max_requests is not None
+                    and served["count"] >= max_requests
+                )
+            self.send_response(status)
+            for key, value in headers.items():
+                self.send_header(key, value)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            if stop:
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch()
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch()
+
+        def log_message(self, fmt: str, *args: object) -> None:
+            if log is not None:
+                log(fmt % args)
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    try:
+        if ready_callback is not None:
+            ready_callback(*server.server_address[:2])
+        server.serve_forever(poll_interval=0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return served["count"]

@@ -1,0 +1,548 @@
+"""Worker-pool dispatch over sealed sessions, on the simulated clock.
+
+The dispatcher is a discrete-event model of an async serving loop: a
+fixed pool of *worker lanes* (concurrency slots), a priority wait queue
+fed by :mod:`repro.server.admission`, and adaptive micro-batching — an
+idle worker takes one request and dispatches immediately (batch of 1,
+lowest latency); under contention the queue grows and a freed worker
+fuses up to ``max_batch`` compatible requests into one session call, so
+batches widen exactly when amortization pays.  This mirrors the
+training-side wave driver's philosophy: concurrency is *executed* on a
+virtual timeline, not assumed.
+
+Events are processed in arrival order: ``submit(arrival_s)`` first
+advances the pool to ``arrival_s`` (freeing workers, draining the queue
+into them), then runs admission, then either dispatches, queues, evicts a
+lower-priority victim, or sheds.  Because every step is a deterministic
+function of the simulated clock, identical request streams produce
+identical shed decisions, batch shapes and latency percentiles — run to
+run, machine to machine.
+
+Compute cost of a fused dispatch is the engine-clock delta of the
+underlying :class:`~repro.serving.InferenceSession` call (or router
+call), so results — and their bitwise parity with direct session calls —
+come from exactly the code path DESIGN.md §11 gates.
+
+Backends:
+
+- :class:`~repro.serving.InferenceSession` — ``n_workers`` lanes share
+  the one sealed session (a resident server with an async handler pool);
+- :class:`~repro.distributed.ShardedInferenceRouter` (``replicated``) —
+  one lane per device, each dispatch runs on its own device's session;
+- :class:`~repro.distributed.ShardedInferenceRouter`
+  (``pair_partitioned``) — one lane whose calls fan out across shards
+  internally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.validation import check_predict_inputs
+from repro.distributed.inference import ShardedInferenceRouter
+from repro.exceptions import ValidationError
+from repro.serving.batcher import REQUEST_KINDS, compute_group, fuse_matrices
+from repro.serving.session import InferenceSession
+from repro.server.admission import AdmissionController, AdmissionDecision
+from repro.sparse import CSRMatrix
+from repro.sparse import ops as mops
+from repro.telemetry.tracer import Tracer, maybe_span
+
+__all__ = ["Dispatcher", "DispatcherStats", "ServerRequest"]
+
+Backend = Union[InferenceSession, ShardedInferenceRouter]
+
+
+@dataclass
+class ServerRequest:
+    """One offered request: admission verdict, then (if admitted) result."""
+
+    request_id: int
+    tenant: str
+    priority: int
+    kind: str
+    data: object = field(repr=False)
+    n_rows: int = 0
+    arrival_s: float = 0.0
+    decision: AdmissionDecision = field(
+        default_factory=lambda: AdmissionDecision(admitted=True)
+    )
+    done: bool = False
+    shed: bool = False
+    worker: Optional[int] = None
+    batch_id: Optional[int] = None
+    batch_requests: int = 0
+    dispatch_s: float = 0.0
+    completion_s: float = 0.0
+    queue_s: float = 0.0
+    compute_s: float = 0.0
+    latency_s: float = 0.0
+    _result: object = field(default=None, repr=False)
+
+    @property
+    def status(self) -> int:
+        """HTTP status of the verdict (200, 429 or 503)."""
+        return self.decision.status
+
+    @property
+    def result(self) -> np.ndarray:
+        """The request's rows; raises if shed or not yet dispatched."""
+        if self.shed:
+            raise ValidationError(
+                f"request #{self.request_id} was shed "
+                f"({self.decision.status} {self.decision.reason}); it has no result"
+            )
+        if not self.done:
+            raise ValidationError(
+                f"request #{self.request_id} has not been dispatched yet; "
+                "advance or drain the dispatcher first"
+            )
+        return self._result
+
+
+@dataclass
+class DispatcherStats:
+    """Aggregate totals across all dispatches."""
+
+    n_offered: int = 0
+    n_admitted: int = 0
+    n_shed: int = 0
+    n_dispatches: int = 0
+    n_rows: int = 0
+    first_arrival_s: Optional[float] = None
+    last_completion_s: float = 0.0
+    busy_s_per_worker: list = field(default_factory=list)
+    accepted_latencies_s: list = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed (any reason)."""
+        return self.n_shed / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean admitted requests per fused dispatch."""
+        return (
+            self.n_admitted / self.n_dispatches if self.n_dispatches else 0.0
+        )
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion, simulated seconds."""
+        if self.first_arrival_s is None:
+            return 0.0
+        return max(0.0, self.last_completion_s - self.first_arrival_s)
+
+    @property
+    def accepted_throughput_rps(self) -> float:
+        """Completed accepted requests per simulated second of makespan."""
+        span = self.makespan_s
+        return len(self.accepted_latencies_s) / span if span > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Accepted-request simulated latency percentile (q in [0, 100])."""
+        if not self.accepted_latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.accepted_latencies_s), q))
+
+
+class _Lane:
+    """One worker lane: a concurrency slot bound to a serving callable."""
+
+    __slots__ = ("index", "free_at_s", "busy_s", "session", "router")
+
+    def __init__(
+        self,
+        index: int,
+        session: Optional[InferenceSession],
+        router: Optional[ShardedInferenceRouter],
+    ) -> None:
+        self.index = index
+        self.free_at_s = 0.0
+        self.busy_s = 0.0
+        self.session = session
+        self.router = router
+
+    def clock_s(self) -> float:
+        if self.session is not None:
+            return self.session.simulated_seconds
+        return self.router.simulated_seconds
+
+    def call(self, group: str, fused: object) -> np.ndarray:
+        target = self.session if self.session is not None else self.router
+        if group == "proba":
+            return target.predict_proba(fused)
+        if group == "decision":
+            return target.decision_function(fused)
+        return target.predict(fused)  # "vote": non-probabilistic labels
+
+
+class Dispatcher:
+    """Admission-controlled worker-pool serving over a sealed backend.
+
+    Parameters
+    ----------
+    backend:
+        An :class:`InferenceSession` or :class:`ShardedInferenceRouter`.
+    n_workers:
+        Concurrency lanes.  Ignored for a ``replicated`` router (one lane
+        per device) and a ``pair_partitioned`` router (one lane).
+    max_batch:
+        Most requests fused into one dispatch when the queue has built up.
+    admission:
+        The :class:`AdmissionController`; a permissive default otherwise.
+    tracer:
+        Telemetry sink; defaults to the backend's configured tracer.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        n_workers: int = 2,
+        max_batch: int = 16,
+        admission: Optional[AdmissionController] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if isinstance(backend, InferenceSession):
+            if n_workers < 1:
+                raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+            self._lanes = [
+                _Lane(i, backend, None) for i in range(int(n_workers))
+            ]
+            self._probe_session = backend
+        elif isinstance(backend, ShardedInferenceRouter):
+            if backend.strategy == "replicated":
+                sessions = backend.sessions
+                self._lanes = [
+                    _Lane(i, session, None)
+                    for i, session in enumerate(sessions)
+                ]
+                self._probe_session = sessions[0]
+            else:
+                self._lanes = [_Lane(0, None, backend)]
+                # Group resolution needs a session-shaped object exposing
+                # .model; the router itself carries the warm model.
+                self._probe_session = backend
+        else:
+            raise ValidationError(
+                "Dispatcher backend must be an InferenceSession or "
+                f"ShardedInferenceRouter, got {type(backend).__name__}"
+            )
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        self.backend = backend
+        self.max_batch = int(max_batch)
+        self.admission = admission or AdmissionController()
+        self._tracer = (
+            tracer
+            if tracer is not None
+            else getattr(getattr(backend, "config", None), "tracer", None)
+        )
+        self.stats = DispatcherStats(
+            busy_s_per_worker=[0.0] * len(self._lanes)
+        )
+        self._queue: list[ServerRequest] = []
+        self._next_id = 0
+        self._next_batch_id = 0
+        self._seq: dict[int, int] = {}  # request_id -> admission order
+        self._next_seq = 0
+        self.now_s = 0.0
+        self._shutting_down = False
+        self.decision_log: list[tuple[int, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Number of concurrency lanes."""
+        return len(self._lanes)
+
+    @property
+    def n_queued(self) -> int:
+        """Admitted requests waiting for a worker."""
+        return len(self._queue)
+
+    @property
+    def n_features(self) -> int:
+        """Feature count requests must match."""
+        return self._probe_session.n_features
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        X: object,
+        *,
+        kind: str = "predict_proba",
+        tenant: str = "default",
+        priority: int = 0,
+        arrival_s: Optional[float] = None,
+    ) -> ServerRequest:
+        """Offer one request at ``arrival_s`` (default: current virtual now).
+
+        Arrivals must be non-decreasing — the dispatcher is an
+        event-ordered simulation.  The returned handle carries the
+        admission verdict immediately; results materialize as the
+        simulation advances (``advance_to`` / ``drain``).
+        """
+        if kind not in REQUEST_KINDS:
+            raise ValidationError(
+                f"kind must be one of {REQUEST_KINDS}, got {kind!r}"
+            )
+        data = check_predict_inputs(X, self.n_features)
+        arrival = self.now_s if arrival_s is None else float(arrival_s)
+        if arrival < self.now_s:
+            raise ValidationError(
+                f"arrival_s={arrival} precedes the dispatcher's virtual now "
+                f"({self.now_s}); arrivals are processed in time order"
+            )
+        self.advance_to(arrival)
+        request = ServerRequest(
+            request_id=self._next_id,
+            tenant=tenant,
+            priority=int(priority),
+            kind=kind,
+            data=data,
+            n_rows=mops.n_rows(data),
+            arrival_s=arrival,
+        )
+        self._next_id += 1
+        self.stats.n_offered += 1
+        if self.stats.first_arrival_s is None:
+            self.stats.first_arrival_s = arrival
+        self._admit(request)
+        return request
+
+    def _admit(self, request: ServerRequest) -> None:
+        admission = self.admission
+        tenant = request.tenant
+        if self._shutting_down:
+            self._shed(request, admission.note_shutdown(tenant))
+            return
+        decision = admission.offer(tenant, request.arrival_s)
+        if not decision.admitted:
+            self._shed(request, decision)
+            return
+        if not admission.has_queue_room(tenant, request.arrival_s):
+            victim = self._eviction_victim(request)
+            if victim is None:
+                admission.refund_token(tenant, request.arrival_s)
+                self._shed(request, admission.note_overloaded(tenant))
+                return
+            self._queue.remove(victim)
+            admission.note_dequeued(victim.tenant)
+            self._shed(victim, admission.note_evicted(victim.tenant))
+        admission.note_admitted(tenant)
+        self.stats.n_admitted += 1
+        request.decision = AdmissionDecision(admitted=True)
+        self.decision_log.append((request.request_id, 200, "admitted"))
+        self._seq[request.request_id] = self._next_seq
+        self._next_seq += 1
+        self._queue.append(request)
+        admission.note_enqueued(tenant)
+        self._pump(request.arrival_s)
+
+    def _eviction_victim(
+        self, incoming: ServerRequest
+    ) -> Optional[ServerRequest]:
+        """The queued request a higher-priority arrival may displace.
+
+        Only strictly lower-priority requests are candidates; when the
+        *tenant's* queue is the full dimension, only that tenant's
+        requests free usable room.  Among candidates the lowest priority
+        loses, youngest first — so the shed order never inverts
+        priorities.
+        """
+        admission = self.admission
+        # Which bound is full decides the candidate pool.
+        policy = admission.policy_for(incoming.tenant)
+        tenant_queued = sum(
+            1 for r in self._queue if r.tenant == incoming.tenant
+        )
+        candidates = [
+            r for r in self._queue if r.priority < incoming.priority
+        ]
+        if tenant_queued >= policy.max_queue:
+            candidates = [
+                r for r in candidates if r.tenant == incoming.tenant
+            ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (r.priority, -self._seq[r.request_id]),
+        )
+
+    def _shed(self, request: ServerRequest, decision: AdmissionDecision) -> None:
+        request.decision = decision
+        request.shed = True
+        request.done = True
+        self.stats.n_shed += 1
+        self.decision_log.append(
+            (request.request_id, decision.status, decision.reason)
+        )
+        if self._tracer is not None:
+            self._tracer.event(
+                "serve_shed",
+                request_id=request.request_id,
+                tenant=request.tenant,
+                priority=request.priority,
+                status=decision.status,
+                reason=decision.reason,
+                arrival_s=request.arrival_s,
+            )
+
+    # ------------------------------------------------------------------
+    # Simulation advance
+    # ------------------------------------------------------------------
+    def advance_to(self, t_s: float) -> None:
+        """Process every dispatch that starts at or before ``t_s``."""
+        while self._queue:
+            lane = min(self._lanes, key=lambda w: (w.free_at_s, w.index))
+            start = max(lane.free_at_s, self.now_s)
+            if start > t_s:
+                break
+            self._dispatch(lane, start)
+        self.now_s = max(self.now_s, t_s)
+
+    def drain(self) -> float:
+        """Dispatch everything queued; returns the final virtual time."""
+        self.advance_to(math.inf)
+        self.now_s = max(
+            self.now_s if self.now_s != math.inf else 0.0,
+            self.stats.last_completion_s,
+        )
+        if self.now_s == math.inf:  # pragma: no cover - defensive
+            self.now_s = self.stats.last_completion_s
+        return self.now_s
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop admitting; complete (``drain=True``) or shed the backlog."""
+        self._shutting_down = True
+        if drain:
+            self.drain()
+            return
+        for request in list(self._queue):
+            self.admission.note_dequeued(request.tenant)
+            self._shed(request, self.admission.note_shutdown(request.tenant))
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[ServerRequest]:
+        """Head = highest-priority oldest request; extend with compatible."""
+        order = sorted(
+            self._queue,
+            key=lambda r: (-r.priority, self._seq[r.request_id]),
+        )
+        head = order[0]
+        group = (
+            compute_group(self._probe_session, head.kind),
+            isinstance(head.data, CSRMatrix),
+        )
+        batch = [head]
+        for candidate in order[1:]:
+            if len(batch) >= self.max_batch:
+                break
+            if (
+                compute_group(self._probe_session, candidate.kind),
+                isinstance(candidate.data, CSRMatrix),
+            ) == group:
+                batch.append(candidate)
+        for request in batch:
+            self._queue.remove(request)
+            self.admission.note_dequeued(request.tenant)
+        return batch
+
+    def _dispatch(self, lane: _Lane, start_s: float) -> None:
+        batch = self._take_batch()
+        group = compute_group(self._probe_session, batch[0].kind)
+        fused = fuse_matrices([request.data for request in batch])
+        n_rows = mops.n_rows(fused)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+
+        clock_before = lane.clock_s()
+        engine_clock = getattr(
+            getattr(lane.session, "engine", None), "clock", None
+        )
+        with maybe_span(
+            self._tracer,
+            "serve_dispatch",
+            clock=engine_clock,
+            batch_id=batch_id,
+            worker=lane.index,
+            compute=group,
+            n_requests=len(batch),
+            n_rows=n_rows,
+            start_s=start_s,
+        ) as span:
+            fused_rows = lane.call(group, fused)
+            compute_s = lane.clock_s() - clock_before
+            span.set(compute_s=compute_s)
+        completion_s = start_s + compute_s
+        lane.free_at_s = completion_s
+        lane.busy_s += compute_s
+        self.stats.busy_s_per_worker[lane.index] += compute_s
+        self.stats.last_completion_s = max(
+            self.stats.last_completion_s, completion_s
+        )
+
+        offset = 0
+        for request in batch:
+            rows = fused_rows[offset : offset + request.n_rows]
+            if group == "proba" and request.kind == "predict":
+                rows = self._probe_session.model.labels_from_positions(
+                    np.argmax(rows, axis=1)
+                )
+            request._result = rows
+            request.done = True
+            request.worker = lane.index
+            request.batch_id = batch_id
+            request.batch_requests = len(batch)
+            request.dispatch_s = start_s
+            request.completion_s = completion_s
+            request.queue_s = start_s - request.arrival_s
+            request.compute_s = compute_s
+            request.latency_s = completion_s - request.arrival_s
+            offset += request.n_rows
+            self.admission.note_completed(request.tenant)
+            self.stats.accepted_latencies_s.append(request.latency_s)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "serve_request",
+                    clock=engine_clock,
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    kind=request.kind,
+                    batch_id=batch_id,
+                    worker=lane.index,
+                    n_rows=request.n_rows,
+                    queue_s=request.queue_s,
+                    compute_s=request.compute_s,
+                    latency_s=request.latency_s,
+                )
+        self.stats.n_dispatches += 1
+        self.stats.n_rows += n_rows
+
+    def _pump(self, now_s: float) -> None:
+        """Dispatch to any lane already free at ``now_s`` (eager path)."""
+        while self._queue:
+            lane = min(self._lanes, key=lambda w: (w.free_at_s, w.index))
+            if lane.free_at_s > now_s:
+                break
+            self._dispatch(lane, max(lane.free_at_s, now_s))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dispatcher(workers={self.n_workers}, queued={self.n_queued}, "
+            f"offered={self.stats.n_offered}, shed={self.stats.n_shed})"
+        )

@@ -1,0 +1,259 @@
+"""Wire protocol for the HTTP serving front-end: lossless JSON payloads.
+
+The server's contract is *bitwise* parity with direct
+:class:`~repro.serving.InferenceSession` calls, so the wire format cannot
+round floats through decimal text.  Arrays cross the wire as base64 of
+their raw little-endian buffers next to an explicit dtype and shape —
+``decode_array(encode_array(a))`` returns the identical bytes, and a
+client that decodes a response holds the very float64 values the session
+computed.
+
+Request matrices come in three spellings:
+
+- ``{"rows": [[...], ...]}`` — human-writable nested lists (cast to
+  float64; convenient, not bitwise-stable across JSON writers);
+- ``{"dense_b64": ..., "dtype": ..., "shape": [m, n]}`` — lossless dense;
+- ``{"csr": {"shape": [m, n], "indptr_b64": ..., "indices_b64": ...,
+  "data_b64": ...}}`` — lossless CSR, served through the same sparse path
+  the session uses.
+
+Responses carry the result array in the lossless dense spelling plus the
+request's simulated timing (queue/compute/latency seconds) and its batch
+assignment.  Errors are ``{"error": {"status", "reason", ...}}`` with the
+HTTP status mirrored in the body so load-generator logs are
+self-contained.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.exceptions import SparseFormatError, ValidationError
+from repro.sparse import CSRMatrix
+
+__all__ = [
+    "ProtocolError",
+    "decode_array",
+    "decode_matrix",
+    "decode_request",
+    "encode_array",
+    "encode_matrix",
+    "error_body",
+    "response_body",
+]
+
+# Dtypes a payload may declare; everything the numeric paths produce.
+_ALLOWED_DTYPES = {"float64", "float32", "int64", "int32"}
+
+
+class ProtocolError(ValidationError):
+    """A malformed wire payload (maps to HTTP 400)."""
+
+
+def encode_array(array: np.ndarray) -> dict[str, Any]:
+    """Encode an ndarray losslessly: base64 raw buffer + dtype + shape."""
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data_b64": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict[str, Any]) -> np.ndarray:
+    """Decode :func:`encode_array` output back to the identical ndarray."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"array payload must be an object, got {type(payload).__name__}"
+        )
+    for key in ("dtype", "shape", "data_b64"):
+        if key not in payload:
+            raise ProtocolError(f"array payload is missing {key!r}")
+    dtype = str(payload["dtype"])
+    if dtype not in _ALLOWED_DTYPES:
+        raise ProtocolError(
+            f"array dtype must be one of {sorted(_ALLOWED_DTYPES)}, got {dtype!r}"
+        )
+    try:
+        raw = base64.b64decode(payload["data_b64"], validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"array data_b64 is not valid base64: {exc}")
+    shape = tuple(int(s) for s in payload["shape"])
+    expected = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"array buffer holds {len(raw)} bytes but shape {shape} with "
+            f"dtype {dtype} needs {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_matrix(data: object) -> dict[str, Any]:
+    """Encode a request/response matrix (dense ndarray or CSR) losslessly."""
+    if isinstance(data, CSRMatrix):
+        return {
+            "csr": {
+                "shape": [int(data.shape[0]), int(data.shape[1])],
+                "indptr_b64": base64.b64encode(
+                    np.ascontiguousarray(data.indptr, dtype=np.int64).tobytes()
+                ).decode("ascii"),
+                "indices_b64": base64.b64encode(
+                    np.ascontiguousarray(data.indices, dtype=np.int64).tobytes()
+                ).decode("ascii"),
+                "data_b64": base64.b64encode(
+                    np.ascontiguousarray(data.data, dtype=np.float64).tobytes()
+                ).decode("ascii"),
+            }
+        }
+    dense = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    encoded = encode_array(dense)
+    return {
+        "dense_b64": encoded["data_b64"],
+        "dtype": encoded["dtype"],
+        "shape": encoded["shape"],
+    }
+
+
+def _decode_b64_field(obj: dict, key: str, dtype: str) -> np.ndarray:
+    if key not in obj:
+        raise ProtocolError(f"csr payload is missing {key!r}")
+    try:
+        raw = base64.b64decode(obj[key], validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"csr field {key!r} is not valid base64: {exc}")
+    return np.frombuffer(raw, dtype=dtype).copy()
+
+
+def decode_matrix(payload: dict[str, Any]) -> object:
+    """Decode a request matrix into a dense ndarray or :class:`CSRMatrix`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"instances must be an object, got {type(payload).__name__}"
+        )
+    if "csr" in payload:
+        csr = payload["csr"]
+        if not isinstance(csr, dict):
+            raise ProtocolError("csr payload must be an object")
+        shape = csr.get("shape")
+        if not isinstance(shape, (list, tuple)) or len(shape) != 2:
+            raise ProtocolError("csr payload needs a 2-element shape")
+        indptr = _decode_b64_field(csr, "indptr_b64", "int64")
+        indices = _decode_b64_field(csr, "indices_b64", "int64")
+        data = _decode_b64_field(csr, "data_b64", "float64")
+        m, n = int(shape[0]), int(shape[1])
+        if indptr.size != m + 1:
+            raise ProtocolError(
+                f"csr indptr has {indptr.size} entries, shape {m}x{n} needs {m + 1}"
+            )
+        if indices.size != data.size:
+            raise ProtocolError(
+                f"csr indices ({indices.size}) and data ({data.size}) lengths differ"
+            )
+        try:
+            return CSRMatrix(data, indices, indptr, (m, n))
+        except SparseFormatError as exc:
+            raise ProtocolError(f"csr payload is not canonical CSR: {exc}")
+    if "dense_b64" in payload:
+        return decode_array(
+            {
+                "dtype": payload.get("dtype", "float64"),
+                "shape": payload.get("shape", []),
+                "data_b64": payload["dense_b64"],
+            }
+        )
+    if "rows" in payload:
+        rows = payload["rows"]
+        if not isinstance(rows, list) or not rows:
+            raise ProtocolError("instances.rows must be a non-empty list of rows")
+        try:
+            dense = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"instances.rows is not numeric: {exc}")
+        if dense.ndim == 1:
+            dense = dense.reshape(1, -1)
+        if dense.ndim != 2:
+            raise ProtocolError(
+                f"instances.rows must be 2-dimensional, got ndim={dense.ndim}"
+            )
+        return dense
+    raise ProtocolError(
+        "instances must carry one of 'rows', 'dense_b64' or 'csr'"
+    )
+
+
+def decode_request(body: bytes) -> dict[str, Any]:
+    """Parse and validate one POST body; returns the decoded fields.
+
+    Returns a dict with ``instances`` (decoded matrix) plus the optional
+    ``priority`` (int, default 0).  Tenant and kind travel in headers/path
+    and are resolved by the app layer.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    if "instances" not in payload:
+        raise ProtocolError("request body is missing 'instances'")
+    instances = decode_matrix(payload["instances"])
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(f"priority must be an integer, got {priority!r}")
+    return {"instances": instances, "priority": priority}
+
+
+def response_body(
+    *,
+    request_id: int,
+    kind: str,
+    result: np.ndarray,
+    tenant: str,
+    queue_s: float,
+    compute_s: float,
+    latency_s: float,
+    batch_id: Optional[int],
+    batch_requests: int,
+) -> bytes:
+    """Serialize one 200 response (lossless result + simulated timing)."""
+    payload = {
+        "request_id": int(request_id),
+        "kind": kind,
+        "tenant": tenant,
+        "result": encode_array(np.asarray(result)),
+        "timing": {
+            "queue_s": float(queue_s),
+            "compute_s": float(compute_s),
+            "latency_s": float(latency_s),
+        },
+        "batch": {
+            "id": None if batch_id is None else int(batch_id),
+            "n_requests": int(batch_requests),
+        },
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def error_body(
+    status: int,
+    reason: str,
+    *,
+    detail: str = "",
+    tenant: Optional[str] = None,
+    retry_after_s: Optional[float] = None,
+) -> bytes:
+    """Serialize one error response body (status mirrored for log replay)."""
+    error: dict[str, Any] = {"status": int(status), "reason": reason}
+    if detail:
+        error["detail"] = detail
+    if tenant is not None:
+        error["tenant"] = tenant
+    if retry_after_s is not None:
+        error["retry_after_s"] = float(retry_after_s)
+    return json.dumps({"error": error}, sort_keys=True).encode("utf-8")

@@ -40,7 +40,14 @@ from repro.sparse import CSRMatrix
 from repro.sparse import ops as mops
 from repro.telemetry.tracer import maybe_span
 
-__all__ = ["MicroBatcher", "ServedRequest", "BatcherStats"]
+__all__ = [
+    "MicroBatcher",
+    "ServedRequest",
+    "BatcherStats",
+    "REQUEST_KINDS",
+    "compute_group",
+    "fuse_matrices",
+]
 
 REQUEST_KINDS = ("predict_proba", "predict", "decision_function")
 
@@ -93,7 +100,7 @@ class BatcherStats:
         return float(np.percentile(np.asarray(self.latencies_s), q))
 
 
-def _compute_group(session: InferenceSession, kind: str) -> str:
+def compute_group(session: InferenceSession, kind: str) -> str:
     """Which fused computation a request needs (requests fuse per group)."""
     if kind == "decision_function":
         return "decision"
@@ -106,12 +113,18 @@ def _matrix_group(data: mops.MatrixLike) -> str:
     return "csr" if isinstance(data, CSRMatrix) else "dense"
 
 
-def _fuse(matrices: list) -> mops.MatrixLike:
+def fuse_matrices(matrices: list) -> mops.MatrixLike:
+    """Vertically stack request matrices (dense or CSR) into one dispatch."""
     if len(matrices) == 1:
         return matrices[0]
     if isinstance(matrices[0], CSRMatrix):
         return CSRMatrix.vstack(matrices)
     return np.vstack(matrices)
+
+
+# Backwards-compatible private aliases (pre-server internal names).
+_compute_group = compute_group
+_fuse = fuse_matrices
 
 
 class MicroBatcher:

@@ -1,0 +1,212 @@
+"""The CI regression gate itself: tolerances, SLO ceilings, failure modes.
+
+``benchmarks/check_regression.py`` is what stands between a perf
+regression and a green checkmark, so its *own* failure modes need to be
+boring and explicit: a missing metric or a non-numeric value must name
+the offending key (never surface a raw ``KeyError``), a
+``schema_version`` mismatch must refuse to compare at exit 2, and an
+``--slo NAME=MAX`` ceiling must hold regardless of the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import (
+    check_slos,
+    compare_metrics,
+    load_bench,
+    main,
+)
+
+
+def write_bench(path, metrics, *, schema="repro.bench/1", kind="bench", name="demo"):
+    payload = {
+        "kind": kind,
+        "schema_version": schema,
+        "name": name,
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def bench_pair(tmp_path):
+    def make(base_metrics, cand_metrics, **cand_kwargs):
+        base = write_bench(tmp_path / "base.json", base_metrics)
+        cand = write_bench(tmp_path / "cand.json", cand_metrics, **cand_kwargs)
+        return str(base), str(cand)
+
+    return make
+
+
+class TestCompareMetrics:
+    def test_within_tolerance_passes(self):
+        failures = compare_metrics(
+            {"a": 1.0, "b": 100.0},
+            {"a": 1.05, "b": 109.0},
+            rtol=0.15,
+            atol=1e-12,
+        )
+        assert failures == []
+
+    def test_out_of_tolerance_names_the_metric(self):
+        failures = compare_metrics(
+            {"throughput": 100.0}, {"throughput": 50.0}, rtol=0.15, atol=0.0
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("throughput:")
+        assert "tolerance" in failures[0]
+
+    def test_improvement_beyond_tolerance_also_fails(self):
+        failures = compare_metrics(
+            {"throughput": 100.0}, {"throughput": 200.0}, rtol=0.15, atol=0.0
+        )
+        assert len(failures) == 1
+
+    def test_missing_metric_is_named_not_keyerror(self):
+        failures = compare_metrics(
+            {"latency_p99_s": 1.0}, {}, rtol=0.15, atol=0.0
+        )
+        assert len(failures) == 1
+        assert "latency_p99_s" in failures[0]
+        assert "missing from candidate" in failures[0]
+
+    def test_non_numeric_candidate_is_named_not_typeerror(self):
+        failures = compare_metrics(
+            {"latency_p99_s": 1.0},
+            {"latency_p99_s": "fast"},
+            rtol=0.15,
+            atol=0.0,
+        )
+        assert len(failures) == 1
+        assert "latency_p99_s" in failures[0]
+        assert "not numeric" in failures[0]
+
+    def test_non_numeric_baseline_is_named(self):
+        failures = compare_metrics(
+            {"flag": None}, {"flag": 1.0}, rtol=0.15, atol=0.0
+        )
+        assert len(failures) == 1
+        assert "flag" in failures[0] and "baseline" in failures[0]
+
+    def test_per_metric_override_loosens_one_metric_only(self):
+        failures = compare_metrics(
+            {"wobbly": 100.0, "stable": 100.0},
+            {"wobbly": 160.0, "stable": 160.0},
+            rtol=0.15,
+            atol=0.0,
+            metric_rtol={"wobbly": 0.75},
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("stable:")
+
+
+class TestCheckSlos:
+    def test_under_ceiling_passes(self):
+        assert check_slos({"latency_p99_s": 0.9}, {"latency_p99_s": 1.0}) == []
+
+    def test_breach_names_metric_and_ceiling(self):
+        failures = check_slos({"latency_p99_s": 2.0}, {"latency_p99_s": 1.0})
+        assert len(failures) == 1
+        assert "latency_p99_s" in failures[0]
+        assert "SLO breach" in failures[0]
+
+    def test_exactly_at_ceiling_passes(self):
+        assert check_slos({"m": 1.0}, {"m": 1.0}) == []
+
+    def test_missing_slo_metric_fails_by_name(self):
+        failures = check_slos({}, {"latency_p99_s": 1.0})
+        assert len(failures) == 1
+        assert "latency_p99_s" in failures[0]
+        assert "missing" in failures[0]
+
+
+class TestLoadBench:
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            load_bench(tmp_path / "nope.json")
+        assert err.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_wrong_kind_exits_2(self, tmp_path, capsys):
+        path = write_bench(tmp_path / "x.json", {"a": 1.0}, kind="table")
+        with pytest.raises(SystemExit) as err:
+            load_bench(path)
+        assert err.value.code == 2
+        assert "not a repro.bench payload" in capsys.readouterr().err
+
+    def test_non_string_schema_exits_2_not_attributeerror(self, tmp_path):
+        path = write_bench(tmp_path / "x.json", {"a": 1.0}, schema=3)
+        with pytest.raises(SystemExit) as err:
+            load_bench(path)
+        assert err.value.code == 2
+
+
+class TestMain:
+    def test_ok_exit_0(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0}, {"a": 1.0})
+        assert main(["--baseline", base, "--candidate", cand]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_1_with_named_metric(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0}, {"a": 9.0})
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "a:" in err
+
+    def test_schema_mismatch_exit_2(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0}, {"a": 1.0}, schema="repro.bench/2")
+        with pytest.raises(SystemExit) as err:
+            main(["--baseline", base, "--candidate", cand])
+        assert err.value.code == 2
+        assert "schema_version mismatch" in capsys.readouterr().err
+
+    def test_slo_breach_exit_1(self, bench_pair, capsys):
+        base, cand = bench_pair({"p99": 1.0}, {"p99": 1.0})
+        argv = ["--baseline", base, "--candidate", cand, "--slo", "p99=0.5"]
+        assert main(argv) == 1
+        assert "SLO breach" in capsys.readouterr().err
+
+    def test_slo_pass_exit_0(self, bench_pair):
+        base, cand = bench_pair({"p99": 1.0}, {"p99": 1.0})
+        argv = ["--baseline", base, "--candidate", cand, "--slo", "p99=2.0"]
+        assert main(argv) == 0
+
+    def test_slo_on_missing_metric_exit_1(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0}, {"a": 1.0})
+        argv = ["--baseline", base, "--candidate", cand, "--slo", "p99=2.0"]
+        assert main(argv) == 1
+        assert "p99" in capsys.readouterr().err
+
+    def test_bad_slo_spec_exit_2(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0}, {"a": 1.0})
+        with pytest.raises(SystemExit) as err:
+            main(["--baseline", base, "--candidate", cand, "--slo", "p99"])
+        assert err.value.code == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_missing_candidate_metric_exit_1_named(self, bench_pair, capsys):
+        base, cand = bench_pair({"a": 1.0, "b": 2.0}, {"a": 1.0})
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        err = capsys.readouterr().err
+        assert "b:" in err and "missing from candidate" in err
+
+    def test_committed_baselines_satisfy_their_own_slos(self):
+        # The live CI contract: the committed serving baselines must sit
+        # under the SLO ceilings wired into .github/workflows/ci.yml.
+        argv = [
+            "--baseline",
+            "benchmarks/baselines/BENCH_serving.json",
+            "--candidate",
+            "benchmarks/baselines/BENCH_serving.json",
+            "--slo",
+            "latency_p50_simulated_s=1e-4",
+            "--slo",
+            "latency_p99_simulated_s=2e-4",
+        ]
+        assert main(argv) == 0

@@ -1,9 +1,13 @@
 """Unit tests for the repro-train / repro-predict command-line tools."""
 
+import json
+import threading
+import urllib.request
+
 import numpy as np
 import pytest
 
-from repro.cli import predict_main, serve_bench_main, train_main
+from repro.cli import predict_main, serve_bench_main, serve_main, train_main
 from repro.data import gaussian_blobs
 from repro.sparse import CSRMatrix, dump_libsvm
 
@@ -250,5 +254,86 @@ class TestServeBench:
     def test_missing_model_errors(self, trained, tmp_path, capsys):
         test, _ = trained
         code = serve_bench_main([str(test), str(tmp_path / "nope.model")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture
+    def model_path(self, svm_files):
+        train, _, tmp = svm_files
+        model = tmp / "serve.model"
+        code = train_main(["-q", "-c", "10", "-g", "0.4", str(train), str(model)])
+        assert code == 0
+        return model
+
+    def test_serves_over_socket_then_exits(self, model_path, monkeypatch):
+        import repro.server
+
+        ready = threading.Event()
+        bound = {}
+        real_serve_http = repro.server.serve_http
+
+        def capture_port(app, host, port, **kwargs):
+            inner = kwargs.get("ready_callback")
+
+            def on_ready(bound_host, bound_port):
+                bound["port"] = bound_port
+                ready.set()
+                if inner is not None:
+                    inner(bound_host, bound_port)
+
+            kwargs["ready_callback"] = on_ready
+            return real_serve_http(app, host, port, **kwargs)
+
+        monkeypatch.setattr(repro.server, "serve_http", capture_port)
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.setdefault(
+                "code",
+                serve_main([
+                    str(model_path), "--port", "0", "--max-requests", "2",
+                    "--tenant-policy", "vip=1000,8,4", "-q",
+                ]),
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=60)
+
+        from repro.server.protocol import encode_matrix
+
+        x, _ = gaussian_blobs(8, 5, 3, seed=3)
+        body = json.dumps({"instances": encode_matrix(x[:2])}).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{bound['port']}/v1/predict_proba",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 200
+            payload = json.loads(response.read())
+        assert payload["kind"] == "predict_proba"
+        assert payload["batch"]["n_requests"] == 1
+        from repro.server.protocol import decode_array
+
+        assert decode_array(payload["result"]).shape == (2, 3)
+
+        # The second request reaches --max-requests and stops the server.
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{bound['port']}/healthz", timeout=60
+        ) as response:
+            assert response.status == 200
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+    def test_bad_tenant_policy_errors(self, model_path, capsys):
+        code = serve_main([str(model_path), "--tenant-policy", "oops"])
+        assert code == 1
+        assert "tenant-policy" in capsys.readouterr().err
+
+    def test_missing_model_errors(self, tmp_path, capsys):
+        code = serve_main([str(tmp_path / "nope.model")])
         assert code == 1
         assert "error" in capsys.readouterr().err

@@ -30,9 +30,11 @@ PUBLIC_API = [
     "ReproError",
     "SVC",
     "SVR",
+    "ServerApp",
     "ShardedInferenceRouter",
     "SolverError",
     "SparseFormatError",
+    "TenantPolicy",
     "Tracer",
     "TrainerConfig",
     "ValidationError",
@@ -136,6 +138,20 @@ class TestSignatures:
         ):
             assert callable(getattr(repro.ShardedInferenceRouter, method))
 
+    def test_server_surface(self):
+        assert _params(repro.ServerApp.__init__) == [
+            "dispatcher",
+            "arrival_mode",
+        ]
+        for method in ("handle_request", "stats_snapshot", "wsgi"):
+            assert callable(getattr(repro.ServerApp, method))
+        assert _params(repro.TenantPolicy.__init__) == [
+            "rate_per_s",
+            "burst",
+            "max_queue",
+            "max_retry_after_s",
+        ]
+
     def test_sharded_trainer_signature(self):
         assert _params(repro.train_multiclass_sharded) == [
             "config",
@@ -211,6 +227,14 @@ class TestDeepImportShims:
         assert ClusterSpec is repro.ClusterSpec
         assert ShardedInferenceRouter is repro.ShardedInferenceRouter
         assert train_multiclass_sharded is repro.train_multiclass_sharded
+
+    def test_server_aliases(self):
+        from repro.server import ServerApp, TenantPolicy
+        from repro.server.admission import TenantPolicy as DeepPolicy
+        from repro.server.app import ServerApp as DeepApp
+
+        assert ServerApp is repro.ServerApp is DeepApp
+        assert TenantPolicy is repro.TenantPolicy is DeepPolicy
 
     def test_exception_aliases(self):
         from repro.exceptions import ReproError, ValidationError
