@@ -1,0 +1,75 @@
+"""Zero-downtime model lifecycle: hot swap and warm-start retraining.
+
+The lifecycle contract (ISSUE acceptance criteria): swapping a new model
+into a live dispatcher mid-traffic loses nothing — zero failed requests,
+and every response bitwise equal to what a cold restart of the correct
+model would have served — while the swap-window p99 stays within a small
+factor of steady state; and warm-starting the SMO solver from the prior
+model's support vectors converges in measurably fewer iterations than a
+cold retrain.  This bench replays the committed ``BENCH_hot_swap.json``
+scenario and asserts those contracts directly; CI gates the numeric
+metrics against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import common
+from benchmarks.emit_json import run_hot_swap
+from repro.perf.speedup import format_table
+
+pytestmark = pytest.mark.slow
+
+# Swap-window p99 must stay within this factor of the steady-state p99
+# over the same request indices — the zero-downtime headline.
+MAX_SWAP_P99_DEGRADATION = 3.0
+# Warm-start SMO must converge in measurably fewer iterations than a
+# cold retrain on the grown dataset.
+MAX_WARM_ITERATION_RATIO = 0.9
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    """Run the lifecycle scenario once and shape it as a result table."""
+    metrics = run_hot_swap()
+    return {"2 workers, max_batch=8": metrics}
+
+
+def test_hot_swap_lifecycle_contract(benchmark):
+    """Swap loses nothing; warm start beats cold retrain."""
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    metrics = rows["2 workers, max_batch=8"]
+    text = format_table(
+        rows,
+        [
+            "steady_window_p99_s",
+            "swap_window_p99_s",
+            "swap_p99_degradation_ratio",
+            "swap_drain_window_s",
+            "swap_drained_requests",
+            "warm_iteration_ratio",
+        ],
+        title="Hot swap under live traffic + warm-start retrain",
+        row_label="server",
+    )
+    common.record_table("hot_swap", text, metrics=metrics)
+
+    # Zero-downtime correctness: no request fails, and every response is
+    # bitwise what a cold restart of the right model would have served.
+    assert metrics["failed_requests"] == 0.0
+    assert metrics["bitwise_mismatches"] == 0.0
+
+    # The flip costs at most a drained in-flight batch, never a tail blowup.
+    assert (
+        metrics["swap_p99_degradation_ratio"] <= MAX_SWAP_P99_DEGRADATION
+    )
+    assert metrics["swap_drain_window_s"] > 0.0
+
+    # Warm start genuinely resumes: measurably fewer SMO iterations.
+    assert metrics["warm_iteration_ratio"] <= MAX_WARM_ITERATION_RATIO
+    assert metrics["warm_iterations"] < metrics["cold_iterations"]
+
+
+if __name__ == "__main__":
+    for name, value in sorted(build_rows()["2 workers, max_batch=8"].items()):
+        print(f"{name:28s} {value:.6g}")

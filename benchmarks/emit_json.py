@@ -511,6 +511,144 @@ def run_http_serving() -> dict[str, float]:
     return metrics
 
 
+def run_hot_swap() -> dict[str, float]:
+    """Zero-downtime model lifecycle: hot swap and warm-start retraining.
+
+    Two deterministic measurements on the simulated clock:
+
+    - **hot swap** — a steady request stream is replayed twice against a
+      2-worker dispatcher: once serving model A throughout (the
+      latency baseline), once swapping to model B mid-stream via
+      :meth:`Dispatcher.swap_model` (drain-then-flip).  The payload
+      reports the swap-window p99 next to the steady-state p99 of the
+      same request indices, the drain window, and two hard
+      correctness counters: requests that failed (must be 0) and
+      responses that differ bitwise from what a cold restart of the
+      right model would have served (must be 0).
+    - **warm start** — model A's support vectors seed a retrain on a
+      grown dataset; ``warm_iteration_ratio`` is the warm SMO
+      iteration count over the cold one (the acceptance contract says
+      measurably below 1).
+    """
+    import numpy as np
+
+    from repro.core.predictor import PredictorConfig
+    from repro.core.trainer import TrainerConfig, train_multiclass
+    from repro.data import gaussian_blobs
+    from repro.gpusim import scaled_tesla_p100
+    from repro.kernels.functions import kernel_from_name
+    from repro.server import AdmissionController, Dispatcher, TenantPolicy
+    from repro.serving import InferenceSession
+
+    # --- Warm-start side: retrain on grown data from a prior model. ---
+    x, y = gaussian_blobs(200, 5, 3, seed=0)
+    x2, y2 = gaussian_blobs(40, 5, 3, seed=9)
+    grown_x = np.vstack([np.asarray(x), np.asarray(x2)])
+    grown_y = np.concatenate([y, y2])
+    kernel = kernel_from_name("gaussian", gamma=0.5)
+
+    def config() -> TrainerConfig:
+        return TrainerConfig(
+            device=scaled_tesla_p100(),
+            solver="batched",
+            working_set_size=32,
+            probability=True,
+        )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model_a, _ = train_multiclass(config(), x, y, kernel, 1.0)
+        cold_model, cold_report = train_multiclass(
+            config(), grown_x, grown_y, kernel, 1.0
+        )
+        model_b, warm_report = train_multiclass(
+            config(), grown_x, grown_y, kernel, 1.0, warm_start=model_a
+        )
+
+    # --- Hot-swap side: same stream, with and without a mid-stream swap. ---
+    n_requests = 200
+    rng = np.random.default_rng(3)
+    request_rows = [
+        rng.normal(size=(int(rng.integers(1, 4)), 5))
+        for _ in range(n_requests)
+    ]
+    # Inter-arrival spacing near the simulated service time, so the
+    # dispatcher genuinely queues and the swap has a backlog to drain.
+    arrivals = np.cumsum(rng.uniform(1e-8, 8e-8, size=n_requests))
+    swap_index = n_requests // 2
+    predictor = PredictorConfig(device=scaled_tesla_p100())
+
+    def replay(swap_to=None):
+        """Replay the stream; optionally swap at ``swap_index``."""
+        dispatcher = Dispatcher(
+            InferenceSession(model_a, predictor),
+            n_workers=2,
+            max_batch=8,
+            # Unlimited admission: this bench measures the swap, so
+            # nothing may be shed for rate or queue-depth reasons.
+            admission=AdmissionController(
+                default_policy=TenantPolicy(
+                    rate_per_s=1e12, burst=1_000_000, max_queue=1_000_000
+                ),
+                max_queue_global=1_000_000,
+            ),
+        )
+        handles = []
+        for i, (data, t) in enumerate(zip(request_rows, arrivals)):
+            if swap_to is not None and i == swap_index:
+                dispatcher.swap_model(
+                    InferenceSession(swap_to, predictor), label="v2"
+                )
+            handles.append(
+                dispatcher.submit(data, arrival_s=max(t, dispatcher.now_s))
+            )
+        dispatcher.drain()
+        return dispatcher, handles
+
+    _, steady_handles = replay()
+    swap_dispatcher, swap_handles = replay(swap_to=model_b)
+    swap = swap_dispatcher.swaps[0]
+
+    failed = sum(1 for h in swap_handles if not h.done or h.shed)
+    cold_a = InferenceSession(model_a, predictor)
+    cold_b = InferenceSession(model_b, predictor)
+    bitwise_mismatches = 0
+    for handle, data in zip(swap_handles, request_rows):
+        cold = cold_a if handle.arrival_s <= swap.requested_s else cold_b
+        if not np.array_equal(
+            handle.result, cold.predict_proba(np.asarray(data))
+        ):
+            bitwise_mismatches += 1
+
+    # The swap window: the requests bracketing the flip.  Their p99 next
+    # to the *same indices* of the no-swap replay isolates the swap cost.
+    window = slice(swap_index - 20, swap_index + 20)
+    steady_p99 = float(
+        np.percentile([h.latency_s for h in steady_handles[window]], 99.0)
+    )
+    swap_window_p99 = float(
+        np.percentile([h.latency_s for h in swap_handles[window]], 99.0)
+    )
+
+    return {
+        "n_requests": float(n_requests),
+        "failed_requests": float(failed),
+        "bitwise_mismatches": float(bitwise_mismatches),
+        "steady_window_p99_s": steady_p99,
+        "swap_window_p99_s": swap_window_p99,
+        "swap_p99_degradation_ratio": (
+            swap_window_p99 / steady_p99 if steady_p99 else 0.0
+        ),
+        "swap_drain_window_s": swap.window_s,
+        "swap_drained_requests": float(swap.drained_requests),
+        "cold_iterations": float(cold_report.total_iterations),
+        "warm_iterations": float(warm_report.total_iterations),
+        "warm_iteration_ratio": (
+            warm_report.total_iterations / cold_report.total_iterations
+        ),
+    }
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
     "coupling": run_coupling,
@@ -518,6 +656,7 @@ BENCH_RUNNERS = {
     "serving": run_serving,
     "distributed": run_distributed,
     "http_serving": run_http_serving,
+    "hot_swap": run_hot_swap,
 }
 
 

@@ -28,6 +28,10 @@ Public entry points:
   the serving layer: lossless wire protocol, per-tenant admission
   control, worker-pool dispatch and graceful 429/503 shedding, behind
   the ``repro-serve`` CLI (DESIGN.md §13);
+- :class:`ModelRegistry` / :class:`RegistryWatcher` — the versioned
+  model registry and its polling side: content-hashed artifacts,
+  lineage, integrity-checked loads, and zero-downtime hot swap into a
+  live dispatcher (DESIGN.md §14);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
@@ -50,18 +54,20 @@ from repro.exceptions import (
     DeviceMemoryError,
     ModelFormatError,
     NotFittedError,
+    RegistryError,
     ReproError,
     SolverError,
     SparseFormatError,
     ValidationError,
 )
 from repro.model.persistence import load_model, save_model
+from repro.registry import ModelRegistry, RegistryWatcher
 from repro.server import ServerApp, TenantPolicy
 from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CSRMatrix",
@@ -72,9 +78,12 @@ __all__ = [
     "InferenceSession",
     "MicroBatcher",
     "ModelFormatError",
+    "ModelRegistry",
     "NotFittedError",
     "OneClassSVM",
     "PredictorConfig",
+    "RegistryError",
+    "RegistryWatcher",
     "ReproError",
     "SVC",
     "SVR",

@@ -88,6 +88,13 @@ def _train_parser() -> argparse.ArgumentParser:
     parser.add_argument("--placement", default="affinity",
                         choices=("affinity", "round_robin"),
                         help="pair-to-device placement when --devices > 1")
+    parser.add_argument("--warm-start", metavar="PATH", default=None,
+                        help="prior model to seed the solvers from "
+                             "(incremental retraining; batched systems only)")
+    parser.add_argument("--publish", metavar="DIR", default=None,
+                        help="also publish the trained model into the "
+                             "registry at DIR; lineage is recorded when "
+                             "--warm-start matches a registry artifact")
     parser.add_argument("--report", action="store_true",
                         help="print the simulated-cost report after training")
     parser.add_argument("--report-json", metavar="PATH", default=None,
@@ -154,9 +161,16 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             raise ReproError(
                 "--devices shards the GPU system only; use --system gmp-svm"
             )
+        if args.warm_start and args.devices > 1:
+            raise ReproError("--warm-start does not combine with --devices")
         data, labels = load_libsvm(args.training_file)
         classifier = _build_cli_classifier(args)
         classifier.tracer = tracer
+        if args.warm_start:
+            # Seed the estimator with the prior fit; its next fit() then
+            # warm-starts the solvers (sklearn warm_start semantics).
+            classifier.model_ = load_model(args.warm_start)
+            classifier.warm_start = True
         if args.devices > 1:
             _fit_sharded(classifier, data, labels, args, tracer)
         else:
@@ -167,6 +181,9 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             else f"{args.training_file}.model"
         )
         classifier.save(model_path)
+        published = None
+        if args.publish:
+            published = _publish_model(classifier.model_, args)
         if args.report_json:
             with open(args.report_json, "w", encoding="utf-8") as handle:
                 handle.write(classifier.training_report_.to_json(indent=2) + "\n")
@@ -196,12 +213,57 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"simulated {report.device_name} time: "
                   f"{report.simulated_seconds * 1e3:.3f} ms")
         print(f"model saved to {model_path}")
+        if published is not None:
+            lineage = (
+                f" (parent v{published.parent})"
+                if published.parent is not None
+                else ""
+            )
+            print(f"published to {args.publish} as "
+                  f"v{published.version}{lineage}")
         if args.report:
             for category, fraction in sorted(
                 report.clock.fraction_breakdown().items()
             ):
                 print(f"  {category:18s} {fraction:6.1%}")
     return 0
+
+
+def _publish_model(model, args: argparse.Namespace):
+    """Publish into ``--publish`` DIR, recording lineage when possible.
+
+    Lineage rides content addressing: if the ``--warm-start`` file's
+    bytes match a registry artifact, that version is the parent — no
+    side channel needed to know where the prior model came from.
+    """
+    import hashlib
+    from pathlib import Path
+
+    from repro.registry import ModelRegistry
+
+    registry = ModelRegistry(args.publish)
+    parent = None
+    if args.warm_start:
+        digest = hashlib.sha256(
+            Path(args.warm_start).read_bytes()
+        ).hexdigest()
+        parent = next(
+            (
+                v.version
+                for v in reversed(registry.versions())
+                if v.sha256 == digest
+            ),
+            None,
+        )
+    return registry.publish(
+        model,
+        parent=parent,
+        metadata={
+            "source": args.training_file,
+            "system": args.system,
+            "cost": args.cost,
+        },
+    )
 
 
 def _predict_parser() -> argparse.ArgumentParser:
@@ -414,7 +476,19 @@ def _serve_parser() -> argparse.ArgumentParser:
             "control and micro-batched dispatch on the simulated clock."
         ),
     )
-    parser.add_argument("model_file", help="model written by repro-train")
+    parser.add_argument("model_file", nargs="?", default=None,
+                        help="model written by repro-train "
+                             "(omit when using --registry)")
+    parser.add_argument("--registry", metavar="DIR", default=None,
+                        help="serve the latest model published in the "
+                             "registry at DIR")
+    parser.add_argument("--watch-registry", action="store_true",
+                        help="poll the registry between requests and "
+                             "hot-swap newer versions in with zero "
+                             "downtime (requires --registry)")
+    parser.add_argument("--poll-interval", type=float, default=1.0,
+                        metavar="S",
+                        help="minimum seconds between registry polls")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080,
                         help="TCP port (0 = ephemeral)")
@@ -482,7 +556,24 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _serve_parser().parse_args(argv)
     tracer = Tracer() if args.trace else None
     try:
-        model = load_model(args.model_file)
+        watcher = None
+        if args.watch_registry and not args.registry:
+            raise ReproError("--watch-registry requires --registry DIR")
+        if args.registry:
+            from repro.registry import ModelRegistry, RegistryWatcher
+
+            registry = ModelRegistry(args.registry)
+            model, entry = registry.load()
+            if args.watch_registry:
+                watcher = RegistryWatcher(
+                    registry,
+                    start_version=entry.version,
+                    min_interval_s=args.poll_interval,
+                )
+        elif args.model_file:
+            model = load_model(args.model_file)
+        else:
+            raise ReproError("provide a model file or --registry DIR")
         session = InferenceSession(
             model,
             PredictorConfig(device=scaled_tesla_p100(), tracer=tracer),
@@ -503,7 +594,9 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             admission=admission,
             tracer=tracer,
         )
-        app = ServerApp(dispatcher, arrival_mode=args.arrival_mode)
+        app = ServerApp(
+            dispatcher, arrival_mode=args.arrival_mode, watcher=watcher
+        )
 
         def ready(host: str, port: int) -> None:
             if not args.quiet:
@@ -529,4 +622,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-serve: served {served} HTTP request(s); "
               f"admitted {stats.n_admitted}, shed {stats.n_shed} "
               f"(rate {stats.shed_rate:.1%})")
+        if app.n_swaps or app.n_swap_errors:
+            print(f"repro-serve: hot-swapped {app.n_swaps} model "
+                  f"version(s), {app.n_swap_errors} swap error(s)")
     return 0

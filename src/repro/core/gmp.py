@@ -84,6 +84,7 @@ class GMPSVC:
         share_budget_bytes: Optional[int] = None,
         coupling_method: str = "eq15",
         device: Optional[DeviceSpec] = None,
+        warm_start: bool = False,
     ) -> None:
         self.C = C
         self.kernel = kernel
@@ -110,6 +111,7 @@ class GMPSVC:
         self.share_budget_bytes = share_budget_bytes
         self.coupling_method = coupling_method
         self.device = device if device is not None else scaled_tesla_p100()
+        self.warm_start = warm_start
 
         self.model_ = None
         self.training_report_ = None
@@ -215,13 +217,20 @@ class GMPSVC:
     # Estimator API
     # ------------------------------------------------------------------
     def fit(self, X: object, y: object) -> "GMPSVC":
-        """Train on ``(X, y)``; X may be dense or a CSRMatrix."""
+        """Train on ``(X, y)``; X may be dense or a CSRMatrix.
+
+        With ``warm_start=True`` and a previous fit on hand, the solvers
+        are seeded from ``model_`` (sklearn's ``warm_start`` semantics);
+        the incremental contract is documented on
+        :func:`~repro.core.trainer.train_multiclass`.
+        """
         data, labels = check_fit_inputs(X, y)
         kernel = self._build_kernel(mops.n_cols(data))
         config = self._trainer_config()
         config.tracer = self.tracer
+        prior = self.model_ if self.warm_start else None
         self.model_, self.training_report_ = train_multiclass(
-            config, data, labels, kernel, float(self.C)
+            config, data, labels, kernel, float(self.C), warm_start=prior
         )
         self.n_features_in_ = mops.n_cols(data)
         self.classes_ = self.model_.classes

@@ -60,6 +60,7 @@ class PairMember:
     mem_bytes: int  # resident footprint (solver state + kernel buffer)
     blocks: int  # SM blocks this SVM occupies
     result: Optional[SolverResult] = None
+    warm_started: bool = False  # session seeded from a prior model's alphas
 
     @property
     def name(self) -> str:

@@ -47,9 +47,11 @@ from repro.multiclass.ova import ova_problems
 from repro.multiclass.sv_sharing import SupportVectorPool
 from repro.perf.report import TrainingReport
 from repro.probability.platt import fit_sigmoid
+from repro.solvers.base import resolve_penalty_vector
 from repro.solvers.batch_smo import BatchSMOSolver
 from repro.solvers.shrinking import ShrinkingSMOSolver
 from repro.solvers.smo import ClassicSMOSolver
+from repro.solvers.warm_start import warm_start_pair_state
 from repro.sparse import ops as mops
 from repro.telemetry.tracer import Tracer, maybe_span
 
@@ -148,18 +150,35 @@ def train_multiclass(
     y: np.ndarray,
     kernel: KernelFunction,
     penalty: float,
+    *,
+    warm_start: Optional[MPSVMModel] = None,
 ) -> tuple[MPSVMModel, TrainingReport]:
     """Train a (probabilistic) multi-class SVM under ``config``.
 
     Returns the fitted model and the simulated-cost report.  When
     ``config.tracer`` is set, the run is recorded as a
     ``train_multiclass`` root span over per-pair ``solve_pair`` spans.
+
+    ``warm_start`` optionally names a previously trained model whose
+    dual solution seeds every pair solver (see
+    :mod:`repro.solvers.warm_start`): retraining after appending data or
+    changing C/gamma then skips most rounds.  The prior model must share
+    the decomposition strategy, class set and feature count; instance
+    identity is positional (the old training set must be a row-wise
+    prefix of, or equal to, the new one) — pairs where the mapping turns
+    out unsound fall back to a cold start individually.
     """
     tracer = config.tracer
+    if warm_start is not None:
+        _validate_warm_start(config, warm_start, data, y)
     if tracer is None:
-        return _train_multiclass_impl(config, data, y, kernel, penalty)
+        return _train_multiclass_impl(
+            config, data, y, kernel, penalty, warm_start=warm_start
+        )
     with tracer.span("train_multiclass", n_instances=mops.n_rows(data)) as span:
-        model, report = _train_multiclass_impl(config, data, y, kernel, penalty)
+        model, report = _train_multiclass_impl(
+            config, data, y, kernel, penalty, warm_start=warm_start
+        )
         span.set(
             n_classes=int(model.n_classes),
             n_binary_svms=report.n_binary_svms,
@@ -172,12 +191,85 @@ def train_multiclass(
         return model, report
 
 
+def _validate_warm_start(
+    config: TrainerConfig,
+    prior: MPSVMModel,
+    data: mops.MatrixLike,
+    y: np.ndarray,
+) -> None:
+    """Reject warm starts that cannot possibly map onto this problem."""
+    if not isinstance(prior, MPSVMModel):
+        raise ValidationError(
+            f"warm_start must be a fitted MPSVMModel, got {type(prior).__name__}"
+        )
+    if config.solver != "batched":
+        raise ValidationError(
+            "warm_start requires the batched solver; the classic SMO path "
+            "has no resumable (alpha, f) entry point"
+        )
+    if prior.strategy != config.decomposition:
+        raise ValidationError(
+            f"warm_start strategy {prior.strategy!r} does not match "
+            f"decomposition {config.decomposition!r}"
+        )
+    if prior.n_features != mops.n_cols(data):
+        raise ValidationError(
+            f"warm_start model has {prior.n_features} features, "
+            f"training data has {mops.n_cols(data)}"
+        )
+    classes, _ = class_partition(np.asarray(y).ravel())
+    if not np.array_equal(np.asarray(prior.classes), np.asarray(classes)):
+        raise ValidationError(
+            "warm_start class set does not match the training labels; "
+            "incremental retraining requires the same classes"
+        )
+
+
+def _warm_pair_init(
+    prior: Optional[MPSVMModel],
+    problem,
+    rows,
+    penalty: float,
+    penalty_vector: Optional[np.ndarray],
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """``(initial_alpha, initial_f)`` for one pair, or ``None`` (cold).
+
+    Cold fallback covers a missing prior record (should not happen after
+    :func:`_validate_warm_start`, but a corrupted model must not crash
+    training) and any per-pair mapping failure detected by
+    :func:`~repro.solvers.warm_start.warm_start_pair_state`.
+    """
+    if prior is None:
+        return None
+    record = next(
+        (
+            r
+            for r in prior.records
+            if (r.s, r.t) == (problem.s, problem.t)
+        ),
+        None,
+    )
+    if record is None:
+        return None
+    box = resolve_penalty_vector(penalty, problem.n, penalty_vector)
+    return warm_start_pair_state(
+        rows,
+        problem.labels,
+        np.asarray(record.global_sv_indices),
+        np.asarray(record.coefficients),
+        np.asarray(problem.global_indices),
+        box,
+    )
+
+
 def _train_multiclass_impl(
     config: TrainerConfig,
     data: mops.MatrixLike,
     y: np.ndarray,
     kernel: KernelFunction,
     penalty: float,
+    *,
+    warm_start: Optional[MPSVMModel] = None,
 ) -> tuple[MPSVMModel, TrainingReport]:
     tracer = config.tracer
     labels = np.asarray(y).ravel()
@@ -250,6 +342,7 @@ def _train_multiclass_impl(
                 shared=shared,
                 shared_computer=shared_computer,
                 counters=master.counters,
+                warm_start=warm_start,
             )
             for index, problem in enumerate(problems)
         ]
@@ -269,6 +362,7 @@ def _train_multiclass_impl(
             record, pool_entry, svm_stats, delta = _finalize_member(
                 config, classes, member, data, kernel, penalty, tracer
             )
+            svm_stats["warm_start"] = member.warm_started
             per_svm_records.append(record)
             pool_entries.append(pool_entry)
             per_svm_stats.append(svm_stats)
@@ -305,9 +399,12 @@ def _train_multiclass_impl(
             penalty_vector = _class_weighted_penalties(
                 config, classes, problem, penalty
             )
+            warm = _warm_pair_init(
+                warm_start, problem, rows, penalty, penalty_vector
+            )
             result, task_mem = _solve_pair(
                 config, engine, rows, problem.labels, penalty,
-                penalty_vector=penalty_vector,
+                penalty_vector=penalty_vector, warm=warm,
             )
             total_iterations += result.iterations
             total_rows_computed += result.kernel_rows_computed
@@ -318,6 +415,7 @@ def _train_multiclass_impl(
                 penalty_vector=penalty_vector, pair_span=pair_span,
                 pair_data=pair_data,
             )
+            svm_stats["warm_start"] = warm is not None
             per_svm_records.append(record)
             pool_entries.append(pool_entry)
             per_svm_stats.append(svm_stats)
@@ -524,6 +622,7 @@ def _make_pair_member(
     shared: Optional[SharedClassPairKernels],
     shared_computer: Optional[KernelRowComputer],
     counters,
+    warm_start: Optional[MPSVMModel] = None,
 ) -> PairMember:
     """One resumable wave-driver member for a pairwise problem.
 
@@ -554,7 +653,14 @@ def _make_pair_member(
             config.collect_round_telemetry or config.tracer is not None
         ),
     )
-    session = solver.start(rows, problem.labels, penalty_vector=penalty_vector)
+    warm = _warm_pair_init(warm_start, problem, rows, penalty, penalty_vector)
+    session = solver.start(
+        rows,
+        problem.labels,
+        penalty_vector=penalty_vector,
+        initial_alpha=None if warm is None else warm[0],
+        initial_f=None if warm is None else warm[1],
+    )
     return PairMember(
         index=index,
         problem=problem,
@@ -562,6 +668,7 @@ def _make_pair_member(
         session=session,
         mem_bytes=_batched_task_bytes(config, problem.n),
         blocks=config.blocks_per_svm,
+        warm_started=warm is not None,
     )
 
 
@@ -693,12 +800,16 @@ def _solve_pair(
     penalty: float,
     *,
     penalty_vector: Optional[np.ndarray] = None,
+    warm: Optional[tuple[np.ndarray, np.ndarray]] = None,
 ):
     """Run the configured solver on one pairwise problem.
 
     Returns ``(SolverResult, task_device_bytes)`` where the byte estimate
     covers what the task keeps resident on the device (solver state plus
     its kernel buffer/cache) — the scheduler packs concurrency from it.
+    ``warm`` optionally carries ``(initial_alpha, initial_f)`` from
+    :func:`_warm_pair_init`; only the batched solver consumes it
+    (``_validate_warm_start`` rejects warm starts on the classic path).
     """
     n = rows.n
     state_bytes = 4 * n * FLOAT_BYTES  # alpha, f, labels, diagonal resident
@@ -709,7 +820,13 @@ def _solve_pair(
             tracer=config.tracer,
             record_rounds=config.collect_round_telemetry,
         )
-        result = solver.solve(rows, labels, penalty_vector=penalty_vector)
+        result = solver.solve(
+            rows,
+            labels,
+            penalty_vector=penalty_vector,
+            initial_alpha=None if warm is None else warm[0],
+            initial_f=None if warm is None else warm[1],
+        )
         return result, _batched_task_bytes(config, n)
 
     if config.classic_shrinking:

@@ -59,3 +59,8 @@ class NotFittedError(ReproError, RuntimeError):
 
 class ModelFormatError(ReproError, ValueError):
     """A persisted model file is malformed or has an unsupported version."""
+
+
+class RegistryError(ReproError, RuntimeError):
+    """A model-registry operation failed (corrupt manifest, missing or
+    tampered artifact, unknown version)."""

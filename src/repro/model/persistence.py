@@ -59,7 +59,10 @@ def save_model(model: MPSVMModel, target: PathOrFile) -> None:
     write(f"penalty {model.penalty:.17g}\n")
     write(f"probability {1 if model.probability else 0}\n")
     write(f"strategy {model.strategy}\n")
-    labels = " ".join(format(label, "g") for label in model.classes)
+    # ".17g" round-trips every float64 exactly; "g" (6 significant digits)
+    # silently corrupts float labels like 1234567.5 on reload.  Integer
+    # labels still render without a decimal point either way.
+    labels = " ".join(format(label, ".17g") for label in model.classes)
     write(f"classes {model.n_classes} {labels}\n")
     pool = model.sv_pool
     write(f"n_pool {pool.n_pool} {pool.pool_data.shape[1]}\n")
@@ -160,6 +163,16 @@ def load_model(source: PathOrFile) -> MPSVMModel:
         coefficients = np.asarray([float(v) for v in next_line().split()])
         if positions.size != n_sv or coefficients.size != n_sv:
             raise ModelFormatError(f"svm ({s},{t}): SV count mismatch")
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= n_pool
+        ):
+            # Per-stanza counts are attacker/bitrot-controlled: positions
+            # must index the declared pool, or prediction would fault (or
+            # silently read wrong rows) long after loading succeeded.
+            raise ModelFormatError(
+                f"svm ({s},{t}): pool position out of range "
+                f"[0, {n_pool}) in positions line"
+            )
         sigmoid = SigmoidModel(a=sig_a, b=sig_b) if probability else None
         pooled.append(
             PooledSVM(

@@ -1,0 +1,14 @@
+"""Versioned model registry: durable lifecycle state between training
+and serving.
+
+- :mod:`repro.registry.store` — :class:`ModelRegistry`: content-hashed
+  artifacts, a monotonically versioned manifest, lineage, and
+  integrity-checked loads.
+- :mod:`repro.registry.watch` — :class:`RegistryWatcher`: cheap polling
+  for new versions, the input side of the dispatcher's atomic hot swap.
+"""
+
+from repro.registry.store import ModelRegistry, ModelVersion
+from repro.registry.watch import RegistryWatcher
+
+__all__ = ["ModelRegistry", "ModelVersion", "RegistryWatcher"]

@@ -1,0 +1,292 @@
+"""Versioned on-disk model registry with content-addressed artifacts.
+
+The registry is the durable side of the model lifecycle: training
+publishes models into it, the serving layer polls it and hot-swaps new
+versions in (see :mod:`repro.registry.watch` and
+:meth:`repro.server.dispatcher.Dispatcher.swap_model`).
+
+Layout under one registry root::
+
+    manifest.json                     index: versions, head, lineage
+    artifacts/<sha256-prefix>.repro   model files (save_model text format)
+
+Artifacts are **content-addressed**: the file name is a prefix of the
+SHA-256 of the exact bytes, so identical models deduplicate and a
+republished byte-for-byte model reuses its artifact.  Versions are
+**monotonic** integers assigned by the manifest (never reused, even
+after deletion is off the table — there is no delete).  Every
+:meth:`ModelRegistry.load` re-hashes the artifact and refuses to return
+a model whose bytes do not match the manifest — a torn write or on-disk
+corruption surfaces as :class:`~repro.exceptions.RegistryError`, never
+as a silently wrong model.
+
+Writes are crash-safe on POSIX: both artifacts and the manifest are
+written to a temporary file in the same directory and moved into place
+with ``os.replace`` (atomic rename), so a reader never observes a
+half-written manifest and a crash mid-publish leaves at worst an
+orphaned temp file, never a corrupt registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import ModelFormatError, RegistryError
+from repro.model.multiclass import MPSVMModel
+from repro.model.persistence import load_model, save_model
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+MANIFEST_NAME = "manifest.json"
+ARTIFACT_DIR = "artifacts"
+MANIFEST_FORMAT = "repro-registry"
+MANIFEST_VERSION = 1
+_HASH_PREFIX = 16  # artifact filename: first 16 hex chars of the sha256
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable manifest entry describing a published model."""
+
+    version: int  # monotonic, assigned at publish time
+    sha256: str  # full hex digest of the artifact bytes
+    artifact: str  # path relative to the registry root
+    parent: Optional[int] = None  # lineage: the version this one warm-started from
+    n_classes: int = 0
+    n_features: int = 0
+    strategy: str = "ovo"
+    metadata: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Render this entry as the manifest's JSON object form."""
+        return {
+            "version": self.version,
+            "sha256": self.sha256,
+            "artifact": self.artifact,
+            "parent": self.parent,
+            "n_classes": self.n_classes,
+            "n_features": self.n_features,
+            "strategy": self.strategy,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_json(cls, entry: dict) -> "ModelVersion":
+        """Parse a manifest entry; raise RegistryError when malformed."""
+        try:
+            return cls(
+                version=int(entry["version"]),
+                sha256=str(entry["sha256"]),
+                artifact=str(entry["artifact"]),
+                parent=(
+                    None if entry.get("parent") is None else int(entry["parent"])
+                ),
+                n_classes=int(entry.get("n_classes", 0)),
+                n_features=int(entry.get("n_features", 0)),
+                strategy=str(entry.get("strategy", "ovo")),
+                metadata=dict(entry.get("metadata") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"malformed manifest entry: {exc}") from exc
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via temp file + atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _serialize(model: MPSVMModel) -> bytes:
+    buffer = io.StringIO()
+    save_model(model, buffer)
+    return buffer.getvalue().encode("utf-8")
+
+
+class ModelRegistry:
+    """Content-hashed, monotonically versioned store of trained models.
+
+    ``ModelRegistry(root)`` opens (or initializes) the registry rooted at
+    ``root``.  All state lives in the manifest; the object itself holds
+    only the root path, so any number of readers and pollers can watch
+    the same directory.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / ARTIFACT_DIR).mkdir(exist_ok=True)
+        if not self.manifest_path.exists():
+            self._write_manifest([])
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the manifest file (stat its mtime for cheap polling)."""
+        return self.root / MANIFEST_NAME
+
+    # ------------------------------------------------------------------
+    # Manifest I/O
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> list[ModelVersion]:
+        try:
+            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise RegistryError(f"manifest missing: {self.manifest_path}") from exc
+        except json.JSONDecodeError as exc:
+            raise RegistryError(f"manifest is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("format") != MANIFEST_FORMAT:
+            raise RegistryError(
+                f"not a {MANIFEST_FORMAT} manifest: {self.manifest_path}"
+            )
+        if int(raw.get("version", -1)) > MANIFEST_VERSION:
+            raise RegistryError(
+                f"manifest format version {raw.get('version')} is newer than "
+                f"supported ({MANIFEST_VERSION})"
+            )
+        entries = [ModelVersion.from_json(e) for e in raw.get("versions", [])]
+        versions = [e.version for e in entries]
+        if versions != sorted(set(versions)):
+            raise RegistryError("manifest versions are not strictly increasing")
+        return entries
+
+    def _write_manifest(self, entries: list[ModelVersion]) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "head": entries[-1].version if entries else None,
+            "versions": [e.to_json() for e in entries],
+        }
+        _atomic_write(
+            self.manifest_path,
+            json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # Publish / query
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        model: MPSVMModel,
+        *,
+        parent: Optional[int] = None,
+        metadata: Optional[dict] = None,
+    ) -> ModelVersion:
+        """Store ``model`` and return its new :class:`ModelVersion`.
+
+        ``parent`` records lineage (the version this model warm-started
+        or otherwise derived from); it must exist in the manifest.
+        Identical bytes deduplicate to one artifact but still get a new
+        version number — versions are events, artifacts are content.
+        """
+        entries = self._read_manifest()
+        if parent is not None and all(e.version != parent for e in entries):
+            raise RegistryError(f"parent version {parent} is not in the registry")
+        payload = _serialize(model)
+        digest = hashlib.sha256(payload).hexdigest()
+        artifact_rel = f"{ARTIFACT_DIR}/{digest[:_HASH_PREFIX]}.repro"
+        artifact_path = self.root / artifact_rel
+        if not artifact_path.exists():
+            _atomic_write(artifact_path, payload)
+        entry = ModelVersion(
+            version=(entries[-1].version + 1) if entries else 1,
+            sha256=digest,
+            artifact=artifact_rel,
+            parent=parent,
+            n_classes=model.n_classes,
+            n_features=model.n_features,
+            strategy=model.strategy,
+            metadata=dict(metadata or {}),
+        )
+        self._write_manifest(entries + [entry])
+        return entry
+
+    def versions(self) -> list[ModelVersion]:
+        """All published versions, oldest first."""
+        return self._read_manifest()
+
+    def latest(self) -> Optional[ModelVersion]:
+        """The newest version, or ``None`` for an empty registry."""
+        entries = self._read_manifest()
+        return entries[-1] if entries else None
+
+    def get(self, version: int) -> ModelVersion:
+        """The manifest entry for ``version``; :class:`RegistryError` if absent."""
+        for entry in self._read_manifest():
+            if entry.version == version:
+                return entry
+        raise RegistryError(f"version {version} is not in the registry")
+
+    def lineage(self, version: int) -> list[int]:
+        """Ancestor chain ``[version, parent, grandparent, ...]``."""
+        by_version = {e.version: e for e in self._read_manifest()}
+        if version not in by_version:
+            raise RegistryError(f"version {version} is not in the registry")
+        chain = [version]
+        seen = {version}
+        current = by_version[version]
+        while current.parent is not None:
+            if current.parent in seen:
+                raise RegistryError(
+                    f"lineage cycle detected at version {current.parent}"
+                )
+            if current.parent not in by_version:
+                raise RegistryError(
+                    f"lineage broken: parent {current.parent} of "
+                    f"{current.version} is not in the registry"
+                )
+            current = by_version[current.parent]
+            chain.append(current.version)
+            seen.add(current.version)
+        return chain
+
+    # ------------------------------------------------------------------
+    # Load (with integrity check)
+    # ------------------------------------------------------------------
+    def load(
+        self, version: Optional[int] = None
+    ) -> tuple[MPSVMModel, ModelVersion]:
+        """Load a version (default: latest), verifying artifact integrity.
+
+        The artifact's bytes are re-hashed and compared against the
+        manifest before parsing; a mismatch (torn write, bit rot, manual
+        edit) raises :class:`~repro.exceptions.RegistryError`.
+        """
+        entry = self.latest() if version is None else self.get(version)
+        if entry is None:
+            raise RegistryError("registry is empty")
+        artifact_path = self.root / entry.artifact
+        try:
+            payload = artifact_path.read_bytes()
+        except FileNotFoundError as exc:
+            raise RegistryError(
+                f"artifact missing for version {entry.version}: {artifact_path}"
+            ) from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry.sha256:
+            raise RegistryError(
+                f"artifact hash mismatch for version {entry.version}: "
+                f"manifest says {entry.sha256[:12]}…, file is {digest[:12]}…"
+            )
+        try:
+            model = load_model(io.StringIO(payload.decode("utf-8")))
+        except (UnicodeDecodeError, ModelFormatError) as exc:
+            raise RegistryError(
+                f"artifact for version {entry.version} failed to parse: {exc}"
+            ) from exc
+        return model, entry

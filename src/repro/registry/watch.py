@@ -1,0 +1,97 @@
+"""Polling for new registry versions, built for the serving loop.
+
+:class:`RegistryWatcher` answers one question cheaply: *has a version
+newer than the one I'm serving appeared?*  The fast path is a single
+``stat`` of the manifest — the registry's atomic-rename writes guarantee
+the mtime changes whenever content does — so calling :meth:`poll` on
+every request is affordable.  Only when the mtime moves (or on first
+poll) does the watcher read the manifest, and only when the head version
+advances does it pay for loading + integrity-checking the artifact.
+
+A wall-clock ``min_interval_s`` additionally rate-limits the stat itself
+for very hot serving loops; ``clock`` is injectable so tests drive the
+interval deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import RegistryError
+from repro.model.multiclass import MPSVMModel
+from repro.registry.store import ModelRegistry, ModelVersion
+
+__all__ = ["RegistryWatcher"]
+
+
+class RegistryWatcher:
+    """Tracks the newest version of a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The registry to watch.
+    start_version:
+        Version currently being served (new versions must exceed it);
+        ``None`` means any published version counts as new.
+    min_interval_s:
+        Minimum wall-clock spacing between manifest stats; polls inside
+        the window return ``None`` immediately.
+    clock:
+        Monotonic time source (seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        start_version: Optional[int] = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.last_version = start_version
+        self.min_interval_s = float(min_interval_s)
+        self._clock = clock
+        self._last_poll_s: Optional[float] = None
+        self._last_mtime_ns: Optional[int] = None
+        self.n_polls = 0
+        self.n_manifest_reads = 0
+
+    def poll(self) -> Optional[tuple[MPSVMModel, ModelVersion]]:
+        """Return ``(model, version)`` if a newer version appeared, else ``None``.
+
+        The returned model is fully loaded and integrity-checked;
+        ``last_version`` advances so each version is delivered once.
+        Corrupt registries raise :class:`~repro.exceptions.RegistryError`
+        (the caller decides whether to keep serving the old model).
+        """
+        now = self._clock()
+        if (
+            self._last_poll_s is not None
+            and now - self._last_poll_s < self.min_interval_s
+        ):
+            return None
+        self._last_poll_s = now
+        self.n_polls += 1
+
+        try:
+            mtime_ns = self.registry.manifest_path.stat().st_mtime_ns
+        except FileNotFoundError as exc:
+            raise RegistryError(
+                f"manifest missing: {self.registry.manifest_path}"
+            ) from exc
+        if self._last_mtime_ns is not None and mtime_ns == self._last_mtime_ns:
+            return None
+        self._last_mtime_ns = mtime_ns
+
+        self.n_manifest_reads += 1
+        head = self.registry.latest()
+        if head is None:
+            return None
+        if self.last_version is not None and head.version <= self.last_version:
+            return None
+        model, entry = self.registry.load(head.version)
+        self.last_version = entry.version
+        return model, entry

@@ -21,7 +21,12 @@ from repro.server.admission import (
     TokenBucket,
 )
 from repro.server.app import ServerApp, serve_http
-from repro.server.dispatcher import Dispatcher, DispatcherStats, ServerRequest
+from repro.server.dispatcher import (
+    Dispatcher,
+    DispatcherStats,
+    ServerRequest,
+    SwapReport,
+)
 from repro.server.protocol import ProtocolError
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "ProtocolError",
     "ServerApp",
     "ServerRequest",
+    "SwapReport",
     "TenantCounters",
     "TenantPolicy",
     "TokenBucket",

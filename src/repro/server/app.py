@@ -29,14 +29,16 @@ fast, honest refusals.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from typing import Callable, Optional
 
-from repro.exceptions import ReproError, ValidationError
+from repro.exceptions import RegistryError, ReproError, ValidationError
 from repro.server import protocol
 from repro.server.dispatcher import Dispatcher, ServerRequest
 from repro.server.protocol import ProtocolError
+from repro.serving.session import InferenceSession
 
 __all__ = ["ServerApp", "serve_http"]
 
@@ -63,6 +65,13 @@ class ServerApp:
         generator use.  ``"wall"``: wall-clock gaps between requests are
         replayed onto the simulated axis (what a long-running socket
         server wants, so token buckets refill in real time).
+    watcher:
+        Optional :class:`~repro.registry.RegistryWatcher`.  When set,
+        every request first polls the registry; a newer published
+        version is sealed into a fresh session and hot-swapped into the
+        dispatcher (drain-then-flip, zero failed requests) before the
+        request is served.  A corrupt registry logs a swap error and the
+        server keeps serving the current model.
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class ServerApp:
         dispatcher: Dispatcher,
         *,
         arrival_mode: str = "virtual",
+        watcher: object = None,
     ) -> None:
         if not isinstance(dispatcher, Dispatcher):
             raise ValidationError(
@@ -81,9 +91,12 @@ class ServerApp:
             )
         self.dispatcher = dispatcher
         self.arrival_mode = arrival_mode
+        self.watcher = watcher
         self._wall_origin: Optional[float] = None
         self._wall_offset_s = 0.0
         self.n_http_requests = 0
+        self.n_swaps = 0
+        self.n_swap_errors = 0
 
     # ------------------------------------------------------------------
     # Core handler
@@ -98,6 +111,7 @@ class ServerApp:
         """Serve one request; returns ``(status, headers, body)``."""
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         self.n_http_requests += 1
+        self._maybe_swap()
         try:
             if method == "GET":
                 return self._handle_get(path)
@@ -108,6 +122,30 @@ class ServerApp:
             return self._error(400, "bad_request", detail=str(exc))
         except ReproError as exc:
             return self._error(422, "unprocessable", detail=str(exc))
+
+    def _maybe_swap(self) -> None:
+        """Poll the registry watcher; hot-swap a newer published model.
+
+        Swap failures never take the server down: the current model
+        keeps serving and the error is counted in ``n_swap_errors``.
+        """
+        if self.watcher is None:
+            return
+        try:
+            update = self.watcher.poll()
+        except RegistryError:
+            self.n_swap_errors += 1
+            return
+        if update is None:
+            return
+        model, entry = update
+        try:
+            session = InferenceSession(model, self.dispatcher.backend.config)
+            self.dispatcher.swap_model(session, label=f"v{entry.version}")
+        except ReproError:
+            self.n_swap_errors += 1
+            return
+        self.n_swaps += 1
 
     def _handle_get(self, path: str) -> tuple[int, dict[str, str], bytes]:
         if path == "/healthz":
@@ -178,7 +216,12 @@ class ServerApp:
         decision = request.decision
         headers = {"Content-Type": "application/json"}
         if decision.retry_after_s is not None:
-            headers["Retry-After"] = format(decision.retry_after_s, ".6g")
+            # RFC 9110 §10.2.3: Retry-After is integer delta-seconds.
+            # Ceil so clients never retry before a token is available; the
+            # exact float stays in the JSON body as retry_after_s.
+            headers["Retry-After"] = str(
+                max(1, math.ceil(decision.retry_after_s))
+            )
         body = protocol.error_body(
             decision.status,
             decision.reason,
@@ -204,6 +247,8 @@ class ServerApp:
         stats = self.dispatcher.stats
         return {
             "n_http_requests": self.n_http_requests,
+            "n_swaps": self.n_swaps,
+            "n_swap_errors": self.n_swap_errors,
             "n_workers": self.dispatcher.n_workers,
             "n_queued": self.dispatcher.n_queued,
             "virtual_now_s": self.dispatcher.now_s,

@@ -52,7 +52,7 @@ from repro.sparse import CSRMatrix
 from repro.sparse import ops as mops
 from repro.telemetry.tracer import Tracer, maybe_span
 
-__all__ = ["Dispatcher", "DispatcherStats", "ServerRequest"]
+__all__ = ["Dispatcher", "DispatcherStats", "ServerRequest", "SwapReport"]
 
 Backend = Union[InferenceSession, ShardedInferenceRouter]
 
@@ -148,6 +148,17 @@ class DispatcherStats:
         if not self.accepted_latencies_s:
             return 0.0
         return float(np.percentile(np.asarray(self.accepted_latencies_s), q))
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`Dispatcher.swap_model` did, on the virtual clock."""
+
+    label: Optional[str]  # caller's tag, e.g. the registry version
+    requested_s: float  # virtual time the swap was requested
+    completed_s: float  # virtual time the route pointer flipped
+    window_s: float  # completed - requested: the drain window
+    drained_requests: int  # queued requests completed on the old model
 
 
 class _Lane:
@@ -254,6 +265,7 @@ class Dispatcher:
         self.now_s = 0.0
         self._shutting_down = False
         self.decision_log: list[tuple[int, int, str]] = []
+        self.swaps: list[SwapReport] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -433,6 +445,72 @@ class Dispatcher:
             self.admission.note_dequeued(request.tenant)
             self._shed(request, self.admission.note_shutdown(request.tenant))
         self._queue.clear()
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap_model(
+        self, backend: InferenceSession, *, label: Optional[str] = None
+    ) -> SwapReport:
+        """Atomically replace the serving model with a sealed ``backend``.
+
+        Drain-then-flip: every request admitted before the swap (queued
+        or in flight) completes on the **old** model, then the route
+        pointer flips and every later arrival runs on the **new** one —
+        no request ever observes a half-swapped model, and none is
+        failed or shed by the swap itself.  The swap point is the
+        current virtual time; because dispatch is a deterministic
+        function of the clock, the post-swap stream is bitwise identical
+        to a cold restart of the new model fed the same requests.
+
+        Only :class:`InferenceSession` backends swap (sharded routers
+        own per-device placement; restart those).  The new session must
+        serve the same feature count the admitted traffic was validated
+        against.
+        """
+        if not isinstance(backend, InferenceSession):
+            raise ValidationError(
+                "swap_model requires a sealed InferenceSession, got "
+                f"{type(backend).__name__}"
+            )
+        if not isinstance(self.backend, InferenceSession):
+            raise ValidationError(
+                "swap_model supports InferenceSession backends only; "
+                "sharded routers manage their own placement"
+            )
+        if backend.n_features != self.n_features:
+            raise ValidationError(
+                f"new model expects {backend.n_features} features, the "
+                f"live route serves {self.n_features}"
+            )
+        requested_s = self.now_s
+        drained = len(self._queue)
+        # Complete the backlog on the old model; advances the virtual
+        # clock to the last old-model completion.
+        self.drain()
+        completed_s = self.now_s
+        for lane in self._lanes:
+            lane.session = backend
+        self.backend = backend
+        self._probe_session = backend
+        report = SwapReport(
+            label=label,
+            requested_s=requested_s,
+            completed_s=completed_s,
+            window_s=completed_s - requested_s,
+            drained_requests=drained,
+        )
+        self.swaps.append(report)
+        if self._tracer is not None:
+            self._tracer.event(
+                "model_swap",
+                label=label,
+                requested_s=requested_s,
+                completed_s=completed_s,
+                window_s=report.window_s,
+                drained_requests=drained,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Dispatch

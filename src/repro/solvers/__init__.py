@@ -7,6 +7,9 @@
   (Section 3.3.1): q new violators per round, batched kernel-row
   computation, FIFO GPU buffer reuse, and delta-adaptive early termination
   of the inner subproblem.
+- :mod:`repro.solvers.warm_start` — reconstruction of ``(alpha, f)``
+  from a previously trained model so incremental retraining (new data,
+  changed C/gamma) starts next to the old optimum instead of from zero.
 """
 
 from repro.solvers.base import (
@@ -21,6 +24,12 @@ from repro.solvers.batch_smo import BatchSMOSolver
 from repro.solvers.shrinking import ShrinkingSMOSolver
 from repro.solvers.smo import ClassicSMOSolver
 from repro.solvers.subproblem import solve_subproblem
+from repro.solvers.warm_start import (
+    map_prior_alphas,
+    reconstruct_gradient,
+    rescale_into_box,
+    warm_start_pair_state,
+)
 from repro.solvers.working_set import select_new_violators
 
 __all__ = [
@@ -31,8 +40,12 @@ __all__ = [
     "bias_from_f",
     "dual_objective",
     "lower_mask",
+    "map_prior_alphas",
     "optimality_gap",
+    "reconstruct_gradient",
+    "rescale_into_box",
     "select_new_violators",
     "solve_subproblem",
     "upper_mask",
+    "warm_start_pair_state",
 ]

@@ -1,0 +1,148 @@
+"""Warm-start state reconstruction for incremental SMO retraining.
+
+Everything upstream of this module is train-once: every ``solve`` starts
+from ``alpha = 0``, ``f = -y`` and pays the full round count even when a
+nearly-identical model was just trained.  The warm-start recipe (the
+"polishing" idea in "A Recipe for Fast Large-scale SVM Training" and the
+reuse argument of "Planning-ahead SMO", see PAPERS.md) reuses the prior
+dual solution instead: map the previous model's support-vector weights
+onto the current training set, rescale them into the (possibly changed)
+box ``[0, C]``, and reconstruct the optimality indicators
+``f_i = sum_j alpha_j y_j K_ij - y_i`` with one batched kernel product.
+The solver then starts next to the old optimum and only has to move the
+coordinates the data/hyper-parameter change actually perturbed.
+
+Contract (enforced where checkable, documented where not):
+
+- **instance identity is positional** — global index ``g`` in the prior
+  training set must denote the same instance as index ``g`` in the
+  current one.  Growing the dataset by *appending* rows satisfies this;
+  so does keeping the data fixed while changing ``C`` or the kernel.
+  Reordered or relabeled instances are detected per pair (a prior
+  support vector whose index left the pair or whose label flipped) and
+  that pair silently falls back to a cold start — correctness never
+  depends on the contract holding.
+- the equality constraint ``sum_i alpha_i y_i = 0`` is preserved
+  exactly: new instances enter at ``alpha = 0`` and box shrinkage is
+  handled by *uniformly rescaling* all alphas (never clipping a subset).
+- a changed kernel only changes ``f``, which is reconstructed here with
+  the *current* kernel; the prior alphas remain a feasible dual point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.engine import FLOAT_BYTES
+
+__all__ = [
+    "map_prior_alphas",
+    "rescale_into_box",
+    "reconstruct_gradient",
+    "warm_start_pair_state",
+]
+
+
+def map_prior_alphas(
+    prior_sv_global: np.ndarray,
+    prior_coefficients: np.ndarray,
+    problem_global_indices: np.ndarray,
+    labels: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Map a prior record's SV weights onto the current pair problem.
+
+    ``prior_coefficients`` are the persisted ``alpha_j * y_j`` products;
+    ``problem_global_indices`` are the current pair's global instance
+    ids and ``labels`` its ±1 labels (local order).  Returns the local
+    ``alpha`` vector, or ``None`` when the mapping is unsound — a prior
+    support vector no longer belongs to this pair, or its label flipped
+    (either would break the dual equality constraint).
+    """
+    alpha = np.zeros(labels.size)
+    if prior_sv_global.size == 0:
+        return alpha
+    position_of = {int(g): i for i, g in enumerate(problem_global_indices)}
+    for g, coefficient in zip(prior_sv_global, prior_coefficients):
+        local = position_of.get(int(g))
+        if local is None:
+            return None
+        # alpha > 0 for every stored SV, so sign(coefficient) is the
+        # prior label; a flip means the instance changed class.
+        if coefficient * labels[local] <= 0:
+            return None
+        alpha[local] = abs(coefficient)
+    return alpha
+
+
+def rescale_into_box(alpha: np.ndarray, box: np.ndarray) -> np.ndarray:
+    """Uniformly shrink ``alpha`` until it fits ``0 <= alpha <= box``.
+
+    A single global factor preserves ``sum_i alpha_i y_i = 0`` exactly
+    (element-wise clipping would not).  With an unchanged or enlarged
+    box the factor is 1 and ``alpha`` is returned untouched.
+    """
+    active = alpha > 0
+    if not active.any():
+        return alpha
+    factor = float(np.min(box[active] / alpha[active]))
+    if factor >= 1.0:
+        return alpha
+    return alpha * factor
+
+
+def reconstruct_gradient(
+    rows,
+    labels: np.ndarray,
+    alpha: np.ndarray,
+    *,
+    category: str = "warm_start",
+) -> np.ndarray:
+    """Rebuild ``f_i = sum_j alpha_j y_j K_ij - y_i`` for a warm start.
+
+    ``rows`` is the pair's kernel-row provider (plain
+    :class:`~repro.kernels.rows.KernelRowComputer` or the shared-store
+    adapter); only the rows of the ``alpha > 0`` instances are computed —
+    one batched product, the same operation a single solver round pays.
+    """
+    support = np.flatnonzero(alpha > 0)
+    if support.size == 0:
+        return -labels.copy()
+    k_rows = rows.rows(support, category=category)
+    coefficients = alpha[support] * labels[support]
+    f = coefficients @ k_rows - labels
+    n = labels.size
+    rows.engine.charge(
+        category,
+        flops=2 * support.size * n,
+        bytes_read=support.size * n * FLOAT_BYTES,
+        bytes_written=n * FLOAT_BYTES,
+        launches=1,
+    )
+    return f
+
+
+def warm_start_pair_state(
+    rows,
+    labels: np.ndarray,
+    prior_sv_global: np.ndarray,
+    prior_coefficients: np.ndarray,
+    problem_global_indices: np.ndarray,
+    box: np.ndarray,
+    *,
+    category: str = "warm_start",
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """``(initial_alpha, initial_f)`` for one pair, or ``None`` (cold).
+
+    Composes the three steps above; ``box`` is the per-instance penalty
+    vector (broadcast scalar C already resolved by the caller).
+    """
+    alpha = map_prior_alphas(
+        prior_sv_global, prior_coefficients, problem_global_indices, labels
+    )
+    if alpha is None:
+        return None
+    alpha = rescale_into_box(alpha, box)
+    f = reconstruct_gradient(rows, labels, alpha, category=category)
+    return alpha, f

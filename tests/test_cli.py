@@ -337,3 +337,110 @@ class TestServe:
         code = serve_main([str(tmp_path / "nope.model")])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestLifecycleFlags:
+    @pytest.fixture
+    def grown_files(self, svm_files):
+        """The training file plus a grown variant (appended rows)."""
+        train, _, tmp = svm_files
+        x, y = gaussian_blobs(180, 5, 3, seed=10)
+        x2, y2 = gaussian_blobs(30, 5, 3, seed=11)
+        grown = tmp / "grown.svm"
+        dump_libsvm(
+            CSRMatrix.from_dense(np.vstack([x[:140], np.asarray(x2)])),
+            np.concatenate([y[:140], y2]),
+            grown,
+        )
+        return train, grown, tmp
+
+    def test_publish_and_warm_start_record_lineage(self, grown_files):
+        from repro.registry import ModelRegistry
+
+        train, grown, tmp = grown_files
+        registry = tmp / "registry"
+        model_a = tmp / "a.model"
+        model_b = tmp / "b.model"
+        assert train_main([
+            "-q", "-c", "1", "-g", "0.4", str(train), str(model_a),
+            "--publish", str(registry),
+        ]) == 0
+        assert train_main([
+            "-q", "-c", "1", "-g", "0.4", str(grown), str(model_b),
+            "--warm-start", str(model_a), "--publish", str(registry),
+        ]) == 0
+        reg = ModelRegistry(registry)
+        assert [v.version for v in reg.versions()] == [1, 2]
+        assert reg.get(2).parent == 1
+        assert reg.lineage(2) == [2, 1]
+
+    def test_warm_start_with_classic_system_errors(self, grown_files, capsys):
+        train, grown, tmp = grown_files
+        model_a = tmp / "a.model"
+        assert train_main(
+            ["-q", "-c", "1", "-g", "0.4", str(train), str(model_a)]
+        ) == 0
+        code = train_main([
+            "-q", "--system", "libsvm", str(grown),
+            str(tmp / "b.model"), "--warm-start", str(model_a),
+        ])
+        assert code == 1
+        assert "batched" in capsys.readouterr().err
+
+    def test_serve_requires_model_or_registry(self, capsys):
+        code = serve_main([])
+        assert code == 1
+        assert "registry" in capsys.readouterr().err.lower()
+
+    def test_watch_registry_requires_registry(self, capsys):
+        code = serve_main(["--watch-registry"])
+        assert code == 1
+        assert "--registry" in capsys.readouterr().err
+
+    def test_serve_from_registry_over_socket(self, grown_files, monkeypatch):
+        import repro.server
+
+        train, _, tmp = grown_files
+        registry = tmp / "registry"
+        assert train_main([
+            "-q", "-c", "1", "-g", "0.4", str(train),
+            str(tmp / "a.model"), "--publish", str(registry),
+        ]) == 0
+
+        ready = threading.Event()
+        bound = {}
+        real_serve_http = repro.server.serve_http
+
+        def capture_port(app, host, port, **kwargs):
+            inner = kwargs.get("ready_callback")
+
+            def on_ready(bound_host, bound_port):
+                bound["port"] = bound_port
+                ready.set()
+                if inner is not None:
+                    inner(bound_host, bound_port)
+
+            kwargs["ready_callback"] = on_ready
+            return real_serve_http(app, host, port, **kwargs)
+
+        monkeypatch.setattr(repro.server, "serve_http", capture_port)
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.setdefault(
+                "code",
+                serve_main([
+                    "--registry", str(registry), "--watch-registry",
+                    "--port", "0", "--max-requests", "1", "-q",
+                ]),
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=60)
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{bound['port']}/healthz", timeout=60
+        ) as response:
+            assert response.status == 200
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result["code"] == 0

@@ -166,3 +166,108 @@ class TestPersistence:
     def test_integer_labels_restored_as_integers(self, fitted):
         reloaded = self.roundtrip(fitted[0].model_)
         assert reloaded.classes.dtype == np.int64
+
+
+class TestPersistenceEdgeCases:
+    def roundtrip(self, model):
+        buffer = io.StringIO()
+        save_model(model, buffer)
+        buffer.seek(0)
+        return load_model(buffer)
+
+    def test_float_labels_roundtrip_exactly(self):
+        """Regression: ``%g`` rendered class labels at 6 significant
+        digits, so 1234567.5 reloaded as 1234570.0 — labels must use
+        ``.17g`` like every other float in the format."""
+        x, y_int = gaussian_blobs(90, 4, 3, seed=5)
+        label_values = np.array([0.5, 1234567.5, -2.25])
+        y = label_values[y_int]
+        clf = GMPSVC(C=2.0, gamma=0.5, working_set_size=32).fit(x, y)
+        reloaded = self.roundtrip(clf.model_)
+        assert np.array_equal(reloaded.classes, np.sort(label_values))
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original, _ = predict_proba_model(config, clf.model_, x)
+        restored, _ = predict_proba_model(config, reloaded, x)
+        # CSR-pool kernel sums reorder vs the dense original, so exact
+        # equality is out of scope here (the label fidelity is the point).
+        assert np.allclose(original, restored, atol=1e-12)
+
+    def test_out_of_range_pool_position_rejected(self, fitted):
+        """Regression: a positions entry past the pool bounds used to be
+        accepted and crash (or read garbage) at prediction time."""
+        buffer = io.StringIO()
+        save_model(fitted[0].model_, buffer)
+        lines = buffer.getvalue().splitlines()
+        stanza = next(
+            i for i, line in enumerate(lines) if line.startswith("svm ")
+        )
+        positions = lines[stanza + 1].split()
+        positions[0] = str(fitted[0].model_.sv_pool.n_pool + 5)
+        lines[stanza + 1] = " ".join(positions)
+        with pytest.raises(ModelFormatError, match="out of range"):
+            load_model(io.StringIO("\n".join(lines) + "\n"))
+
+    def test_negative_pool_position_rejected(self, fitted):
+        buffer = io.StringIO()
+        save_model(fitted[0].model_, buffer)
+        lines = buffer.getvalue().splitlines()
+        stanza = next(
+            i for i, line in enumerate(lines) if line.startswith("svm ")
+        )
+        positions = lines[stanza + 1].split()
+        positions[-1] = "-1"
+        lines[stanza + 1] = " ".join(positions)
+        with pytest.raises(ModelFormatError, match="out of range"):
+            load_model(io.StringIO("\n".join(lines) + "\n"))
+
+    def test_dense_pool_values_preserved_exactly(self, fitted):
+        """Dense-trained pools reload as CSR with bitwise-equal values."""
+        from repro.sparse import ops as mops
+
+        model = fitted[0].model_
+        reloaded = self.roundtrip(model)
+        assert isinstance(reloaded.sv_pool.pool_data, CSRMatrix)
+        assert np.array_equal(
+            mops.to_dense(reloaded.sv_pool.pool_data),
+            mops.to_dense(model.sv_pool.pool_data),
+        )
+
+    def test_probability_false_roundtrip(self):
+        x, y = gaussian_blobs(90, 4, 3, seed=6)
+        clf = GMPSVC(
+            C=2.0, gamma=0.5, probability=False, working_set_size=32
+        ).fit(x, y)
+        reloaded = self.roundtrip(clf.model_)
+        assert reloaded.probability is False
+        assert all(rec.sigmoid is None for rec in reloaded.records)
+        config = PredictorConfig(device=scaled_tesla_p100())
+        from repro.core.predictor import predict_labels_model
+
+        original, _ = predict_labels_model(config, clf.model_, x)
+        restored, _ = predict_labels_model(config, reloaded, x)
+        assert np.array_equal(np.asarray(original), np.asarray(restored))
+
+    def test_single_pair_model_roundtrip(self):
+        """Binary problems persist one stanza and reload cleanly."""
+        x, y = gaussian_blobs(80, 4, 2, seed=7)
+        clf = GMPSVC(C=2.0, gamma=0.5, working_set_size=32).fit(x, y)
+        assert len(clf.model_.records) == 1
+        reloaded = self.roundtrip(clf.model_)
+        assert len(reloaded.records) == 1
+        config = PredictorConfig(device=scaled_tesla_p100())
+        original, _ = predict_proba_model(config, clf.model_, x)
+        restored, _ = predict_proba_model(config, reloaded, x)
+        assert np.allclose(original, restored, atol=1e-12)
+
+    @pytest.mark.parametrize("keep_fraction", [0.3, 0.6, 0.95])
+    def test_truncation_anywhere_is_a_format_error(
+        self, fitted, keep_fraction
+    ):
+        """Cutting the file mid-stanza or mid-SV-section must raise
+        ModelFormatError, never an IndexError or a silently short model."""
+        buffer = io.StringIO()
+        save_model(fitted[0].model_, buffer)
+        lines = buffer.getvalue().splitlines()
+        cut = max(1, int(len(lines) * keep_fraction))
+        with pytest.raises(ModelFormatError):
+            load_model(io.StringIO("\n".join(lines[:cut]) + "\n"))

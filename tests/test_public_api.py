@@ -24,9 +24,12 @@ PUBLIC_API = [
     "InferenceSession",
     "MicroBatcher",
     "ModelFormatError",
+    "ModelRegistry",
     "NotFittedError",
     "OneClassSVM",
     "PredictorConfig",
+    "RegistryError",
+    "RegistryWatcher",
     "ReproError",
     "SVC",
     "SVR",
@@ -142,6 +145,7 @@ class TestSignatures:
         assert _params(repro.ServerApp.__init__) == [
             "dispatcher",
             "arrival_mode",
+            "watcher",
         ]
         for method in ("handle_request", "stats_snapshot", "wsgi"):
             assert callable(getattr(repro.ServerApp, method))
@@ -151,6 +155,25 @@ class TestSignatures:
             "max_queue",
             "max_retry_after_s",
         ]
+
+    def test_registry_surface(self):
+        assert _params(repro.ModelRegistry.__init__) == ["root"]
+        for method in (
+            "publish",
+            "load",
+            "latest",
+            "get",
+            "versions",
+            "lineage",
+        ):
+            assert callable(getattr(repro.ModelRegistry, method))
+        assert _params(repro.RegistryWatcher.__init__) == [
+            "registry",
+            "start_version",
+            "min_interval_s",
+            "clock",
+        ]
+        assert callable(repro.RegistryWatcher.poll)
 
     def test_sharded_trainer_signature(self):
         assert _params(repro.train_multiclass_sharded) == [

@@ -410,10 +410,14 @@ class TestAdmissionEdgeCases:
             "POST", "/v1/predict", post_body(x[:1])
         )
         assert status == 429
-        assert float(headers["Retry-After"]) > 0
+        # RFC 9110: the header is integer delta-seconds, >= 1 and never
+        # earlier than the exact float advertised in the body.
+        assert headers["Retry-After"].isdigit()
+        assert int(headers["Retry-After"]) >= 1
         error = json.loads(body)["error"]
         assert error["reason"] == "rate_limited"
         assert error["retry_after_s"] > 0
+        assert int(headers["Retry-After"]) >= error["retry_after_s"]
 
 
 class TestLoadGenerator:

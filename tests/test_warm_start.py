@@ -1,0 +1,262 @@
+"""Warm-start incremental retraining: state mapping and trainer wiring."""
+
+import numpy as np
+import pytest
+
+from repro import GMPSVC
+from repro.core.trainer import TrainerConfig, train_multiclass
+from repro.data import gaussian_blobs
+from repro.exceptions import ValidationError
+from repro.gpusim import scaled_tesla_p100
+from repro.kernels.functions import kernel_from_name
+from repro.kernels.rows import KernelRowComputer
+from repro.gpusim.engine import make_engine
+from repro.solvers.warm_start import (
+    map_prior_alphas,
+    reconstruct_gradient,
+    rescale_into_box,
+    warm_start_pair_state,
+)
+
+
+def _grown(seed_extra=9):
+    x, y = gaussian_blobs(200, 5, 3, seed=0)
+    x2, y2 = gaussian_blobs(40, 5, 3, seed=seed_extra)
+    return (
+        np.asarray(x),
+        y,
+        np.vstack([np.asarray(x), np.asarray(x2)]),
+        np.concatenate([y, y2]),
+    )
+
+
+class TestMapping:
+    def test_maps_onto_local_positions(self):
+        labels = np.array([1.0, -1.0, 1.0, -1.0])
+        global_ids = np.array([10, 11, 12, 13])
+        alpha = map_prior_alphas(
+            np.array([12, 11]), np.array([0.5, -0.25]), global_ids, labels
+        )
+        assert np.array_equal(alpha, [0.0, 0.25, 0.5, 0.0])
+
+    def test_no_prior_svs_is_cold_zero(self):
+        labels = np.array([1.0, -1.0])
+        alpha = map_prior_alphas(
+            np.array([], dtype=int),
+            np.array([]),
+            np.array([5, 6]),
+            labels,
+        )
+        assert np.array_equal(alpha, [0.0, 0.0])
+
+    def test_missing_global_id_falls_back(self):
+        labels = np.array([1.0, -1.0])
+        assert (
+            map_prior_alphas(
+                np.array([99]), np.array([0.5]), np.array([5, 6]), labels
+            )
+            is None
+        )
+
+    def test_flipped_label_falls_back(self):
+        # Prior coefficient says the instance was positive; now it's -1.
+        labels = np.array([-1.0, 1.0])
+        assert (
+            map_prior_alphas(
+                np.array([5]), np.array([0.5]), np.array([5, 6]), labels
+            )
+            is None
+        )
+
+    def test_rescale_preserves_equality_constraint(self):
+        alpha = np.array([3.0, 1.0, 2.0, 2.0])
+        labels = np.array([1.0, 1.0, -1.0, -1.0])
+        assert abs(np.dot(alpha, labels)) < 1e-12
+        shrunk = rescale_into_box(alpha, np.full(4, 1.5))
+        assert abs(np.dot(shrunk, labels)) < 1e-12
+        assert np.all(shrunk <= 1.5 + 1e-15)
+        # Uniform factor: ratios between coordinates are unchanged.
+        assert np.allclose(shrunk / alpha, shrunk[0] / alpha[0])
+
+    def test_rescale_noop_when_box_grows(self):
+        alpha = np.array([0.5, 0.25])
+        out = rescale_into_box(alpha, np.full(2, 10.0))
+        assert out is alpha
+
+    def test_gradient_matches_definition(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(12, 3))
+        labels = np.where(rng.uniform(size=12) < 0.5, 1.0, -1.0)
+        alpha = np.abs(rng.normal(size=12)) * (rng.uniform(size=12) < 0.5)
+        kernel = kernel_from_name("gaussian", gamma=0.7)
+        engine = make_engine(scaled_tesla_p100())
+        rows = KernelRowComputer(engine, kernel, data)
+        f = reconstruct_gradient(rows, labels, alpha)
+        full = kernel.pairwise(
+            make_engine(scaled_tesla_p100()), data, data, category="test"
+        )
+        expected = (alpha * labels) @ full - labels
+        assert np.allclose(f, expected, atol=1e-12)
+
+    def test_gradient_cold_is_minus_y(self):
+        engine = make_engine(scaled_tesla_p100())
+        rows = KernelRowComputer(
+            engine, kernel_from_name("linear"), np.eye(3)
+        )
+        labels = np.array([1.0, -1.0, 1.0])
+        assert np.array_equal(
+            reconstruct_gradient(rows, labels, np.zeros(3)), -labels
+        )
+
+    def test_pair_state_composes(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(8, 3))
+        labels = np.where(np.arange(8) % 2 == 0, 1.0, -1.0)
+        engine = make_engine(scaled_tesla_p100())
+        rows = KernelRowComputer(
+            engine, kernel_from_name("gaussian", gamma=0.5), data
+        )
+        out = warm_start_pair_state(
+            rows,
+            labels,
+            np.array([4, 5]),
+            np.array([0.25, -0.25]),
+            np.arange(8),
+            np.full(8, 10.0),
+        )
+        assert out is not None
+        alpha, f = out
+        assert alpha[4] == 0.25 and alpha[5] == 0.25
+        assert f.shape == (8,)
+
+
+class TestTrainerIntegration:
+    def _config(self, **kw):
+        base = dict(
+            device=scaled_tesla_p100(),
+            solver="batched",
+            working_set_size=32,
+            probability=True,
+        )
+        base.update(kw)
+        return TrainerConfig(**base)
+
+    def test_warm_start_reduces_iterations_on_grown_data(self):
+        x, y, xg, yg = _grown()
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 1.0)
+        cold, cold_report = train_multiclass(
+            self._config(), xg, yg, kernel, 1.0
+        )
+        warm, warm_report = train_multiclass(
+            self._config(), xg, yg, kernel, 1.0, warm_start=prior
+        )
+        assert warm_report.total_iterations < cold_report.total_iterations
+        assert all(s["warm_start"] for s in warm_report.per_svm)
+        assert all(not s.get("warm_start") for s in cold_report.per_svm)
+
+    def test_warm_and_cold_agree_on_predictions(self):
+        from repro.core.predictor import PredictorConfig, predict_proba_model
+
+        x, y, xg, yg = _grown()
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 1.0)
+        cold, _ = train_multiclass(self._config(), xg, yg, kernel, 1.0)
+        warm, _ = train_multiclass(
+            self._config(), xg, yg, kernel, 1.0, warm_start=prior
+        )
+        config = PredictorConfig(device=scaled_tesla_p100())
+        pc, _ = predict_proba_model(config, cold, xg)
+        pw, _ = predict_proba_model(config, warm, xg)
+        assert np.argmax(pc, axis=1).tolist() == np.argmax(pw, axis=1).tolist()
+
+    def test_warm_start_with_changed_penalty(self):
+        """Shrinking the box rescales the prior point but stays feasible."""
+        x, y = gaussian_blobs(200, 5, 3, seed=0)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 4.0)
+        warm, report = train_multiclass(
+            self._config(), x, y, kernel, 1.0, warm_start=prior
+        )
+        assert all(s["warm_start"] for s in report.per_svm)
+        assert warm.penalty == 1.0
+
+    def test_sequential_path_also_warm_starts(self):
+        x, y, xg, yg = _grown()
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(
+            self._config(concurrent=False), x, y, kernel, 1.0
+        )
+        _, report = train_multiclass(
+            self._config(concurrent=False), xg, yg, kernel, 1.0,
+            warm_start=prior,
+        )
+        assert all(s["warm_start"] for s in report.per_svm)
+
+    def test_rejects_class_set_mismatch(self):
+        x, y = gaussian_blobs(120, 5, 3, seed=0)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 1.0)
+        with pytest.raises(ValidationError, match="class set"):
+            train_multiclass(
+                self._config(), x, np.where(y == 2, 1, y), kernel, 1.0,
+                warm_start=prior,
+            )
+
+    def test_rejects_feature_count_mismatch(self):
+        x, y = gaussian_blobs(120, 5, 3, seed=0)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 1.0)
+        with pytest.raises(ValidationError, match="features"):
+            train_multiclass(
+                self._config(), np.asarray(x)[:, :4], y, kernel, 1.0,
+                warm_start=prior,
+            )
+
+    def test_rejects_classic_solver(self):
+        x, y = gaussian_blobs(120, 5, 3, seed=0)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        prior, _ = train_multiclass(self._config(), x, y, kernel, 1.0)
+        with pytest.raises(ValidationError, match="batched"):
+            train_multiclass(
+                self._config(solver="classic", concurrent=False),
+                x, y, kernel, 1.0, warm_start=prior,
+            )
+
+    def test_rejects_non_model(self):
+        x, y = gaussian_blobs(120, 5, 3, seed=0)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        with pytest.raises(ValidationError, match="MPSVMModel"):
+            train_multiclass(
+                self._config(), x, y, kernel, 1.0, warm_start="model.repro"
+            )
+
+
+class TestEstimatorSurface:
+    def test_gmpsvc_warm_start_param(self):
+        x, y, xg, yg = _grown()
+        warm_est = GMPSVC(C=1.0, gamma=0.5, warm_start=True)
+        warm_est.fit(x, y)
+        warm_est.fit(xg, yg)
+        warm_iters = warm_est.training_report_.total_iterations
+        cold_iters = (
+            GMPSVC(C=1.0, gamma=0.5)
+            .fit(xg, yg)
+            .training_report_.total_iterations
+        )
+        assert warm_iters < cold_iters
+
+    def test_warm_start_false_is_always_cold(self):
+        x, y, xg, yg = _grown()
+        est = GMPSVC(C=1.0, gamma=0.5)
+        est.fit(x, y)
+        est.fit(xg, yg)
+        assert not any(
+            s.get("warm_start") for s in est.training_report_.per_svm
+        )
+
+    def test_warm_start_roundtrips_get_params(self):
+        est = GMPSVC(warm_start=True)
+        assert est.get_params()["warm_start"] is True
+        clone = GMPSVC(**est.get_params())
+        assert clone.warm_start is True
