@@ -1,0 +1,79 @@
+"""Fault injection and recovery: checkpointed resume + degraded serving.
+
+The fault-tolerance contract (DESIGN.md §15): losing a device mid-train
+costs bounded *time*, never *answers* — survivors restore the lost
+problems from the last checkpoint and the final model is bitwise the
+fault-free one; losing a serving replica costs an explicit 503 window,
+never a silent wrong response, and a restored replica serves again with
+zero failures.  This bench replays the committed
+``BENCH_fault_recovery.json`` scenario and asserts those contracts
+directly; CI gates the numeric metrics against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import common
+from benchmarks.emit_json import run_fault_recovery
+from repro.perf.speedup import format_table
+
+pytestmark = pytest.mark.slow
+
+# Resuming a lost device's problems on the survivors may stretch the
+# simulated makespan by at most this factor over a fault-free run paying
+# the same checkpoint cadence — the recovery-cost headline.
+MAX_MAKESPAN_INFLATION = 1.5
+
+
+def build_rows() -> dict[str, dict[str, float]]:
+    """Run the fault-recovery scenario once and shape it as a table."""
+    metrics = run_fault_recovery()
+    return {"4 devices, lose 1 at 50%": metrics}
+
+
+def test_fault_recovery_contract(benchmark):
+    """Recovery is bitwise, bounded, and never silently wrong."""
+    rows = common.run_benchmark_once(benchmark, build_rows)
+    metrics = rows["4 devices, lose 1 at 50%"]
+    text = format_table(
+        rows,
+        [
+            "fault_free_makespan_s",
+            "faulted_makespan_s",
+            "makespan_inflation_ratio",
+            "recovered_problems",
+            "resumed_from_checkpoint",
+            "window_503s",
+        ],
+        title="Device loss mid-train + replica loss mid-serve",
+        row_label="scenario",
+    )
+    common.record_table("fault_recovery", text, metrics=metrics)
+
+    # The device was genuinely lost and its problems recovered from a
+    # checkpoint, not replayed from scratch.
+    assert metrics["devices_lost"] == 1.0
+    assert metrics["recovered_problems"] >= 1.0
+    assert metrics["resumed_from_checkpoint"] >= 1.0
+
+    # Bitwise parity: the recovered model is the fault-free model.
+    assert metrics["bitwise_mismatches"] == 0.0
+
+    # Bounded recovery cost against the same checkpoint cadence.
+    assert metrics["makespan_inflation_ratio"] <= MAX_MAKESPAN_INFLATION
+    assert metrics["faulted_makespan_s"] > metrics["fault_free_makespan_s"]
+
+    # Serving degradation is explicit and bounded: the dead lane's
+    # batch 503s, nothing else fails, and every 200 is bitwise correct
+    # — before, during, and after the replica loss.
+    assert metrics["window_503s"] >= 1.0
+    assert metrics["failed_requests"] == 0.0
+    assert metrics["serving_mismatches"] == 0.0
+
+
+if __name__ == "__main__":
+    for name, value in sorted(
+        build_rows()["4 devices, lose 1 at 50%"].items()
+    ):
+        print(f"{name:28s} {value:.6g}")

@@ -649,6 +649,128 @@ def run_hot_swap() -> dict[str, float]:
     }
 
 
+def run_fault_recovery() -> dict[str, float]:
+    """Fault injection and recovery: checkpointed resume + degraded serving.
+
+    Two deterministic measurements on the simulated clock:
+
+    - **training** — a 4-device sharded run loses device 1 halfway
+      through its fault-free makespan; survivors restore the lost
+      problems from the last checkpoint and finish them.  The payload
+      reports the makespan inflation against a fault-free run paying
+      the *same* checkpoint cadence (the fair yardstick — checkpoint
+      shipping is a cost both runs carry) and a hard correctness
+      counter: binary records that differ bitwise from the fault-free
+      model (must be 0).
+    - **serving** — a replicated 3-lane dispatcher loses one replica
+      mid-stream.  The batch routed to the dead lane gets an explicit
+      503 (``replica_lost``); everything else serves bitwise-correct
+      on the survivors, and after :meth:`Dispatcher.restore_lane`
+      nothing fails (``failed_requests`` must be 0) and the restored
+      lane serves again.
+    """
+    import numpy as np
+
+    from repro.core.trainer import TrainerConfig
+    from repro.data import gaussian_blobs
+    from repro.distributed import (
+        ClusterSpec,
+        ShardedInferenceRouter,
+        train_multiclass_sharded,
+    )
+    from repro.faults import DeviceLoss, FaultPlan
+    from repro.gpusim import scaled_tesla_p100
+    from repro.kernels.functions import kernel_from_name
+    from repro.server import Dispatcher
+
+    n_devices = 4
+    x, y = gaussian_blobs(240, 5, 4, seed=7)
+    kernel = kernel_from_name("gaussian", gamma=0.4)
+    config = TrainerConfig(device=scaled_tesla_p100(), working_set_size=32)
+    cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=n_devices)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        # Fault-free baseline paying the same checkpoint cadence (the
+        # ":memory:" store charges the device->host shipping without
+        # touching disk).
+        base_model, base_report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, 1.0,
+            checkpoint_dir=":memory:", checkpoint_every=2,
+        )
+        plan = FaultPlan(
+            losses=(DeviceLoss(1, base_report.simulated_seconds * 0.5),)
+        )
+        model, report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, 1.0,
+            fault_plan=plan, checkpoint_every=2,
+        )
+
+    bitwise_mismatches = 0
+    for a, b in zip(base_model.records, model.records):
+        if not (
+            np.array_equal(a.global_sv_indices, b.global_sv_indices)
+            and np.array_equal(a.coefficients, b.coefficients)
+            and a.bias == b.bias
+        ):
+            bitwise_mismatches += 1
+    if base_model.sv_pool.n_pool != model.sv_pool.n_pool:
+        bitwise_mismatches += 1
+    recovery = report.faults["recovery"]
+
+    # --- Serving side: lose one replica mid-stream, then restore it. ---
+    router = ShardedInferenceRouter(
+        model,
+        ClusterSpec(device=scaled_tesla_p100(), n_devices=3),
+        strategy="replicated",
+    )
+    dispatcher = Dispatcher(router)
+    probe = np.asarray(x)[:4]
+    reference = router.predict_proba(probe)
+
+    warm = [dispatcher.submit(probe, arrival_s=float(i)) for i in range(6)]
+    dispatcher.drain()
+    dispatcher.fail_lane(1)
+    window = [
+        dispatcher.submit(probe, arrival_s=dispatcher.now_s + 1.0 + i)
+        for i in range(9)
+    ]
+    dispatcher.drain()
+    dispatcher.restore_lane(1)
+    recovered = [
+        dispatcher.submit(probe, arrival_s=dispatcher.now_s + 1.0 + i)
+        for i in range(9)
+    ]
+    dispatcher.drain()
+
+    window_503s = sum(1 for h in window if h.status == 503)
+    failed = sum(
+        1 for h in warm + recovered if not h.done or h.status != 200
+    )
+    serving_mismatches = sum(
+        1
+        for h in warm + window + recovered
+        if h.status == 200 and not np.array_equal(h.result, reference)
+    )
+
+    return {
+        "n_devices": float(n_devices),
+        "devices_lost": float(len(report.faults["devices_lost"])),
+        "recovered_problems": float(recovery["recovered_problems"]),
+        "resumed_from_checkpoint": float(recovery["resumed_from_checkpoint"]),
+        "checkpoints_written": float(report.faults["checkpoints_written"]),
+        "fault_free_makespan_s": base_report.simulated_seconds,
+        "faulted_makespan_s": report.simulated_seconds,
+        "makespan_inflation_ratio": (
+            report.simulated_seconds / base_report.simulated_seconds
+        ),
+        "bitwise_mismatches": float(bitwise_mismatches),
+        "window_503s": float(window_503s),
+        "failed_requests": float(failed),
+        "serving_mismatches": float(serving_mismatches),
+    }
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
     "coupling": run_coupling,
@@ -657,6 +779,7 @@ BENCH_RUNNERS = {
     "distributed": run_distributed,
     "http_serving": run_http_serving,
     "hot_swap": run_hot_swap,
+    "fault_recovery": run_fault_recovery,
 }
 
 

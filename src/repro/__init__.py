@@ -32,6 +32,10 @@ Public entry points:
   model registry and its polling side: content-hashed artifacts,
   lineage, integrity-checked loads, and zero-downtime hot swap into a
   live dispatcher (DESIGN.md §14);
+- :class:`FaultPlan` / :class:`FaultInjector` — deterministic, seeded
+  fault injection over the simulated cluster (stragglers, device loss,
+  link faults) with checkpoint/resume recovery that keeps models
+  bitwise identical to fault-free runs (DESIGN.md §15);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
@@ -50,7 +54,9 @@ from repro.core.svc import SVC
 from repro.core.svr import SVR
 from repro.core.trainer import TrainerConfig
 from repro.exceptions import (
+    CheckpointError,
     ConvergenceWarning,
+    DeviceLostError,
     DeviceMemoryError,
     ModelFormatError,
     NotFittedError,
@@ -60,6 +66,7 @@ from repro.exceptions import (
     SparseFormatError,
     ValidationError,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.model.persistence import load_model, save_model
 from repro.registry import ModelRegistry, RegistryWatcher
 from repro.server import ServerApp, TenantPolicy
@@ -67,13 +74,17 @@ from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CSRMatrix",
+    "CheckpointError",
     "ClusterSpec",
     "ConvergenceWarning",
+    "DeviceLostError",
     "DeviceMemoryError",
+    "FaultInjector",
+    "FaultPlan",
     "GMPSVC",
     "InferenceSession",
     "MicroBatcher",

@@ -88,6 +88,20 @@ def _train_parser() -> argparse.ArgumentParser:
     parser.add_argument("--placement", default="affinity",
                         choices=("affinity", "round_robin"),
                         help="pair-to-device placement when --devices > 1")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="inject a seeded random fault plan (stragglers, "
+                             "possible fail-stop device loss at t=0) into "
+                             "sharded training; recovery keeps the model "
+                             "bitwise identical (--devices > 1)")
+    parser.add_argument("--checkpoint-every", type=int, default=4,
+                        metavar="WAVES",
+                        help="waves between solver-state checkpoints in "
+                             "sharded training (fault recovery resumes "
+                             "from the last one)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="directory for sharded-training checkpoints "
+                             "(--devices > 1; default: in-memory only)")
     parser.add_argument("--warm-start", metavar="PATH", default=None,
                         help="prior model to seed the solvers from "
                              "(incremental retraining; batched systems only)")
@@ -137,6 +151,15 @@ def _fit_sharded(classifier, data, labels, args, tracer) -> None:
     config = classifier._trainer_config()
     config.tracer = tracer
     cluster = ClusterSpec(device=config.device, n_devices=args.devices)
+    fault_plan = None
+    if args.fault_seed is not None:
+        from repro.faults import FaultPlan
+
+        # Losses draw at t=0 so a drawn loss always fires and the
+        # checkpoint/resume recovery path demonstrably runs.
+        fault_plan = FaultPlan.random(
+            args.fault_seed, args.devices, loss_window_s=0.0
+        )
     classifier.model_, classifier.training_report_ = train_multiclass_sharded(
         config,
         cluster,
@@ -145,6 +168,9 @@ def _fit_sharded(classifier, data, labels, args, tracer) -> None:
         kernel,
         float(classifier.C),
         placement=args.placement,
+        fault_plan=fault_plan,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
     classifier.n_features_in_ = mops.n_cols(data)
     classifier.classes_ = classifier.model_.classes
@@ -163,6 +189,16 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if args.warm_start and args.devices > 1:
             raise ReproError("--warm-start does not combine with --devices")
+        if args.devices == 1 and (
+            args.fault_seed is not None or args.checkpoint_dir
+        ):
+            raise ReproError(
+                "--fault-seed/--checkpoint-dir require --devices > 1"
+            )
+        if args.checkpoint_every < 1:
+            raise ReproError(
+                f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
         data, labels = load_libsvm(args.training_file)
         classifier = _build_cli_classifier(args)
         classifier.tracer = tracer
@@ -205,10 +241,20 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{report.simulated_seconds * 1e3:.3f} ms "
                   f"(cluster speedup {report.cluster_speedup:.2f}x)")
             for entry in report.per_device:
+                lost = "  LOST" if entry.get("lost") else ""
                 print(f"  device {entry['device']}: {entry['n_svms']:3d} SVMs  "
                       f"{entry['simulated_seconds'] * 1e3:8.3f} ms  "
                       f"utilization {entry['utilization']:6.1%}  "
-                      f"transfers {entry['transfer_bytes']} B")
+                      f"transfers {entry['transfer_bytes']} B{lost}")
+            faults = getattr(report, "faults", None) or {}
+            if faults.get("devices_lost"):
+                recovery = faults.get("recovery", {})
+                print(f"  recovered {recovery.get('recovered_problems', 0)} "
+                      f"problem(s) from lost device(s) "
+                      f"{faults['devices_lost']} on survivors "
+                      f"{recovery.get('survivors', [])} "
+                      f"({recovery.get('resumed_from_checkpoint', 0)} "
+                      f"resumed from checkpoint)")
         else:
             print(f"simulated {report.device_name} time: "
                   f"{report.simulated_seconds * 1e3:.3f} ms")

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.gpusim.clock import SimClock
 from repro.gpusim.engine import Engine
@@ -87,6 +87,9 @@ def run_interleaved(
     shared: Optional[SharedClassPairKernels] = None,
     tracer: Optional[Tracer] = None,
     span_clock: Optional[SimClock] = None,
+    on_wave: Optional[
+        Callable[[int, Sequence[PairMember], Sequence[PairMember], InterleaveOutcome], None]
+    ] = None,
 ) -> InterleaveOutcome:
     """Drive every member to convergence in lockstep concurrent waves.
 
@@ -96,6 +99,14 @@ def run_interleaved(
     :class:`InterleaveOutcome`.  ``span_clock`` gives the per-wave
     telemetry spans their simulated-time axis (the trainer passes the
     master clock).
+
+    ``on_wave(wave_index, running, finished, outcome)`` is called after
+    each wave's accounting, with the still-running members (post
+    removal), the members that finished this wave, and the in-progress
+    outcome.  The fault-injection layer uses it to take checkpoints and
+    to abort the drive at a scripted device loss (by raising); the hook
+    must not mutate the members, and an exception it raises propagates
+    with sessions left at the just-completed round boundary.
     """
     for member in members:
         limits.validate_task(
@@ -201,6 +212,8 @@ def run_interleaved(
 
         for member in finished:
             running.remove(member)
+        if on_wave is not None:
+            on_wave(wave_index, running, finished, outcome)
 
     if outcome.concurrent_seconds > 0:
         outcome.concurrency_speedup = (

@@ -113,9 +113,14 @@ class DevicePool:
         flop_efficiency: Optional[float] = None,
         bandwidth_efficiency: float = 1.0,
         tracer: Optional[Tracer] = None,
+        fault_injector: Optional[object] = None,
     ) -> None:
         self.cluster = cluster
         self.tracer = tracer
+        # A repro.faults.FaultInjector (duck-typed to avoid the layering
+        # inversion): supplies per-device straggler clock rates at build
+        # time and per-transfer link-retry penalties at transfer time.
+        self.fault_injector = fault_injector
         self._engines = [
             make_engine(
                 cluster.device,
@@ -124,6 +129,9 @@ class DevicePool:
             )
             for _ in range(cluster.n_devices)
         ]
+        if fault_injector is not None:
+            for device, engine in enumerate(self._engines):
+                engine.clock.rate = fault_injector.straggler_rate(device)
         # (src, dst) -> bytes moved; HOST (-1) marks the host endpoint.
         self.transfer_ledger: dict[tuple[int, int], int] = {}
 
@@ -209,6 +217,18 @@ class DevicePool:
             charge = interconnect.host_charge(nbytes)
         else:
             charge = interconnect.peer_charge(nbytes)
+        if self.fault_injector is not None:
+            # A transfer "happens" at the busier endpoint's current
+            # simulated time; a link-fault window covering that instant
+            # costs a retry's latency on both endpoint clocks.
+            now_s = max(
+                self._engines[endpoint].clock.elapsed_s
+                for endpoint in (src, dst)
+                if endpoint != HOST
+            )
+            penalty_s = self.fault_injector.link_penalty_s(src, dst, now_s)
+            if penalty_s > 0:
+                charge = charge + TimeCharge(latency_s=penalty_s)
         span_engine = None
         for endpoint in (src, dst):
             if endpoint == HOST:

@@ -46,7 +46,7 @@ from repro.core.predictor import (
 from repro.core.validation import check_predict_inputs
 from repro.distributed.cluster import ClusterSpec, DevicePool
 from repro.distributed.placement import plan_placement
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import DeviceError, NotFittedError, ValidationError
 from repro.gpusim.engine import FLOAT_BYTES
 from repro.kernels.functions import KernelFunction
 from repro.kernels.rows import KernelRowComputer
@@ -147,6 +147,10 @@ class ShardedInferenceRouter:
         self._shards: list[ModelShard] = []
         self._round_robin = 0
         self._submissions: list[ServedRequest] = []
+        # Replica health (replicated only): round-robin skips unhealthy
+        # devices, so a lost replica degrades capacity without ever
+        # serving from dead state.
+        self._healthy = [True] * cluster.n_devices
         if strategy == "replicated":
             self._seal_replicated(max_batch, max_wait_s)
         else:
@@ -339,8 +343,7 @@ class ShardedInferenceRouter:
         queue fuses and dispatches independently on :meth:`drain`.
         """
         self._require("replicated")
-        batcher = self._batchers[self._round_robin]
-        self._round_robin = (self._round_robin + 1) % len(self._batchers)
+        batcher = self._batchers[self._next_healthy()]
         request = batcher.submit(X, kind=kind, arrival_s=arrival_s)
         self._submissions.append(request)
         return request
@@ -355,6 +358,50 @@ class ShardedInferenceRouter:
         return drained
 
     # ------------------------------------------------------------------
+    # Replica health (replicated)
+    # ------------------------------------------------------------------
+    @property
+    def healthy_devices(self) -> list[int]:
+        """Devices currently in the serving rotation."""
+        return [d for d, ok in enumerate(self._healthy) if ok]
+
+    def mark_unhealthy(self, device: int) -> None:
+        """Take ``device``'s replica out of the rotation (replica lost).
+
+        Requests already answered by the replica stand — they were
+        computed while it was alive and are bitwise the full model's
+        answers.  Later calls route round-robin over the survivors; with
+        no survivors, serving raises an explicit
+        :class:`~repro.exceptions.DeviceError` rather than degrade
+        silently.
+        """
+        self._require("replicated")
+        self.pool._check_device(device)
+        self._healthy[device] = False
+
+    def mark_healthy(self, device: int, *, reseal: bool = False) -> None:
+        """Return ``device`` to the rotation, optionally as a fresh seal.
+
+        ``reseal=True`` models a *replacement* replica: the pool is
+        shipped to the device again and a new session seals there (both
+        charged to the simulated clocks); otherwise the existing seal
+        rejoins as-is (a restarted process on a surviving device).
+        """
+        self._require("replicated")
+        self.pool._check_device(device)
+        if reseal:
+            self.pool.host_to_device(device, self.model.sv_pool.pool_nbytes)
+            session = InferenceSession(self.model, self.config)
+            batcher = self._batchers[device]
+            self._sessions[device] = session
+            self._batchers[device] = MicroBatcher(
+                session,
+                max_batch=batcher.max_batch,
+                max_wait_s=batcher.max_wait_s,
+            )
+        self._healthy[device] = True
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _require(self, strategy: str) -> None:
@@ -366,9 +413,21 @@ class ShardedInferenceRouter:
 
     def _next_session(self) -> InferenceSession:
         self.n_calls += 1
-        session = self._sessions[self._round_robin]
-        self._round_robin = (self._round_robin + 1) % len(self._sessions)
-        return session
+        device = self._next_healthy()
+        return self._sessions[device]
+
+    def _next_healthy(self) -> int:
+        """Advance the round-robin pointer to the next healthy device."""
+        n = len(self._sessions) if self._sessions else len(self._batchers)
+        for _ in range(n):
+            device = self._round_robin
+            self._round_robin = (self._round_robin + 1) % n
+            if self._healthy[device]:
+                return device
+        raise DeviceError(
+            "every replica is marked unhealthy; restore one with "
+            "mark_healthy() before serving"
+        )
 
     def _partitioned_proba(self, data: mops.MatrixLike) -> np.ndarray:
         """Chunked probabilities over the partial-decision reduce.

@@ -50,7 +50,13 @@ from repro.core.trainer import (
 )
 from repro.distributed.cluster import ClusterSpec, DevicePool
 from repro.distributed.placement import plan_placement
-from repro.exceptions import ValidationError
+from repro.exceptions import DeviceLostError, SolverError, ValidationError
+from repro.faults.checkpoint import (
+    CheckpointStore,
+    SessionSnapshot,
+    TrainingCheckpoint,
+)
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import OpCounters
 from repro.gpusim.engine import FLOAT_BYTES
@@ -92,6 +98,9 @@ class ClusterTrainingReport:
     per_device: list[dict] = field(default_factory=list)
     per_svm: list[dict] = field(default_factory=list)
     schedule_source: str = "cluster_wave"
+    # Fault-injection outcome: empty for a nominal run; otherwise the
+    # plan, which losses fired, checkpoint and recovery accounting.
+    faults: dict = field(default_factory=dict)
 
     @property
     def total_busy_seconds(self) -> float:
@@ -123,6 +132,7 @@ class ClusterTrainingReport:
             "per_device": _json_safe(self.per_device),
             "per_svm": _json_safe(self.per_svm),
             "schedule_source": self.schedule_source,
+            "faults": _json_safe(self.faults),
         }
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -166,6 +176,22 @@ def _record_payload_bytes(record) -> int:
     )
 
 
+def _member_snapshot(member) -> SessionSnapshot:
+    """One member's resumable solver state as a checkpoint snapshot."""
+    state = member.session.snapshot_state()
+    return SessionSnapshot(
+        problem_index=member.index,
+        alpha=state["alpha"],
+        f=state["f"],
+        rounds=state["rounds"],
+        inner_total=state["inner_total"],
+        ws_order=tuple(state["ws_order"]),
+        stalled=state["stalled"],
+        converged=state["converged"],
+        finished=state["finished"],
+    )
+
+
 def train_multiclass_sharded(
     config: TrainerConfig,
     cluster: ClusterSpec,
@@ -175,6 +201,9 @@ def train_multiclass_sharded(
     penalty: float,
     *,
     placement: str = "affinity",
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 4,
+    checkpoint_dir: Optional[object] = None,
 ) -> tuple[MPSVMModel, ClusterTrainingReport]:
     """Train a multi-class SVM sharded across a simulated cluster.
 
@@ -183,24 +212,60 @@ def train_multiclass_sharded(
     for every device count and placement strategy (see the module
     docstring); the report carries the cluster timeline instead.
 
+    ``fault_plan`` injects scripted faults (see :mod:`repro.faults`):
+    stragglers stretch the affected device's timeline; a scripted device
+    loss aborts that device at the next wave boundary, after which the
+    lost device's problems are re-placed onto the survivors (elastic
+    re-placement through the same planner) and resumed from the last
+    checkpoint — the final model stays **bitwise identical** to the
+    fault-free run, because a restored session's state fully determines
+    its remaining iterates.  Checkpoints are taken every
+    ``checkpoint_every`` waves per device (their device→host shipping
+    cost lands on the simulated clocks) and persisted to
+    ``checkpoint_dir`` when given; without a fault plan no checkpoint
+    machinery runs unless ``checkpoint_dir`` asks for durability.
+    Losses scheduled after a device finished are no-ops, lost devices
+    stay lost, and recovery itself runs fault-free (the supported model
+    is one failure per device per run).
+
     With ``config.tracer`` set, the run is recorded as a
     ``train_cluster`` root span over per-device ``cluster_wave`` spans,
-    ``transfer`` spans for every interconnect copy and one
-    ``shard_merge`` span for the SV gather.
+    ``transfer`` spans for every interconnect copy, a ``fault_recovery``
+    span when a loss fired, and one ``shard_merge`` span for the SV
+    gather.
     """
     tracer = config.tracer
     config = _check_config(config, cluster)
+    if checkpoint_every < 1:
+        raise ValidationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
     labels = np.asarray(y).ravel()
     classes, partition = class_partition(labels)
     if config.force_dense:
         data = mops.to_dense(data)
     problems = list(pair_problems(classes, partition))
     plan = plan_placement(problems, cluster.n_devices, strategy=placement)
+    injector = (
+        FaultInjector(fault_plan, cluster.n_devices)
+        if fault_plan is not None and not fault_plan.is_empty
+        else None
+    )
+    # ":memory:" opts into checkpointing (same simulated shipping cost)
+    # without persistence — what a fault-free baseline run uses to be
+    # timeline-comparable with a faulted one.
+    store_root = None if checkpoint_dir == ":memory:" else checkpoint_dir
+    store = (
+        CheckpointStore(store_root)
+        if injector is not None or checkpoint_dir is not None
+        else None
+    )
     pool = DevicePool(
         cluster,
         flop_efficiency=config.flop_efficiency,
         bandwidth_efficiency=config.bandwidth_efficiency,
         tracer=tracer,
+        fault_injector=injector,
     )
     block_bytes = _class_block_bytes(data, partition)
 
@@ -217,10 +282,14 @@ def train_multiclass_sharded(
         member_clocks = [SimClock() for _ in range(cluster.n_devices)]
         device_stats = [
             {"iterations": 0, "kernel_rows": 0, "resident_bytes": 0,
-             "max_concurrency": 1, "wave_trace": None}
+             "max_concurrency": 1, "wave_trace": None, "lost": False}
             for _ in range(cluster.n_devices)
         ]
         max_concurrency = 1
+        # Final problem ownership: starts at the plan, moves to survivors
+        # when a loss forces re-placement (drives the merge payloads).
+        owner = list(plan.assignments)
+        lost_devices: dict[int, float] = {}  # device -> simulated loss time
 
         for device in range(cluster.n_devices):
             problem_indices = plan.device_problems[device]
@@ -261,14 +330,77 @@ def train_multiclass_sharded(
                     )
                     for index in problem_indices
                 ]
-                limits = _interleave_limits(config, resident)
-                outcome = run_interleaved(
-                    members,
-                    limits,
-                    shared=shared,
-                    tracer=tracer,
-                    span_clock=master.clock,
+                if injector is not None:
+                    rate = injector.straggler_rate(device)
+                    if rate != 1.0:
+                        for member in members:
+                            member.engine.clock.rate = rate
+                loss_at = (
+                    injector.loss_time(device) if injector is not None else None
                 )
+                on_wave = None
+                if loss_at is not None or store is not None:
+
+                    def on_wave(
+                        wave_index,
+                        running,
+                        finished,
+                        wave_outcome,
+                        *,
+                        _device=device,
+                        _members=members,
+                        _master=master,
+                        _loss_at=loss_at,
+                    ):
+                        # Device time so far: master charges (transfers,
+                        # prefetches) plus the wave-scaled member time.
+                        now_s = (
+                            _master.clock.elapsed_s
+                            + wave_outcome.timeline.elapsed_s
+                        )
+                        # Loss first: a checkpoint "taken" on the wave
+                        # that crosses the loss time would never have
+                        # reached the host.
+                        if _loss_at is not None and now_s >= _loss_at:
+                            injector.check_device(_device, now_s)
+                        if store is not None and wave_index % checkpoint_every == 0:
+                            checkpoint = TrainingCheckpoint(
+                                device=_device,
+                                wave=wave_index,
+                                simulated_s=now_s,
+                                snapshots={
+                                    m.index: _member_snapshot(m)
+                                    for m in _members
+                                },
+                            )
+                            pool.device_to_host(
+                                _device,
+                                checkpoint.nbytes,
+                                category="checkpoint",
+                            )
+                            store.save(checkpoint)
+
+                limits = _interleave_limits(config, resident)
+                try:
+                    outcome = run_interleaved(
+                        members,
+                        limits,
+                        shared=shared,
+                        tracer=tracer,
+                        span_clock=master.clock,
+                        on_wave=on_wave,
+                    )
+                except DeviceLostError as exc:
+                    # Everything resident on the device dies with it —
+                    # nothing finalizes here; recovery resumes the
+                    # device's problems on survivors from the last
+                    # shipped checkpoint (possibly from scratch).  Its
+                    # clock stops at the loss, so the inflated makespan
+                    # is carried by the survivors that absorb the work.
+                    lost_devices[device] = exc.at_s
+                    device_stats[device]["lost"] = True
+                    device_span.set(lost=True, lost_at_s=exc.at_s)
+                    continue
                 max_concurrency = max(max_concurrency, outcome.max_concurrency)
 
                 # Finalize this device's members (assembly restores global
@@ -300,11 +432,194 @@ def train_multiclass_sharded(
                 tracer.bind_clock(None)
 
         # --------------------------------------------------------------
+        # Recovery: re-place every lost device's problems onto the
+        # survivors (same planner, elastic) and resume them from the
+        # last shipped checkpoint.  A restored session's state fully
+        # determines its remaining iterates, so the recovered model is
+        # bitwise the fault-free one; only the timeline pays.
+        # --------------------------------------------------------------
+        recovery: dict = {}
+        if lost_devices:
+            survivors = [
+                d for d in range(cluster.n_devices) if d not in lost_devices
+            ]
+            if not survivors:
+                raise SolverError(
+                    "every device in the cluster was lost; nothing "
+                    "survives to recover on"
+                )
+            lost_indices = sorted(
+                index
+                for device in lost_devices
+                for index in plan.device_problems[device]
+            )
+            snapshots: dict[int, SessionSnapshot] = {}
+            if store is not None:
+                for device in lost_devices:
+                    checkpoint = store.latest(device)
+                    if checkpoint is not None:
+                        snapshots.update(checkpoint.snapshots)
+            replan = plan_placement(
+                [problems[index] for index in lost_indices],
+                len(survivors),
+                strategy=placement,
+            )
+            with maybe_span(
+                tracer,
+                "fault_recovery",
+                n_problems=len(lost_indices),
+                n_survivors=len(survivors),
+                resumed_from_checkpoint=sum(
+                    1 for index in lost_indices if index in snapshots
+                ),
+            ):
+                for position, survivor in enumerate(survivors):
+                    local = replan.device_problems[position]
+                    if not local:
+                        continue
+                    indices = [lost_indices[j] for j in local]
+                    master = pool.engine(survivor)
+                    if tracer is not None:
+                        tracer.bind_clock(master.clock)
+                    stats = device_stats[survivor]
+                    # Class blocks these problems need beyond what the
+                    # survivor already holds, plus the checkpoint upload.
+                    needed: set = set()
+                    for index in indices:
+                        needed.update(
+                            (problems[index].s, problems[index].t)
+                        )
+                    already = set(plan.device_classes[survivor])
+                    extra = sum(
+                        block_bytes[c] for c in sorted(needed - already)
+                    )
+                    with maybe_span(
+                        tracer,
+                        "cluster_wave",
+                        clock=master.clock,
+                        device=survivor,
+                        n_svms=len(indices),
+                        resident_bytes=extra,
+                        recovery=True,
+                    ) as recovery_span:
+                        if extra:
+                            pool.host_to_device(survivor, extra)
+                        restore_bytes = sum(
+                            snapshots[index].nbytes
+                            for index in indices
+                            if index in snapshots
+                        )
+                        if restore_bytes:
+                            pool.host_to_device(
+                                survivor, restore_bytes, category="checkpoint"
+                            )
+                        shared, shared_computer = _make_shared_store(
+                            config, master, kernel, data, classes, partition
+                        )
+                        recovered = [
+                            _make_pair_member(
+                                config,
+                                classes,
+                                index,
+                                problems[index],
+                                penalty,
+                                data,
+                                kernel,
+                                shared=shared,
+                                shared_computer=shared_computer,
+                                counters=master.counters,
+                            )
+                            for index in indices
+                        ]
+                        rate = injector.straggler_rate(survivor)
+                        if rate != 1.0:
+                            for member in recovered:
+                                member.engine.clock.rate = rate
+                        for member in recovered:
+                            snapshot = snapshots.get(member.index)
+                            if snapshot is not None:
+                                member.session.restore_state(
+                                    {
+                                        "alpha": snapshot.alpha,
+                                        "f": snapshot.f,
+                                        "rounds": snapshot.rounds,
+                                        "inner_total": snapshot.inner_total,
+                                        "ws_order": list(snapshot.ws_order),
+                                        "stalled": snapshot.stalled,
+                                        "converged": snapshot.converged,
+                                        "finished": snapshot.finished,
+                                    }
+                                )
+                        limits = _interleave_limits(
+                            config, stats["resident_bytes"] + extra
+                        )
+                        outcome = run_interleaved(
+                            recovered,
+                            limits,
+                            shared=shared,
+                            tracer=tracer,
+                            span_clock=master.clock,
+                        )
+                        max_concurrency = max(
+                            max_concurrency, outcome.max_concurrency
+                        )
+                        finalize_clock = SimClock()
+                        for member in recovered:
+                            finals[member.index] = _finalize_member(
+                                config,
+                                classes,
+                                member,
+                                data,
+                                kernel,
+                                penalty,
+                                tracer,
+                            )
+                            finalize_clock.merge(finals[member.index][3])
+                            stats["iterations"] += member.result.iterations
+                            stats["kernel_rows"] += (
+                                member.result.kernel_rows_computed
+                            )
+                            owner[member.index] = survivor
+                        member_clocks[survivor].merge(outcome.timeline)
+                        member_clocks[survivor].merge(finalize_clock)
+                        stats["resident_bytes"] += extra
+                        stats["max_concurrency"] = max(
+                            int(stats["max_concurrency"]),
+                            outcome.max_concurrency,
+                        )
+                        if stats["wave_trace"] is None:
+                            stats["wave_trace"] = list(outcome.wave_trace)
+                        else:
+                            stats["wave_trace"].extend(outcome.wave_trace)
+                        recovery_span.set(
+                            simulated_seconds=(
+                                master.clock.elapsed_s
+                                + member_clocks[survivor].elapsed_s
+                            ),
+                            iterations=stats["iterations"],
+                        )
+                    if tracer is not None:
+                        tracer.bind_clock(None)
+            recovery = {
+                "devices_lost": {
+                    int(device): float(lost_devices[device])
+                    for device in sorted(lost_devices)
+                },
+                "survivors": [int(d) for d in survivors],
+                "recovered_problems": len(lost_indices),
+                "resumed_from_checkpoint": sum(
+                    1 for index in lost_indices if index in snapshots
+                ),
+            }
+
+        # --------------------------------------------------------------
         # Cross-device SV merge: gather every shard's binary models to
         # the root device, then build the unified pool in global problem
-        # order.
+        # order.  The root is the lowest *surviving* device.
         # --------------------------------------------------------------
-        root = 0
+        root = next(
+            d for d in range(cluster.n_devices) if d not in lost_devices
+        )
         merge_bytes = 0
         root_engine = pool.engine(root)
         if tracer is not None:
@@ -317,11 +632,12 @@ def train_multiclass_sharded(
             n_binary_svms=len(problems),
         ) as merge_span:
             for device in range(cluster.n_devices):
-                if device == root:
+                if device == root or device in lost_devices:
                     continue
                 payload = sum(
                     _record_payload_bytes(finals[index][0])
-                    for index in plan.device_problems[device]
+                    for index in range(len(problems))
+                    if owner[index] == device
                 )
                 merge_bytes += payload
                 pool.device_to_device(device, root, payload)
@@ -368,6 +684,7 @@ def train_multiclass_sharded(
                     ),
                     "transfer_bytes": pool.device_transfer_bytes(device),
                     "max_concurrency": int(stats["max_concurrency"]),
+                    "lost": bool(stats["lost"]),
                     "wave_trace": stats["wave_trace"],
                 }
             )
@@ -387,6 +704,14 @@ def train_multiclass_sharded(
                 "placement": placement,
             },
         )
+
+        faults: dict = {}
+        if injector is not None:
+            faults = injector.summary()
+            faults["checkpoints_written"] = store.n_written if store else 0
+            faults["recovery"] = recovery
+        elif store is not None and store.n_written:
+            faults = {"checkpoints_written": store.n_written}
 
         combined = SimClock()
         counters = OpCounters()
@@ -414,6 +739,7 @@ def train_multiclass_sharded(
             placement=plan.summary(),
             per_device=per_device,
             per_svm=per_svm_stats,
+            faults=faults,
         )
         root_span.set(
             simulated_seconds=report.simulated_seconds,

@@ -45,6 +45,26 @@ class DeviceStateError(DeviceError):
     """Illegal operation on the simulated device (double free, use after free)."""
 
 
+class DeviceLostError(DeviceError):
+    """A simulated device dropped out of the cluster mid-run.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) when a
+    scripted device loss fires; carries the device and the simulated
+    time of the loss so recovery can re-place the device's pending work.
+    """
+
+    def __init__(self, device: int, at_s: float) -> None:
+        self.device = int(device)
+        self.at_s = float(at_s)
+        super().__init__(
+            f"device {self.device} lost at simulated t={self.at_s:.6f}s"
+        )
+
+
+class CheckpointError(ReproError, ValueError):
+    """A training checkpoint is malformed, corrupt, or unsupported."""
+
+
 class SolverError(ReproError, RuntimeError):
     """An optimisation solver failed to make progress or diverged."""
 

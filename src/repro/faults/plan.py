@@ -1,0 +1,285 @@
+"""Deterministic, seeded fault plans over the simulated cluster.
+
+A :class:`FaultPlan` scripts three fault families against a cluster run:
+
+- **stragglers** — per-device clock-rate multipliers.  A rate of 2.0
+  makes every simulated charge on that device take twice as long; the
+  numerics are untouched (the cost model only stretches the timeline),
+  so trained models stay bitwise identical while makespans inflate.
+- **device loss** — a device drops out at a chosen *simulated* time.
+  The training driver detects the loss at the next wave boundary,
+  abandons the device's in-flight state, and recovers its problems on
+  the survivors from the last checkpoint (see
+  :mod:`repro.faults.checkpoint` and ``repro.distributed.trainer``).
+- **transient link faults** — a peer (or host) link misbehaves during a
+  ``[start_s, start_s + duration_s)`` window; transfers initiated inside
+  the window pay a retry latency on both endpoint clocks.  Data is never
+  corrupted — the fault model is *fail-slow or fail-stop, never
+  fail-wrong* — so the only observable is added simulated time.
+
+Plans are plain data and therefore reproducible: the same plan against
+the same workload produces the same timeline, failures included.
+:meth:`FaultPlan.random` derives a plan from a seed through
+``numpy.random.default_rng``, giving the chaos harness an unbounded
+family of scenarios that replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DeviceLostError, ValidationError
+
+__all__ = ["DeviceLoss", "LinkFault", "FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class DeviceLoss:
+    """One scripted fail-stop: ``device`` drops at simulated ``at_s``."""
+
+    device: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ValidationError(f"device must be >= 0, got {self.device}")
+        if self.at_s < 0:
+            raise ValidationError(f"loss time must be >= 0, got {self.at_s}")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A transient window during which one link needs retries.
+
+    ``src``/``dst`` are device ids (``-1`` = host endpoint); the fault is
+    direction-agnostic — it matches transfers either way across the pair.
+    Transfers initiated inside ``[start_s, start_s + duration_s)`` pay
+    ``retry_latency_s`` extra on both endpoint clocks.
+    """
+
+    src: int
+    dst: int
+    start_s: float
+    duration_s: float
+    retry_latency_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValidationError(
+                "link fault needs start_s >= 0 and duration_s > 0"
+            )
+        if self.retry_latency_s <= 0:
+            raise ValidationError("retry_latency_s must be positive")
+
+    def matches(self, src: int, dst: int, now_s: float) -> bool:
+        """Whether a transfer between ``src``/``dst`` at ``now_s`` is hit."""
+        if {src, dst} != {self.src, self.dst}:
+            return False
+        return self.start_s <= now_s < self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible script of faults for one cluster run.
+
+    ``stragglers`` maps device id to a clock-rate multiplier (> 0; values
+    above 1 slow the device).  ``losses`` and ``link_faults`` script
+    fail-stop and fail-slow events on the simulated timeline.  ``seed``
+    records provenance when the plan came from :meth:`random`.
+    """
+
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    losses: Sequence[DeviceLoss] = ()
+    link_faults: Sequence[LinkFault] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for device, rate in self.stragglers.items():
+            if device < 0:
+                raise ValidationError(
+                    f"straggler device must be >= 0, got {device}"
+                )
+            if rate <= 0:
+                raise ValidationError(
+                    f"straggler rate must be positive, got {rate} "
+                    f"for device {device}"
+                )
+        # Accept bare tuples for hand-written plans: (device, at_s) and
+        # (src, dst, start_s, duration_s[, retry_latency_s]).
+        object.__setattr__(
+            self,
+            "losses",
+            tuple(
+                loss if isinstance(loss, DeviceLoss) else DeviceLoss(*loss)
+                for loss in self.losses
+            ),
+        )
+        object.__setattr__(
+            self,
+            "link_faults",
+            tuple(
+                fault if isinstance(fault, LinkFault) else LinkFault(*fault)
+                for fault in self.link_faults
+            ),
+        )
+        lost = [loss.device for loss in self.losses]
+        if len(lost) != len(set(lost)):
+            raise ValidationError(
+                "at most one scripted loss per device (fail-stop model)"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (nominal run)."""
+        return not (self.stragglers or self.losses or self.link_faults)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_devices: int,
+        *,
+        straggler_probability: float = 0.5,
+        max_straggler_rate: float = 3.0,
+        loss_probability: float = 0.5,
+        loss_window_s: float = 1.0,
+        link_fault_probability: float = 0.0,
+    ) -> "FaultPlan":
+        """A seeded-random plan: same seed, same faults, every time.
+
+        At most one device is lost (the single-failure model the recovery
+        path supports), loss time drawn uniformly from
+        ``(0, loss_window_s)``; each device independently straggles with
+        a rate in ``(1, max_straggler_rate]``.
+        """
+        if n_devices < 1:
+            raise ValidationError(f"n_devices must be >= 1, got {n_devices}")
+        rng = np.random.default_rng(seed)
+        stragglers: dict[int, float] = {}
+        for device in range(n_devices):
+            if rng.random() < straggler_probability:
+                stragglers[device] = float(
+                    1.0 + rng.random() * (max_straggler_rate - 1.0)
+                )
+        losses: list[DeviceLoss] = []
+        if n_devices > 1 and rng.random() < loss_probability:
+            device = int(rng.integers(0, n_devices))
+            at_s = float(rng.random() * loss_window_s)
+            losses.append(DeviceLoss(device=device, at_s=at_s))
+        link_faults: list[LinkFault] = []
+        if n_devices > 1 and rng.random() < link_fault_probability:
+            src = int(rng.integers(0, n_devices))
+            dst = int((src + 1 + rng.integers(0, n_devices - 1)) % n_devices)
+            start = float(rng.random() * loss_window_s)
+            link_faults.append(
+                LinkFault(
+                    src=src,
+                    dst=dst,
+                    start_s=start,
+                    duration_s=float(loss_window_s / 4 + rng.random() * loss_window_s),
+                )
+            )
+        return cls(
+            stragglers=stragglers,
+            losses=tuple(losses),
+            link_faults=tuple(link_faults),
+            seed=int(seed),
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready description of the plan (lands in reports)."""
+        return {
+            "seed": self.seed,
+            "stragglers": {
+                int(d): float(r) for d, r in sorted(self.stragglers.items())
+            },
+            "losses": [
+                {"device": loss.device, "at_s": loss.at_s}
+                for loss in self.losses
+            ],
+            "link_faults": [
+                {
+                    "src": fault.src,
+                    "dst": fault.dst,
+                    "start_s": fault.start_s,
+                    "duration_s": fault.duration_s,
+                    "retry_latency_s": fault.retry_latency_s,
+                }
+                for fault in self.link_faults
+            ],
+        }
+
+
+class FaultInjector:
+    """Runtime side of a :class:`FaultPlan`: queried by pool and trainer.
+
+    The injector is stateless with respect to the plan (pure lookups)
+    and stateful only in its counters, so one injector drives one run
+    and its counters describe exactly what fired.
+    """
+
+    def __init__(self, plan: FaultPlan, n_devices: int) -> None:
+        if n_devices < 1:
+            raise ValidationError(f"n_devices must be >= 1, got {n_devices}")
+        for device in plan.stragglers:
+            if device >= n_devices:
+                raise ValidationError(
+                    f"straggler device {device} out of range for "
+                    f"{n_devices} devices"
+                )
+        for loss in plan.losses:
+            if loss.device >= n_devices:
+                raise ValidationError(
+                    f"loss device {loss.device} out of range for "
+                    f"{n_devices} devices"
+                )
+        self.plan = plan
+        self.n_devices = int(n_devices)
+        self._loss_at = {loss.device: loss.at_s for loss in plan.losses}
+        self.n_link_retries = 0
+        self.devices_lost: list[int] = []
+
+    def straggler_rate(self, device: int) -> float:
+        """Clock-rate multiplier for ``device`` (1.0 = nominal)."""
+        return float(self.plan.stragglers.get(device, 1.0))
+
+    def loss_time(self, device: int) -> Optional[float]:
+        """Scripted loss time of ``device``, or ``None``."""
+        return self._loss_at.get(device)
+
+    def check_device(self, device: int, now_s: float) -> None:
+        """Raise :class:`DeviceLostError` if ``device`` is lost by ``now_s``.
+
+        Records the loss (once) in :attr:`devices_lost` so reports can
+        tell which scripted losses actually fired.
+        """
+        at_s = self._loss_at.get(device)
+        if at_s is not None and now_s >= at_s:
+            if device not in self.devices_lost:
+                self.devices_lost.append(device)
+            raise DeviceLostError(device, at_s)
+
+    def link_penalty_s(self, src: int, dst: int, now_s: float) -> float:
+        """Extra retry seconds for a transfer on ``src``→``dst`` at ``now_s``.
+
+        Returns 0.0 outside every fault window; inside one, counts a
+        retry and returns its latency.
+        """
+        penalty = 0.0
+        for fault in self.plan.link_faults:
+            if fault.matches(src, dst, now_s):
+                penalty += fault.retry_latency_s
+        if penalty > 0:
+            self.n_link_retries += 1
+        return penalty
+
+    def summary(self) -> dict:
+        """Plan plus what actually fired, JSON-ready."""
+        return {
+            "plan": self.plan.summary(),
+            "devices_lost": list(self.devices_lost),
+            "link_retries": int(self.n_link_retries),
+        }

@@ -66,16 +66,36 @@ class SimClock:
     def __init__(self) -> None:
         self._latency: dict[str, float] = {}
         self._compute: dict[str, float] = {}
+        # Straggler multiplier (fault injection): every charge is scaled
+        # by this rate at charge time, so a slowed device's entire
+        # timeline — ops, transfers, prefetches — stretches uniformly
+        # while merges of already-charged clocks stay untouched.
+        self._rate = 1.0
+
+    @property
+    def rate(self) -> float:
+        """Multiplier applied to every incoming charge (1.0 = nominal)."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValidationError(f"clock rate must be positive, got {value}")
+        self._rate = float(value)
 
     # ------------------------------------------------------------------
     # Charging
     # ------------------------------------------------------------------
     def charge(self, category: str, charge: TimeCharge) -> None:
-        """Add a charge under ``category``."""
+        """Add a charge under ``category``, scaled by the clock's rate."""
         if not category:
             raise ValidationError("category must be a non-empty string")
-        self._latency[category] = self._latency.get(category, 0.0) + charge.latency_s
-        self._compute[category] = self._compute.get(category, 0.0) + charge.compute_s
+        self._latency[category] = (
+            self._latency.get(category, 0.0) + charge.latency_s * self._rate
+        )
+        self._compute[category] = (
+            self._compute.get(category, 0.0) + charge.compute_s * self._rate
+        )
 
     def merge(self, other: "SimClock") -> None:
         """Fold another clock's charges into this one (category-wise)."""
@@ -150,6 +170,7 @@ class SimClock:
         clone = SimClock()
         clone._latency = dict(self._latency)
         clone._compute = dict(self._compute)
+        clone._rate = self._rate
         return clone
 
     def since(self, earlier: "SimClock") -> "SimClock":

@@ -84,14 +84,32 @@ class RegistryWatcher:
             ) from exc
         if self._last_mtime_ns is not None and mtime_ns == self._last_mtime_ns:
             return None
-        self._last_mtime_ns = mtime_ns
 
+        # The mtime is committed only after the read/load below succeeds:
+        # if the manifest or artifact vanishes *between* the stat and the
+        # read (delete or swap mid-poll), the poll raises RegistryError —
+        # the caller keeps serving the old model — and the *next* poll
+        # still sees a moved mtime and retries, so the new version is
+        # never silently skipped.
         self.n_manifest_reads += 1
-        head = self.registry.latest()
+        try:
+            head = self.registry.latest()
+        except FileNotFoundError as exc:  # pragma: no cover - store wraps
+            raise RegistryError(
+                f"manifest vanished mid-read: {self.registry.manifest_path}"
+            ) from exc
         if head is None:
+            self._last_mtime_ns = mtime_ns
             return None
         if self.last_version is not None and head.version <= self.last_version:
+            self._last_mtime_ns = mtime_ns
             return None
-        model, entry = self.registry.load(head.version)
+        try:
+            model, entry = self.registry.load(head.version)
+        except FileNotFoundError as exc:  # pragma: no cover - store wraps
+            raise RegistryError(
+                f"version {head.version} artifact vanished mid-read"
+            ) from exc
+        self._last_mtime_ns = mtime_ns
         self.last_version = entry.version
         return model, entry

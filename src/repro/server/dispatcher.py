@@ -111,6 +111,7 @@ class DispatcherStats:
     n_offered: int = 0
     n_admitted: int = 0
     n_shed: int = 0
+    n_failed: int = 0  # admitted requests lost to a dead replica (503)
     n_dispatches: int = 0
     n_rows: int = 0
     first_arrival_s: Optional[float] = None
@@ -164,7 +165,10 @@ class SwapReport:
 class _Lane:
     """One worker lane: a concurrency slot bound to a serving callable."""
 
-    __slots__ = ("index", "free_at_s", "busy_s", "session", "router")
+    __slots__ = (
+        "index", "free_at_s", "busy_s", "session", "router",
+        "failed_at_s", "detected",
+    )
 
     def __init__(
         self,
@@ -177,6 +181,11 @@ class _Lane:
         self.busy_s = 0.0
         self.session = session
         self.router = router
+        # Fail-stop state: failed_at_s is the simulated instant the
+        # lane's replica died; detected flips on the first dispatch that
+        # observes the failure, after which routing excludes the lane.
+        self.failed_at_s: Optional[float] = None
+        self.detected = False
 
     def clock_s(self) -> float:
         if self.session is not None:
@@ -417,7 +426,10 @@ class Dispatcher:
     def advance_to(self, t_s: float) -> None:
         """Process every dispatch that starts at or before ``t_s``."""
         while self._queue:
-            lane = min(self._lanes, key=lambda w: (w.free_at_s, w.index))
+            lanes = [w for w in self._lanes if not w.detected]
+            if not lanes:
+                break  # every lane confirmed dead; queue waits for restore
+            lane = min(lanes, key=lambda w: (w.free_at_s, w.index))
             start = max(lane.free_at_s, self.now_s)
             if start > t_s:
                 break
@@ -513,6 +525,106 @@ class Dispatcher:
         return report
 
     # ------------------------------------------------------------------
+    # Replica health (fault injection + degraded serving)
+    # ------------------------------------------------------------------
+    def fail_lane(self, index: int, *, at_s: Optional[float] = None) -> None:
+        """Kill lane ``index``'s replica at simulated ``at_s`` (default now).
+
+        Fail-stop: work dispatched to the lane strictly before ``at_s``
+        completed on the live replica and stands; the first batch routed
+        to it at or after ``at_s`` observes the failure — those requests
+        get an explicit 503 (``replica_lost``), detection trips, and the
+        dispatcher serves on through the surviving lanes (degraded
+        capacity, longer queues, zero silent wrong answers).
+        """
+        lane = self._lane_at(index)
+        t_s = self.now_s if at_s is None else float(at_s)
+        if t_s < self.now_s:
+            raise ValidationError(
+                f"fail_lane at_s={t_s} precedes the dispatcher's virtual "
+                f"now ({self.now_s})"
+            )
+        self.advance_to(t_s)
+        if lane.failed_at_s is not None:
+            raise ValidationError(f"lane {index} is already failed")
+        lane.failed_at_s = t_s
+        lane.detected = False
+        if self._tracer is not None:
+            self._tracer.event("lane_failed", lane=index, at_s=t_s)
+
+    def restore_lane(
+        self,
+        index: int,
+        session: Optional[InferenceSession] = None,
+        *,
+        at_s: Optional[float] = None,
+    ) -> None:
+        """Bring lane ``index`` back with a replacement replica.
+
+        ``session`` replaces the lane's sealed session (it must serve
+        the same feature width); omitted, the lane re-binds its previous
+        backend — modelling a restarted replica of the same model.  The
+        lane rejoins routing at ``at_s`` (default now) and later
+        arrivals may land on it; nothing queued is dropped.
+        """
+        lane = self._lane_at(index)
+        if lane.failed_at_s is None:
+            raise ValidationError(f"lane {index} is not failed")
+        t_s = self.now_s if at_s is None else float(at_s)
+        if t_s < self.now_s:
+            raise ValidationError(
+                f"restore_lane at_s={t_s} precedes the dispatcher's "
+                f"virtual now ({self.now_s})"
+            )
+        self.advance_to(t_s)
+        if session is not None:
+            if not isinstance(session, InferenceSession):
+                raise ValidationError(
+                    "restore_lane requires a sealed InferenceSession, got "
+                    f"{type(session).__name__}"
+                )
+            if session.n_features != self.n_features:
+                raise ValidationError(
+                    f"replacement model expects {session.n_features} "
+                    f"features, the live route serves {self.n_features}"
+                )
+            if lane.session is None:
+                raise ValidationError(
+                    "router-backed lanes re-bind their router; restore "
+                    "without a session"
+                )
+            lane.session = session
+        lane.failed_at_s = None
+        lane.detected = False
+        lane.free_at_s = max(lane.free_at_s, t_s)
+        if self._tracer is not None:
+            self._tracer.event("lane_restored", lane=index, at_s=t_s)
+        # Freed capacity immediately drains whatever queued while the
+        # pool ran degraded.
+        self._pump(self.now_s)
+
+    def lane_health(self) -> list[dict]:
+        """Per-lane health snapshot: failed / detected / busy horizon."""
+        return [
+            {
+                "lane": lane.index,
+                "failed": lane.failed_at_s is not None,
+                "failed_at_s": lane.failed_at_s,
+                "detected": lane.detected,
+                "free_at_s": lane.free_at_s,
+            }
+            for lane in self._lanes
+        ]
+
+    def _lane_at(self, index: int) -> _Lane:
+        if not 0 <= index < len(self._lanes):
+            raise ValidationError(
+                f"lane {index} out of range for a "
+                f"{len(self._lanes)}-lane dispatcher"
+            )
+        return self._lanes[index]
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _take_batch(self) -> list[ServerRequest]:
@@ -541,6 +653,24 @@ class Dispatcher:
         return batch
 
     def _dispatch(self, lane: _Lane, start_s: float) -> None:
+        if lane.failed_at_s is not None and start_s >= lane.failed_at_s:
+            # The dispatch is how the failure is observed: the batch it
+            # was routed to fails with an explicit 503 (never a silent
+            # wrong answer), the lane is marked detected, and routing
+            # excludes it from here on — the 503 window is exactly the
+            # requests routed to the dead replica before detection.
+            batch = self._take_batch()
+            lane.detected = True
+            self.stats.n_failed += len(batch)
+            decision = AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason="replica_lost",
+                retry_after_s=0.0,
+            )
+            for request in batch:
+                self._shed(request, decision)
+            return
         batch = self._take_batch()
         group = compute_group(self._probe_session, batch[0].kind)
         fused = fuse_matrices([request.data for request in batch])
@@ -614,7 +744,10 @@ class Dispatcher:
     def _pump(self, now_s: float) -> None:
         """Dispatch to any lane already free at ``now_s`` (eager path)."""
         while self._queue:
-            lane = min(self._lanes, key=lambda w: (w.free_at_s, w.index))
+            lanes = [w for w in self._lanes if not w.detected]
+            if not lanes:
+                break
+            lane = min(lanes, key=lambda w: (w.free_at_s, w.index))
             if lane.free_at_s > now_s:
                 break
             self._dispatch(lane, max(lane.free_at_s, now_s))

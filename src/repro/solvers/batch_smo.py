@@ -305,6 +305,64 @@ class BatchSMOSession:
         """Whether the run has terminated (no further rounds will occur)."""
         return self._finished
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointable state, see repro.faults)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """The session's complete resumable state at a round boundary.
+
+        The returned mapping — alpha, f, round counters, working-set
+        FIFO, stall count and termination flags — fully determines every
+        future iterate: kernel values are pure functions of the data
+        rows, so a session restored from this state replays bitwise the
+        rounds this one would have run.  The kernel buffer is deliberately
+        excluded; an empty buffer after restore only changes *which* rows
+        are recomputed (statistics), never their values.
+        """
+        if self._pending is not None:
+            raise ValidationError(
+                "cannot snapshot a session with a round in flight"
+            )
+        return {
+            "alpha": self.alpha.copy(),
+            "f": self.f.copy(),
+            "rounds": int(self.rounds),
+            "inner_total": int(self.inner_total),
+            "ws_order": list(self._ws_order),
+            "stalled": int(self._stalled),
+            "converged": bool(self.converged),
+            "finished": bool(self._finished),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this (fresh) session's state with a snapshot's.
+
+        The session must serve the same problem the snapshot came from
+        (same instance count) and must not have a round in flight or a
+        finalized result.
+        """
+        if self._pending is not None:
+            raise ValidationError(
+                "cannot restore into a session with a round in flight"
+            )
+        if self._result is not None:
+            raise ValidationError("cannot restore into a finished session")
+        alpha = np.asarray(state["alpha"], dtype=np.float64)
+        f = np.asarray(state["f"], dtype=np.float64)
+        if alpha.shape != (self.n,) or f.shape != (self.n,):
+            raise ValidationError(
+                f"snapshot arrays of shape {alpha.shape}/{f.shape} do not "
+                f"fit a {self.n}-instance problem"
+            )
+        self.alpha = alpha.copy()
+        self.f = f.copy()
+        self.rounds = int(state["rounds"])
+        self.inner_total = int(state["inner_total"])
+        self._ws_order = [int(i) for i in state["ws_order"]]
+        self._stalled = int(state["stalled"])
+        self.converged = bool(state["converged"])
+        self._finished = bool(state["finished"])
+
     def begin_round(self) -> Optional[RoundRequest]:
         """Run the selection half of the next round.
 

@@ -17,9 +17,13 @@ import repro
 # same change, with a CHANGES.md note.
 PUBLIC_API = [
     "CSRMatrix",
+    "CheckpointError",
     "ClusterSpec",
     "ConvergenceWarning",
+    "DeviceLostError",
     "DeviceMemoryError",
+    "FaultInjector",
+    "FaultPlan",
     "GMPSVC",
     "InferenceSession",
     "MicroBatcher",
@@ -184,7 +188,22 @@ class TestSignatures:
             "kernel",
             "penalty",
             "placement",
+            "fault_plan",
+            "checkpoint_every",
+            "checkpoint_dir",
         ]
+
+    def test_fault_surface(self):
+        assert _params(repro.FaultPlan.__init__) == [
+            "stragglers",
+            "losses",
+            "link_faults",
+            "seed",
+        ]
+        assert callable(repro.FaultPlan.random)
+        assert _params(repro.FaultInjector.__init__) == ["plan", "n_devices"]
+        for method in ("straggler_rate", "loss_time", "check_device"):
+            assert callable(getattr(repro.FaultInjector, method))
 
     def test_persistence_signatures(self):
         assert _params(repro.save_model) == ["model", "target"]
@@ -206,6 +225,8 @@ class TestSignatures:
             "SolverError",
             "SparseFormatError",
             "DeviceMemoryError",
+            "DeviceLostError",
+            "CheckpointError",
         ):
             assert issubclass(getattr(repro, name), repro.ReproError)
 

@@ -161,6 +161,58 @@ class TestWatcher:
             watcher.poll()
         assert watcher.n_manifest_reads == 1
 
+    def test_manifest_deleted_mid_watch_is_clean_error_then_recovers(
+        self, models, tmp_path
+    ):
+        """Regression: a vanished manifest surfaces as RegistryError (the
+        caller keeps serving the old model) and a restored manifest
+        delivers the pending version on the next poll — never a silent
+        skip, never a raw FileNotFoundError."""
+        a, b, _ = models
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.publish(a)
+        watcher = RegistryWatcher(reg, min_interval_s=0.0)
+        assert watcher.poll()[1].version == 1
+
+        reg.publish(b)
+        saved = reg.manifest_path.read_bytes()
+        reg.manifest_path.unlink()
+        with pytest.raises(RegistryError, match="manifest"):
+            watcher.poll()
+        assert watcher.last_version == 1  # old model stays current
+
+        reg.manifest_path.write_bytes(saved)
+        got = watcher.poll()
+        assert got is not None and got[1].version == 2
+
+    def test_transient_read_failure_retries_on_next_poll(
+        self, models, tmp_path, monkeypatch
+    ):
+        """Regression: the manifest mtime is committed only after a
+        successful read, so a poll that fails mid-read does not swallow
+        the version it was about to deliver."""
+        a, b, _ = models
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.publish(a)
+        watcher = RegistryWatcher(reg, min_interval_s=0.0)
+        assert watcher.poll()[1].version == 1
+
+        reg.publish(b)
+        real_latest = reg.latest
+
+        def vanishing_latest():
+            monkeypatch.setattr(reg, "latest", real_latest)
+            raise RegistryError("manifest vanished mid-read")
+
+        monkeypatch.setattr(reg, "latest", vanishing_latest)
+        with pytest.raises(RegistryError, match="mid-read"):
+            watcher.poll()
+        assert watcher.last_version == 1
+        # The failed poll did not advance the mtime watermark: the next
+        # poll re-reads and delivers version 2 instead of skipping it.
+        got = watcher.poll()
+        assert got is not None and got[1].version == 2
+
 
 class TestHotSwap:
     def _request_stream(self, n=40, seed=3):

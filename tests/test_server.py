@@ -282,6 +282,65 @@ class TestDispatchAndParity:
             dispatcher.submit(x[:1], arrival_s=1.0)
 
 
+class TestSwapFailurePaths:
+    """A rejected swap must be a no-op: the old session keeps serving,
+    nothing queued is dropped, and no swap is recorded."""
+
+    @pytest.fixture(scope="class")
+    def narrow_model(self):
+        x, y = gaussian_blobs(80, 4, 3, seed=11)
+        return GMPSVC(C=1.0, gamma=0.5, working_set_size=32).fit(x, y).model_
+
+    def test_width_mismatch_leaves_old_session_serving(
+        self, problem, model, narrow_model
+    ):
+        x, _ = problem
+        dispatcher = make_dispatcher(model)
+        reference = make_session(model).predict_proba(np.asarray(x[:2]))
+
+        before = [
+            dispatcher.submit(x[:2], arrival_s=float(i)) for i in range(3)
+        ]
+        with pytest.raises(ValidationError, match="features"):
+            dispatcher.swap_model(make_session(narrow_model), label="bad")
+        # Queued traffic was not drained, shed, or rerouted by the
+        # failed attempt; later arrivals serve on the old model too.
+        after = [
+            dispatcher.submit(x[:2], arrival_s=dispatcher.now_s + 1.0 + i)
+            for i in range(3)
+        ]
+        dispatcher.drain()
+        for handle in before + after:
+            assert handle.status == 200 and not handle.shed
+            assert np.array_equal(handle.result, reference)
+        assert dispatcher.swaps == []
+        assert dispatcher.stats.n_shed == 0
+
+    def test_unsealed_backend_rejected_without_drop(self, problem, model):
+        x, _ = problem
+        dispatcher = make_dispatcher(model)
+        queued = dispatcher.submit(x[:1], arrival_s=1.0)
+        with pytest.raises(ValidationError, match="InferenceSession"):
+            dispatcher.swap_model(model)  # bare model, not a session
+        dispatcher.drain()
+        assert queued.status == 200 and not queued.shed
+        assert dispatcher.swaps == []
+
+    def test_failed_then_valid_swap_succeeds(
+        self, problem, model, narrow_model
+    ):
+        x, _ = problem
+        dispatcher = make_dispatcher(model)
+        with pytest.raises(ValidationError, match="features"):
+            dispatcher.swap_model(make_session(narrow_model))
+        report = dispatcher.swap_model(make_session(model), label="v2")
+        assert report.label == "v2"
+        handle = dispatcher.submit(x[:2], arrival_s=dispatcher.now_s + 1.0)
+        dispatcher.drain()
+        assert handle.status == 200
+        assert len(dispatcher.swaps) == 1
+
+
 class TestAdmissionEdgeCases:
     def test_zero_capacity_tenant_always_429(self, problem, model):
         x, _ = problem
