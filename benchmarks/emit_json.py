@@ -771,8 +771,128 @@ def run_fault_recovery() -> dict[str, float]:
     }
 
 
+def run_backends() -> dict[str, float]:
+    """The float32 fast path vs the float64 reference backend.
+
+    Trains and predicts the same synthetic workload once per registered
+    NumPy backend and reports, per backend, the simulated train/predict
+    timelines, wall-clock times and SMO iteration counts, plus the
+    accuracy deltas the SLO gates pin:
+
+    - ``float32_probability_linf`` / ``argmax_agreement`` isolate
+      *inference* precision: the numpy64-trained model is predicted
+      under both backends on the same test block, so the delta is pure
+      arithmetic (SLOs: L-inf <= 1e-3, agreement >= 99.9%);
+    - ``float32_e2e_*`` report the end-to-end deltas (each backend
+      trains its own model), for the record — two solvers converging in
+      different precisions may legitimately disagree near boundaries.
+
+    The committed baseline pins only the simulated metrics (numpy64
+    tightly; numpy32 with generous tolerance, since its iteration counts
+    follow the platform's float32 BLAS); wall-clock and accuracy deltas
+    are machine-dependent and gated by SLO ceilings instead.
+    """
+    import time
+
+    import numpy as np
+
+    from repro import GMPSVC
+    from repro.core.predictor import PredictorConfig, predict_proba_model
+    from repro.data import gaussian_blobs
+    from repro.gpusim import scaled_tesla_p100
+
+    n_features, n_classes = 96, 5
+    x, y = gaussian_blobs(n=480, n_features=n_features, n_classes=n_classes, seed=7)
+    x_test, _ = gaussian_blobs(
+        n=4000, n_features=n_features, n_classes=n_classes, seed=8
+    )
+
+    metrics: dict[str, float] = {
+        "n_train": float(np.asarray(x).shape[0]),
+        "n_test": float(np.asarray(x_test).shape[0]),
+        "n_classes": float(n_classes),
+    }
+    fitted = {}
+    for name in ("numpy64", "numpy32"):
+        clf = GMPSVC(
+            C=10.0,
+            gamma=1.0 / n_features,
+            working_set_size=32,
+            backend=name,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            start = time.perf_counter()
+            clf.fit(x, y)
+            train_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            proba = clf.predict_proba(x_test)
+            predict_wall = time.perf_counter() - start
+        fitted[name] = {
+            "clf": clf,
+            "proba": proba,
+            "train_wall": train_wall,
+            "predict_wall": predict_wall,
+            "train_sim": clf.training_report_.simulated_seconds,
+            "predict_sim": clf.prediction_report_.simulated_seconds,
+        }
+        metrics[f"{name}_train_simulated_seconds"] = fitted[name]["train_sim"]
+        metrics[f"{name}_predict_simulated_seconds"] = fitted[name]["predict_sim"]
+        metrics[f"{name}_train_wall_seconds"] = train_wall
+        metrics[f"{name}_predict_wall_seconds"] = predict_wall
+        metrics[f"{name}_iterations"] = float(clf.training_report_.total_iterations)
+
+    f64, f32 = fitted["numpy64"], fitted["numpy32"]
+    sim64 = f64["train_sim"] + f64["predict_sim"]
+    sim32 = f32["train_sim"] + f32["predict_sim"]
+    metrics["float32_train_simulated_speedup"] = f64["train_sim"] / f32["train_sim"]
+    metrics["float32_predict_simulated_speedup"] = (
+        f64["predict_sim"] / f32["predict_sim"]
+    )
+    metrics["float32_simulated_speedup"] = sim64 / sim32
+    # The gateable inverse: a ceiling on the slowdown is a floor on the
+    # speedup (check_regression --slo only bounds from above).
+    metrics["float32_simulated_slowdown"] = sim32 / sim64
+    metrics["float32_train_wall_speedup"] = f64["train_wall"] / f32["train_wall"]
+    metrics["float32_predict_wall_speedup"] = (
+        f64["predict_wall"] / f32["predict_wall"]
+    )
+    wall64 = f64["train_wall"] + f64["predict_wall"]
+    wall32 = f32["train_wall"] + f32["predict_wall"]
+    metrics["float32_wall_speedup"] = wall64 / wall32
+
+    # Inference-precision deltas: one model (the reference-trained one),
+    # predicted under both backends.
+    model = f64["clf"].model_
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        p_ref, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), backend="numpy64"),
+            model,
+            x_test,
+        )
+        p_f32, _ = predict_proba_model(
+            PredictorConfig(device=scaled_tesla_p100(), backend="numpy32"),
+            model,
+            x_test,
+        )
+    agree = np.argmax(p_ref, axis=1) == np.argmax(p_f32, axis=1)
+    metrics["float32_probability_linf"] = float(np.max(np.abs(p_ref - p_f32)))
+    metrics["argmax_agreement"] = float(np.mean(agree))
+    metrics["argmax_disagreement"] = float(np.mean(~agree))
+
+    # End-to-end deltas (each backend's own trained model), for the record.
+    e2e_agree = np.argmax(f64["proba"], axis=1) == np.argmax(f32["proba"], axis=1)
+    metrics["float32_e2e_probability_linf"] = float(
+        np.max(np.abs(f64["proba"] - f32["proba"]))
+    )
+    metrics["float32_e2e_argmax_agreement"] = float(np.mean(e2e_agree))
+    return metrics
+
+
 BENCH_RUNNERS = {
     "smoke": run_smoke,
+    "backends": run_backends,
     "coupling": run_coupling,
     "train_interleave": run_train_interleave,
     "serving": run_serving,

@@ -36,12 +36,24 @@ Public entry points:
   fault injection over the simulated cluster (stragglers, device loss,
   link faults) with checkpoint/resume recovery that keeps models
   bitwise identical to fault-free runs (DESIGN.md §15);
+- :class:`ComputeBackend` / :class:`BackendSpec` /
+  :func:`register_backend` / :func:`get_backend` / :func:`list_backends`
+  — the pluggable compute-backend registry: ``"numpy64"`` is the
+  bitwise float64 reference, ``"numpy32"`` the delta-gated
+  float32/mixed-precision fast path (DESIGN.md §16);
 - :mod:`repro.baselines` — LibSVM, the GPU baseline, CMP-SVM, GTSVM,
   OHD-SVM and GPUSVM comparators;
 - :mod:`repro.data` — synthetic workloads mirroring the paper's datasets;
 - :func:`save_model` / :func:`load_model` — versioned persistence.
 """
 
+from repro.backends import (
+    BackendSpec,
+    ComputeBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.core.gmp import GMPSVC
 from repro.distributed import (
     ClusterSpec,
@@ -74,12 +86,14 @@ from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "BackendSpec",
     "CSRMatrix",
     "CheckpointError",
     "ClusterSpec",
+    "ComputeBackend",
     "ConvergenceWarning",
     "DeviceLostError",
     "DeviceMemoryError",
@@ -108,8 +122,11 @@ __all__ = [
     "ValidationError",
     "__version__",
     "dump_libsvm",
+    "get_backend",
+    "list_backends",
     "load_libsvm",
     "load_model",
+    "register_backend",
     "save_model",
     "train_multiclass_sharded",
 ]

@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import GMPSVC, load_model
+from repro.backends import list_backends
 from repro.baselines import (
     CMPSVMClassifier,
     GPUBaselineClassifier,
@@ -80,6 +81,11 @@ def _train_parser() -> argparse.ArgumentParser:
     parser.add_argument("-b", "--probability", type=int, default=1, choices=(0, 1))
     parser.add_argument("--system", default="gmp-svm", choices=SYSTEMS,
                         help="which reproduced system trains the model")
+    parser.add_argument("--backend", default="numpy64",
+                        choices=sorted(list_backends()),
+                        help="compute backend: numpy64 (float64 reference) "
+                             "or numpy32 (float32/mixed-precision fast "
+                             "path; gmp-svm and cmp-svm only)")
     parser.add_argument("--working-set", type=int, default=48,
                         help="GPU buffer rows / working-set size (gmp-svm, cmp-svm)")
     parser.add_argument("--devices", type=int, default=1, metavar="N",
@@ -199,13 +205,22 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
             raise ReproError(
                 f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
             )
+        if args.backend != "numpy64" and args.system not in (
+            "gmp-svm", "cmp-svm"
+        ):
+            raise ReproError(
+                "--backend selects the compute backend of the GMP/CMP "
+                "systems; the baseline systems model fixed float64 code"
+            )
         data, labels = load_libsvm(args.training_file)
         classifier = _build_cli_classifier(args)
         classifier.tracer = tracer
+        if args.system in ("gmp-svm", "cmp-svm"):
+            classifier.backend = args.backend
         if args.warm_start:
             # Seed the estimator with the prior fit; its next fit() then
             # warm-starts the solvers (sklearn warm_start semantics).
-            classifier.model_ = load_model(args.warm_start)
+            classifier.model_ = load_model(args.warm_start, backend=args.backend)
             classifier.warm_start = True
         if args.devices > 1:
             _fit_sharded(classifier, data, labels, args, tracer)
@@ -323,6 +338,11 @@ def _predict_parser() -> argparse.ArgumentParser:
                         help="where to write predictions (default: stdout)")
     parser.add_argument("-b", "--probability", type=int, default=0, choices=(0, 1),
                         help="1 = output per-class probabilities")
+    parser.add_argument("--backend", default="numpy64",
+                        choices=sorted(list_backends()),
+                        help="compute backend prediction runs under "
+                             "(must match the working dtype the model "
+                             "was trained in)")
     parser.add_argument("--report-json", metavar="PATH", default=None,
                         help="write the prediction report as schema-versioned JSON")
     parser.add_argument("--trace", metavar="PATH", default=None,
@@ -336,11 +356,13 @@ def predict_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _predict_parser().parse_args(argv)
     tracer = Tracer() if args.trace else None
     try:
-        model = load_model(args.model_file)
+        model = load_model(args.model_file, backend=args.backend)
         data, labels = load_libsvm(
             args.test_file, n_features=model.sv_pool.pool_data.shape[1]
         )
-        config = PredictorConfig(device=scaled_tesla_p100(), tracer=tracer)
+        config = PredictorConfig(
+            device=scaled_tesla_p100(), tracer=tracer, backend=args.backend
+        )
         if args.probability:
             probabilities, report = predict_proba_model(config, model, data)
             positions = np.argmax(probabilities, axis=1)
@@ -535,6 +557,11 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--poll-interval", type=float, default=1.0,
                         metavar="S",
                         help="minimum seconds between registry polls")
+    parser.add_argument("--backend", default="numpy64",
+                        choices=sorted(list_backends()),
+                        help="compute backend the session predicts under "
+                             "(must match the working dtype the model "
+                             "was trained in)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080,
                         help="TCP port (0 = ephemeral)")
@@ -617,12 +644,16 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
                     min_interval_s=args.poll_interval,
                 )
         elif args.model_file:
-            model = load_model(args.model_file)
+            model = load_model(args.model_file, backend=args.backend)
         else:
             raise ReproError("provide a model file or --registry DIR")
         session = InferenceSession(
             model,
-            PredictorConfig(device=scaled_tesla_p100(), tracer=tracer),
+            PredictorConfig(
+                device=scaled_tesla_p100(),
+                tracer=tracer,
+                backend=args.backend,
+            ),
         )
         admission = AdmissionController(
             default_policy=TenantPolicy(

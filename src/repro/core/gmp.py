@@ -83,6 +83,7 @@ class GMPSVC:
         blocks_per_svm: int = 7,
         share_budget_bytes: Optional[int] = None,
         coupling_method: str = "eq15",
+        backend: Optional[object] = None,
         device: Optional[DeviceSpec] = None,
         warm_start: bool = False,
     ) -> None:
@@ -110,6 +111,7 @@ class GMPSVC:
         self.blocks_per_svm = blocks_per_svm
         self.share_budget_bytes = share_budget_bytes
         self.coupling_method = coupling_method
+        self.backend = backend
         self.device = device if device is not None else scaled_tesla_p100()
         self.warm_start = warm_start
 
@@ -204,6 +206,7 @@ class GMPSVC:
             inner_rule=self.inner_rule,
             blocks_per_svm=self.blocks_per_svm,
             max_concurrent_svms=self.max_concurrent_svms,
+            backend=self.backend,
         )
 
     def _predictor_config(self) -> PredictorConfig:
@@ -211,6 +214,7 @@ class GMPSVC:
             device=self.device,
             sv_sharing=self.share_support_vectors,
             coupling_method=self.coupling_method,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------

@@ -60,6 +60,15 @@ class PredictorConfig:
     # Optional hierarchical span tracer; off (None) by default, in which
     # case prediction does no telemetry bookkeeping.
     tracer: Optional[Tracer] = None
+    # Compute backend: None (the float64 reference), a backend name, a
+    # repro.backends.BackendSpec or a ComputeBackend instance.
+    backend: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.backends import resolve_backend
+
+            resolve_backend(self.backend)
 
     def make_engine(self) -> Engine:
         """Engine bound to this configuration's device and efficiencies."""
@@ -67,6 +76,7 @@ class PredictorConfig:
             self.device,
             flop_efficiency=self.flop_efficiency,
             bandwidth_efficiency=self.bandwidth_efficiency,
+            backend=self.backend,
         )
 
 

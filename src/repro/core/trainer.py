@@ -108,6 +108,9 @@ class TrainerConfig:
     # GPUSVM-style dense storage (Figure 10's pathology).
     force_dense: bool = False
     max_iterations: Optional[int] = None
+    # Compute backend: None (the float64 reference), a backend name, a
+    # repro.backends.BackendSpec or a ComputeBackend instance.
+    backend: Optional[object] = None
     # Telemetry: an optional hierarchical span tracer (spans cover the
     # whole run, every pair solve and the concurrency packing), and a
     # switch for per-round solver telemetry in the report even when no
@@ -142,6 +145,12 @@ class TrainerConfig:
             raise ValidationError(
                 f"share_budget_bytes must be positive, got {self.share_budget_bytes}"
             )
+        if self.backend is not None:
+            # Fail at config time, not mid-training; an unknown name or a
+            # wrong type raises ValidationError listing the registry.
+            from repro.backends import resolve_backend
+
+            resolve_backend(self.backend)
 
 
 def train_multiclass(
@@ -281,6 +290,7 @@ def _train_multiclass_impl(
         config.device,
         flop_efficiency=config.flop_efficiency,
         bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
     )
     if tracer is not None:
         # Give clock-less spans (the train_multiclass root above all) the
@@ -380,6 +390,7 @@ def _train_multiclass_impl(
             config.device,
             flop_efficiency=config.flop_efficiency,
             bandwidth_efficiency=config.bandwidth_efficiency,
+            backend=config.backend,
             counters=master.counters,
         )
         with maybe_span(
@@ -466,7 +477,12 @@ def _train_multiclass_impl(
         sv_pool=pool,
         probability=config.probability,
         strategy=config.decomposition,
-        metadata={"trainer": config.solver, "device": config.device.name},
+        metadata={
+            "trainer": config.solver,
+            "device": config.device.name,
+            "backend": master.backend.name,
+            "dtype": np.dtype(master.backend.dtype).name,
+        },
     )
     report = TrainingReport(
         simulated_seconds=combined.elapsed_s,
@@ -636,6 +652,7 @@ def _make_pair_member(
         config.device,
         flop_efficiency=config.flop_efficiency,
         bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
         counters=counters,
     )
     if shared is not None and shared_computer is not None:

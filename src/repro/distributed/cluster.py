@@ -112,6 +112,7 @@ class DevicePool:
         *,
         flop_efficiency: Optional[float] = None,
         bandwidth_efficiency: float = 1.0,
+        backend: Optional[object] = None,
         tracer: Optional[Tracer] = None,
         fault_injector: Optional[object] = None,
     ) -> None:
@@ -126,6 +127,7 @@ class DevicePool:
                 cluster.device,
                 flop_efficiency=flop_efficiency,
                 bandwidth_efficiency=bandwidth_efficiency,
+                backend=backend,
             )
             for _ in range(cluster.n_devices)
         ]

@@ -136,6 +136,7 @@ class ShardedInferenceRouter:
             cluster,
             flop_efficiency=config.flop_efficiency,
             bandwidth_efficiency=config.bandwidth_efficiency,
+            backend=config.backend,
             tracer=config.tracer,
         )
         # Chunking mirrors InferenceSession._serve_proba on the FULL model

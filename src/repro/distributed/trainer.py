@@ -264,6 +264,7 @@ def train_multiclass_sharded(
         cluster,
         flop_efficiency=config.flop_efficiency,
         bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
         tracer=tracer,
         fault_injector=injector,
     )
@@ -700,6 +701,8 @@ def train_multiclass_sharded(
             metadata={
                 "trainer": config.solver,
                 "device": config.device.name,
+                "backend": pool.engine(0).backend.name,
+                "dtype": np.dtype(pool.engine(0).backend.dtype).name,
                 "cluster_devices": cluster.n_devices,
                 "placement": placement,
             },

@@ -70,11 +70,17 @@ class Engine:
         allocator: Optional[DeviceAllocator] = None,
         flop_efficiency: float = 1.0,
         bandwidth_efficiency: float = 1.0,
+        backend: object = None,
     ) -> None:
         if not 0.0 < flop_efficiency <= 1.0:
             raise ValidationError("flop_efficiency must lie in (0, 1]")
         if not 0.0 < bandwidth_efficiency <= 1.0:
             raise ValidationError("bandwidth_efficiency must lie in (0, 1]")
+        # Imported lazily: repro.backends pulls in repro.core.validation,
+        # and repro.core imports this module while initialising.
+        from repro.backends import resolve_backend
+
+        self.backend = resolve_backend(backend)
         self.device = device
         self.flop_efficiency = float(flop_efficiency)
         self.bandwidth_efficiency = float(bandwidth_efficiency)
@@ -105,7 +111,24 @@ class Engine:
         ``bytes_read``/``bytes_written`` move through device DRAM;
         ``shared_bytes`` move through the on-chip tier (GPU shared memory
         or CPU caches).
+
+        The backend's precision scales apply here: ``flop_time_scale``
+        multiplies the FLOP term (a float32 pipe runs ~2x the float64
+        peak) and ``dram_byte_scale`` multiplies every byte-traffic term
+        (half-width elements move half the bytes).  Both are exactly 1.0
+        on the reference backend, and the scaling is skipped entirely in
+        that case so its simulated timeline stays bit-for-bit identical
+        to the pre-backend engine.
         """
+        flop_scale = self.backend.flop_time_scale
+        byte_scale = self.backend.dram_byte_scale
+        if flop_scale != 1.0:
+            flops = flops * flop_scale
+        if byte_scale != 1.0:
+            bytes_read = bytes_read * byte_scale
+            bytes_written = bytes_written * byte_scale
+            shared_bytes = shared_bytes * byte_scale
+            pcie_bytes = pcie_bytes * byte_scale
         spec = self.device
         latency = launches * spec.launch_overhead_s + syncs * spec.sync_overhead_s
         compute = flops / (spec.effective_gflops * self.flop_efficiency * 1e9)
@@ -176,7 +199,7 @@ class Engine:
             bytes_written=bytes_written,
             launches=launches,
         )
-        return mops.matmul_transpose(a, b)
+        return self.backend.matmul_transpose(a, b)
 
     def reduce_extremum(
         self,
@@ -244,7 +267,7 @@ class Engine:
             syncs=syncs,
             **traffic,
         )
-        return float(values.sum()) if n else 0.0
+        return self.backend.reduce_sum(values) if n else 0.0
 
     def elementwise(
         self,
@@ -367,6 +390,7 @@ def make_engine(
     *,
     flop_efficiency: Optional[float] = None,
     bandwidth_efficiency: float = 1.0,
+    backend: object = None,
     **kwargs: object,
 ) -> Engine:
     """Build the engine subclass matching the device kind.
@@ -376,6 +400,12 @@ def make_engine(
     how well its access patterns coalesce); they default per device kind
     and are overridden by baselines that model less-optimised code (e.g.
     scalar LibSVM, GTSVM's irregular clustered access).
+
+    ``backend`` selects the compute backend (a name, a
+    :class:`~repro.backends.BackendSpec`, a
+    :class:`~repro.backends.ComputeBackend` instance, or ``None`` for the
+    float64 reference); it supplies the engine's numeric primitives and
+    the precision scales of the cost model.
     """
     if flop_efficiency is None:
         flop_efficiency = DEFAULT_FLOP_EFFICIENCY[device.kind]
@@ -384,5 +414,6 @@ def make_engine(
         device,
         flop_efficiency=flop_efficiency,
         bandwidth_efficiency=bandwidth_efficiency,
+        backend=backend,
         **kwargs,
     )

@@ -99,7 +99,7 @@ class KernelFunction(ABC):
             arrays_read=1,
             arrays_written=0,
         )
-        return mops.row_norms_sq(matrix)
+        return engine.backend.row_norms_sq(matrix)
 
     def __eq__(self, other: object) -> bool:
         return (

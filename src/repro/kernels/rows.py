@@ -69,7 +69,7 @@ class KernelRowComputer:
         if self._diagonal is None:
             norms = self.norms()
             if norms is None:
-                norms = mops.row_norms_sq(self.data)
+                norms = self.engine.backend.row_norms_sq(self.data)
                 self.engine.elementwise(
                     self.category,
                     mops.matrix_nbytes(self.data) // FLOAT_BYTES,

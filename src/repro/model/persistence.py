@@ -59,6 +59,13 @@ def save_model(model: MPSVMModel, target: PathOrFile) -> None:
     write(f"penalty {model.penalty:.17g}\n")
     write(f"probability {1 if model.probability else 0}\n")
     write(f"strategy {model.strategy}\n")
+    # Training provenance: which compute backend produced the coefficients
+    # and in which working precision.  Readers older than this line skip
+    # nothing (they never saw it); this reader treats a missing line as
+    # the float64 reference, which is what every older file was trained on.
+    backend_name = str(model.metadata.get("backend", "numpy64"))
+    backend_dtype = str(model.metadata.get("dtype", "float64"))
+    write(f"backend {backend_name} {backend_dtype}\n")
     # ".17g" round-trips every float64 exactly; "g" (6 significant digits)
     # silently corrupts float labels like 1234567.5 on reload.  Integer
     # labels still render without a decimal point either way.
@@ -85,15 +92,24 @@ def save_model(model: MPSVMModel, target: PathOrFile) -> None:
         write(" ".join(f"{int(c)}:{v:.17g}" for c, v in zip(cols, vals)) + "\n")
 
 
-def load_model(source: PathOrFile) -> MPSVMModel:
+def load_model(source: PathOrFile, *, backend: object = None) -> MPSVMModel:
     """Read a model written by :func:`save_model`.
 
     The pool data is reconstructed as a :class:`CSRMatrix` regardless of
     the original storage format (kernel evaluation accepts either).
+
+    ``backend`` declares the compute backend the caller will run the model
+    under (a name, :class:`~repro.backends.BackendSpec` or instance;
+    ``None`` means the float64 reference).  Files record the precision the
+    model was trained in; a model trained in a narrower dtype (e.g. a
+    float32 ``numpy32`` model) refuses to load under a backend of a
+    different working dtype rather than silently reinterpreting its
+    coefficients — pass the matching backend explicitly.  Files written
+    before the ``backend`` header line load as float64-reference models.
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
-            return load_model(handle)
+            return load_model(handle, backend=backend)
 
     lines = [line.rstrip("\n") for line in source]
     cursor = 0
@@ -135,6 +151,32 @@ def load_model(source: PathOrFile) -> MPSVMModel:
     penalty = float(_expect(next_line(), "penalty")[0])
     probability = bool(int(_expect(next_line(), "probability")[0]))
     strategy = _expect(next_line(), "strategy")[0]
+
+    # Optional provenance line (absent in files written before compute
+    # backends existed; those were all trained by the float64 reference).
+    recorded_backend, recorded_dtype = "numpy64", "float64"
+    if cursor < len(lines) and lines[cursor].startswith("backend "):
+        backend_fields = _expect(next_line(), "backend")
+        if len(backend_fields) != 2:
+            raise ModelFormatError(
+                f"malformed backend line: expected 'backend <name> <dtype>', "
+                f"got fields {backend_fields!r}"
+            )
+        recorded_backend, recorded_dtype = backend_fields
+    from repro.backends import resolve_backend
+
+    requested = resolve_backend(backend)
+    requested_dtype = np.dtype(requested.dtype).name
+    if recorded_dtype != "float64" and requested_dtype != recorded_dtype:
+        raise ModelFormatError(
+            f"model was trained by backend {recorded_backend!r} in "
+            f"{recorded_dtype}, but the requested backend "
+            f"{requested.name!r} works in {requested_dtype}; refusing to "
+            f"silently reinterpret the coefficients — pass "
+            f"load_model(..., backend={recorded_backend!r}) (or another "
+            f"{recorded_dtype} backend) to load this model"
+        )
+
     class_fields = _expect(next_line(), "classes")
     n_classes = int(class_fields[0])
     classes = np.asarray([float(v) for v in class_fields[1 : 1 + n_classes]])
@@ -208,6 +250,7 @@ def load_model(source: PathOrFile) -> MPSVMModel:
         sv_pool=pool,
         probability=probability,
         strategy=strategy,
+        metadata={"backend": recorded_backend, "dtype": recorded_dtype},
     )
 
 

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.reference import matmul_transpose as _ref_matmul_transpose
 from repro.exceptions import ValidationError
 from repro.gpusim.engine import FLOAT_BYTES, Engine
 from repro.kernels.functions import KernelFunction
@@ -141,14 +142,17 @@ class SupportVectorPool:
         ``sliced=True`` gathers the SVM's columns out of a test-vs-pool
         block; ``sliced=False`` takes a block already restricted to the
         SVM's own support vectors.  The reduction runs through the
-        fixed-shape tiled product so every output value is bitwise
-        independent of how the test batch was composed (the invariant the
-        serving layer's micro-batching relies on; see
-        ``repro.sparse.ops.MATMUL_TILE_ROWS``).
+        reference fixed-shape tiled product so every output value is
+        bitwise independent of how the test batch was composed (the
+        invariant the serving layer's micro-batching relies on; see
+        ``repro.backends.reference.MATMUL_TILE_ROWS``).  Float32 kernel
+        blocks promote against the float64 coefficients, so the
+        mixed-precision backend accumulates decision values in float64
+        through this same call.
         """
         m = block.shape[0]
         columns = block[:, svm.pool_positions] if sliced else block
-        values = mops.matmul_transpose(columns, svm.coefficients[None, :])[:, 0]
+        values = _ref_matmul_transpose(columns, svm.coefficients[None, :])[:, 0]
         engine.charge(
             category,
             flops=2 * m * svm.pool_positions.size,

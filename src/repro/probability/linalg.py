@@ -1,55 +1,24 @@
-"""Dense linear solves implemented from scratch.
+"""Dense linear solves (moved to :mod:`repro.backends.reference`).
 
-The paper solves the coupling problem (14) "by Gaussian elimination"
-(citing Wu et al.).  The substrate rule of this reproduction is to build
-dependencies rather than import them, so this module provides partial-pivot
-Gaussian elimination instead of calling ``numpy.linalg.solve``.  The
-matrices involved are tiny (k x k, with k the class count), but prediction
-solves one system *per test instance*, so the hot entry point is the
-batched :func:`gaussian_elimination_batch`: it eliminates a whole
-``(m, n, n)`` stack column-by-column with every per-instance operation
-vectorized across the batch.  The scalar :func:`gaussian_elimination` is a
-batch of one, which keeps the two paths arithmetically identical — the
-per-element operations are the same NumPy expressions either way, so a
-batched solve reproduces the scalar answer bit for bit.
+The partial-pivot Gaussian elimination this module used to implement is
+now a compute-backend primitive — the batched solve is dispatched through
+:meth:`repro.backends.ComputeBackend.gaussian_elimination_batch`, and the
+float64 reference implementation lives in
+:mod:`repro.backends.reference`.  The old entry points here keep working:
+:func:`gaussian_elimination` is a plain alias (it remains the documented
+scalar solve), while :func:`gaussian_elimination_batch` is a deprecation
+shim pointing callers at the backend API.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.exceptions import SolverError, ValidationError
+from repro.backends.reference import gaussian_elimination
 
 __all__ = ["gaussian_elimination", "gaussian_elimination_batch"]
-
-
-def gaussian_elimination(
-    matrix: np.ndarray,
-    rhs: np.ndarray,
-    *,
-    pivot_tolerance: float = 1e-12,
-) -> np.ndarray:
-    """Solve ``matrix @ x = rhs`` by Gaussian elimination with partial pivoting.
-
-    Raises :class:`~repro.exceptions.SolverError` when a pivot falls below
-    ``pivot_tolerance`` times the matrix scale (numerically singular) —
-    callers regularise and retry, as the paper does ("a small value is
-    added to Q when its inversion does not exist").
-
-    Implemented as a batch of one (see :func:`gaussian_elimination_batch`),
-    so scalar and batched solves of the same system agree exactly.
-    """
-    a = np.asarray(matrix, dtype=np.float64)
-    b = np.asarray(rhs, dtype=np.float64)
-    if a.ndim != 2 or a.shape[0] != a.shape[1]:
-        raise ValidationError(f"matrix must be square, got shape {a.shape}")
-    n = a.shape[0]
-    if b.shape not in ((n,), (n, 1)):
-        raise ValidationError(f"rhs shape {b.shape} incompatible with {a.shape}")
-    x = gaussian_elimination_batch(
-        a[None, :, :], b.reshape(1, n), pivot_tolerance=pivot_tolerance
-    )
-    return x[0]
 
 
 def gaussian_elimination_batch(
@@ -59,77 +28,22 @@ def gaussian_elimination_batch(
     pivot_tolerance: float = 1e-12,
     on_singular: str = "raise",
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
-    """Solve ``matrices[i] @ x[i] = rhs[i]`` for a whole ``(m, n, n)`` stack.
+    """Deprecated alias for the backend batched-elimination primitive.
 
-    One pass of partial-pivot elimination runs over the batch: each of the
-    ``n`` column steps performs its pivot search, row swap and rank-1 update
-    for *all* ``m`` systems at once, so the Python-level loop is O(n)
-    instead of O(m * n).  ``rhs`` has shape ``(m, n)``, or ``(n,)`` to share
-    one right-hand side across the batch.
-
-    ``on_singular`` selects what happens when a system's pivot falls below
-    ``pivot_tolerance`` times that system's scale:
-
-    - ``"raise"`` (default) — raise :class:`~repro.exceptions.SolverError`
-      naming the first offending batch index, matching the scalar contract;
-    - ``"mask"`` — keep going, return ``(x, singular)`` where ``singular``
-      is a boolean ``(m,)`` mask and flagged rows of ``x`` are NaN; callers
-      ridge-regularise and retry just those systems.
+    Delegates to :func:`repro.backends.reference.gaussian_elimination_batch`
+    (same bits, same errors); call it there — or through a
+    :class:`~repro.backends.ComputeBackend` — instead.  This alias will be
+    removed in a future release.
     """
-    if on_singular not in ("raise", "mask"):
-        raise ValidationError(
-            f"on_singular must be 'raise' or 'mask', got {on_singular!r}"
-        )
-    a = np.array(matrices, dtype=np.float64)
-    if a.ndim != 3 or a.shape[1] != a.shape[2]:
-        raise ValidationError(f"matrices must be (m, n, n), got shape {a.shape}")
-    m, n = a.shape[0], a.shape[1]
-    b = np.array(rhs, dtype=np.float64)
-    if b.shape == (n,):
-        b = np.broadcast_to(b, (m, n)).copy()
-    if b.shape != (m, n):
-        raise ValidationError(f"rhs shape {b.shape} incompatible with {a.shape}")
-    if m == 0:
-        x = np.empty((0, n))
-        return (x, np.zeros(0, dtype=bool)) if on_singular == "mask" else x
+    warnings.warn(
+        "repro.probability.linalg.gaussian_elimination_batch moved to "
+        "repro.backends (repro.backends.gaussian_elimination_batch, or use "
+        "a ComputeBackend); this alias will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.backends.reference import gaussian_elimination_batch as _impl
 
-    batch = np.arange(m)
-    scale = np.maximum(np.abs(a).reshape(m, -1).max(axis=1), 1.0)
-    singular = np.zeros(m, dtype=bool)
-
-    # Forward elimination, one column step across the whole batch.
-    for col in range(n):
-        pivot_rows = col + np.argmax(np.abs(a[:, col:, col]), axis=1)
-        pivots = a[batch, pivot_rows, col]
-        bad = np.abs(pivots) < pivot_tolerance * scale
-        if bad.any():
-            if on_singular == "raise":
-                first = int(np.flatnonzero(bad)[0])
-                raise SolverError(
-                    f"singular matrix: pivot {pivots[first]:.3e} at column "
-                    f"{col}" + (f" (batch index {first})" if m > 1 else "")
-                )
-            singular |= bad
-        swap = pivot_rows != col
-        if swap.any():
-            who = np.flatnonzero(swap)
-            rows = pivot_rows[who]
-            a[who, col], a[who, rows] = a[who, rows], a[who, col].copy()
-            b[who, col], b[who, rows] = b[who, rows], b[who, col].copy()
-        # Give flagged systems a harmless pivot so the rest of the batch can
-        # proceed; their results are overwritten with NaN below.
-        if singular.any():
-            a[singular, col, col] = scale[singular]
-        factors = a[:, col + 1 :, col] / a[:, col, None, col]
-        a[:, col + 1 :, col:] -= factors[:, :, None] * a[:, None, col, col:]
-        b[:, col + 1 :] -= factors * b[:, None, col]
-
-    # Back substitution.
-    x = np.zeros((m, n))
-    for row in range(n - 1, -1, -1):
-        residual = b[:, row] - (a[:, row, row + 1 :] * x[:, row + 1 :]).sum(axis=1)
-        x[:, row] = residual / a[:, row, row]
-    if on_singular == "mask":
-        x[singular] = np.nan
-        return x, singular
-    return x
+    return _impl(
+        matrices, rhs, pivot_tolerance=pivot_tolerance, on_singular=on_singular
+    )

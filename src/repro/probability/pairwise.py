@@ -27,12 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.reference import gaussian_elimination
 from repro.exceptions import SolverError, ValidationError
 from repro.gpusim.engine import Engine
-from repro.probability.linalg import (
-    gaussian_elimination,
-    gaussian_elimination_batch,
-)
 
 __all__ = ["pairwise_matrix_from_estimates", "couple_probabilities", "couple_batch"]
 
@@ -237,7 +234,9 @@ def couple_batch(
         launches=1,
         **{name: m * cost for name, cost in per_instance.items()},
     )
-    x, singular = gaussian_elimination_batch(q, np.ones(k), on_singular="mask")
+    x, singular = engine.backend.gaussian_elimination_batch(
+        q, np.ones(k), on_singular="mask"
+    )
     for index in np.flatnonzero(singular):
         x[index] = _ridge_retry_solve(engine, q[index], category)
 

@@ -8,6 +8,7 @@ themselves.
 
 from __future__ import annotations
 
+import warnings
 from typing import Union
 
 import numpy as np
@@ -94,71 +95,28 @@ def row_norms_sq(matrix: MatrixLike) -> np.ndarray:
     return np.einsum("ij,ij->i", matrix, matrix)
 
 
-# Fixed tiles for the dense-dense product.  BLAS derives its internal
-# blocking — and with it the per-element accumulation order — from the
-# operand shapes, so the same row can come out bitwise-different depending
-# on how many rows it is batched with (a lone row even dispatches to a
-# different GEMV path), and the same *column* can come out different
-# depending on which other columns ride along.  Computing every product
-# through constant-shape ``(MATMUL_TILE_ROWS, k) @ (k, MATMUL_TILE_COLS)``
-# calls on contiguous zero-padded tiles makes each output element a pure
-# function of ``(a_row, b_row)``, independent of batch composition on
-# *either* axis.  The interleaved trainer relies on the row half (it fuses
-# kernel-row demand of concurrent SVMs into union batches); the distributed
-# inference router relies on the column half (a pair-partitioned shard
-# computes test-vs-sub-pool blocks whose columns sit at different offsets
-# than in the single-device pool, and must still reproduce the same bits).
-# The CSR code paths are per-row loops / fixed-segment reductions and carry
-# the invariant for free.
+# Mirrors of repro.backends.reference.MATMUL_TILE_ROWS/COLS, kept here for
+# importers of the old location.  Literal copies rather than re-imports:
+# repro.backends loads repro.core.validation, which loads this module, so a
+# module-level import of the backends package from here would cycle.
 MATMUL_TILE_ROWS = 256
 MATMUL_TILE_COLS = 256
 
 
 def matmul_transpose(a: MatrixLike, b: MatrixLike) -> np.ndarray:
-    """Dense ``a @ b.T`` for any combination of dense/CSR operands.
+    """Deprecated alias for :func:`repro.backends.reference.matmul_transpose`.
 
-    This is the single product the whole kernel machinery is built on
-    (the paper computes it with cuSPARSE/cuBLAS).  Output rows are
-    bitwise-independent of how the ``a`` batch is composed (see
-    :data:`MATMUL_TILE_ROWS`).
+    The implementation moved to :mod:`repro.backends` when the compute
+    backends were introduced; this shim delegates (same bits, same errors)
+    and will be removed in a future release.
     """
-    if a.shape[1] != b.shape[1]:
-        raise ValidationError(f"column mismatch: {a.shape} vs {b.shape}")
-    a_sparse = isinstance(a, CSRMatrix)
-    b_sparse = isinstance(b, CSRMatrix)
-    if a_sparse and b_sparse:
-        return a.matmul_transpose(b)
-    if a_sparse:
-        return a.dot_dense(np.ascontiguousarray(np.asarray(b).T))
-    if b_sparse:
-        return b.dot_dense(np.ascontiguousarray(np.asarray(a).T)).T
-    dense_a = np.asarray(a)
-    dense_b = np.asarray(b)
-    tile_r = MATMUL_TILE_ROWS
-    tile_c = MATMUL_TILE_COLS
-    m, k = dense_a.shape
-    n = dense_b.shape[0]
-    dtype = np.result_type(dense_a, dense_b)
-    out = np.empty((m, n), dtype=dtype)
-    # Materialise every column tile as a contiguous (k, tile_c) operand up
-    # front: a strided transpose view and a padded copy can dispatch to
-    # different GEMM paths, which would break element purity between full
-    # and partial tiles.
-    col_tiles = []
-    for c_start in range(0, n, tile_c):
-        cols = min(tile_c, n - c_start)
-        block = np.zeros((k, tile_c), dtype=dtype)
-        block[:, :cols] = dense_b[c_start : c_start + cols].T
-        col_tiles.append((c_start, cols, block))
-    for r_start in range(0, m, tile_r):
-        chunk = dense_a[r_start : r_start + tile_r]
-        rows = chunk.shape[0]
-        if rows < tile_r or not chunk.flags.c_contiguous:
-            padded = np.zeros((tile_r, k), dtype=dtype)
-            padded[:rows] = chunk
-            chunk = padded
-        for c_start, cols, block in col_tiles:
-            out[r_start : r_start + rows, c_start : c_start + cols] = (
-                chunk @ block
-            )[:rows, :cols]
-    return out
+    warnings.warn(
+        "repro.sparse.ops.matmul_transpose moved to repro.backends "
+        "(repro.backends.matmul_transpose, or use a ComputeBackend); "
+        "this alias will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.backends.reference import matmul_transpose as _impl
+
+    return _impl(a, b)

@@ -16,9 +16,11 @@ import repro
 # public surface changed — update this snapshot *deliberately*, in the
 # same change, with a CHANGES.md note.
 PUBLIC_API = [
+    "BackendSpec",
     "CSRMatrix",
     "CheckpointError",
     "ClusterSpec",
+    "ComputeBackend",
     "ConvergenceWarning",
     "DeviceLostError",
     "DeviceMemoryError",
@@ -47,8 +49,11 @@ PUBLIC_API = [
     "ValidationError",
     "__version__",
     "dump_libsvm",
+    "get_backend",
+    "list_backends",
     "load_libsvm",
     "load_model",
+    "register_backend",
     "save_model",
     "train_multiclass_sharded",
 ]
@@ -90,6 +95,7 @@ class TestSignatures:
             "share_support_vectors",
             "concurrent_svms",
             "coupling_method",
+            "backend",
             "device",
         ):
             assert key in names
@@ -207,7 +213,7 @@ class TestSignatures:
 
     def test_persistence_signatures(self):
         assert _params(repro.save_model) == ["model", "target"]
-        assert _params(repro.load_model) == ["source"]
+        assert _params(repro.load_model) == ["source", "backend"]
 
     def test_config_constructors_are_strict(self):
         for cls in (repro.TrainerConfig, repro.PredictorConfig):
