@@ -890,7 +890,113 @@ def run_backends() -> dict[str, float]:
     return metrics
 
 
+def run_cascade() -> dict[str, float]:
+    """Instance-sharded cascade SMO vs the unsharded solve on one large pair.
+
+    One m = 6000 binary problem (the regime the cascade exists for: a
+    single pairwise problem too large to train quickly on one device) is
+    solved three ways on the simulated clock:
+
+    - **unsharded** — the plain batched SMO solve on one device, the
+      yardstick;
+    - **cascade, 4 flat devices** — 4 instance shards solved
+      concurrently, SVs merged pairwise, globally KKT-verified; the
+      acceptance contract pins ``speedup_4dev >= 1.5``;
+    - **cascade, 2x2 hierarchical** — same work on a 2-node x 2-device
+      topology; the per-tier byte ledger must show the merge traffic
+      riding the intra-node tier except for exactly one inter-node merge.
+
+    The cascade is approximate, so the payload also carries the SLO-gated
+    quality metrics: the verified global dual gap against its budget, the
+    L-inf decision delta against the unsharded solve, and the decision
+    sign disagreement (what multiclass voting would see).
+    """
+    import numpy as np
+
+    from repro.cascade import CascadeConfig, train_cascade
+    from repro.core.trainer import TrainerConfig
+    from repro.data import gaussian_blobs
+    from repro.distributed import ClusterSpec
+    from repro.gpusim.device import scaled_tesla_p100
+    from repro.gpusim.engine import make_engine
+    from repro.kernels.functions import kernel_from_name
+    from repro.kernels.rows import KernelRowComputer
+    from repro.solvers.batch_smo import BatchSMOSolver
+
+    m, n_shards, penalty = 6000, 4, 10.0
+    x, y = gaussian_blobs(n=m, n_features=8, n_classes=2, separation=3.5, seed=5)
+    labels = np.where(y == 0, 1.0, -1.0)
+    kernel = kernel_from_name("gaussian", gamma=0.125)
+    config = TrainerConfig(device=scaled_tesla_p100(), working_set_size=64)
+
+    # Unsharded yardstick: the plain batched solve on one device.
+    engine = make_engine(config.device)
+    rows = KernelRowComputer(engine, kernel, x)
+    sequential = BatchSMOSolver(
+        penalty=penalty,
+        epsilon=config.epsilon,
+        working_set_size=config.working_set_size,
+    ).solve(rows, labels)
+    unsharded_s = engine.clock.elapsed_s
+
+    def decision(result):
+        return result.f + labels + result.bias
+
+    d_sequential = decision(sequential)
+    metrics: dict[str, float] = {
+        "m": float(m),
+        "n_shards": float(n_shards),
+        "penalty": penalty,
+        "unsharded_simulated_seconds": unsharded_s,
+        "unsharded_iterations": float(sequential.iterations),
+        "unsharded_n_support": float(sequential.n_support),
+    }
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for tag, n_devices, n_nodes in (("4dev", 4, 1), ("2x2", 4, 2)):
+            cluster = ClusterSpec(
+                device=config.device, n_devices=n_devices, n_nodes=n_nodes
+            )
+            result, report = train_cascade(
+                config, cluster, x, labels, kernel, penalty,
+                cascade=CascadeConfig(n_shards=n_shards),
+            )
+            d_cascade = decision(result)
+            disagreement = float(
+                np.mean(np.sign(d_cascade) != np.sign(d_sequential))
+            )
+            metrics[f"makespan_{tag}_seconds"] = report.simulated_seconds
+            metrics[f"speedup_{tag}"] = unsharded_s / report.simulated_seconds
+            metrics[f"dual_gap_{tag}"] = report.final_gap
+            metrics[f"gap_budget_{tag}"] = report.gap_budget
+            metrics[f"budget_met_{tag}"] = float(report.budget_met)
+            metrics[f"decision_linf_{tag}"] = float(
+                np.max(np.abs(d_cascade - d_sequential))
+            )
+            metrics[f"argmax_disagreement_{tag}"] = disagreement
+            metrics[f"sv_survival_{tag}"] = report.sv_survival
+            metrics[f"feedback_rounds_{tag}"] = float(report.feedback_rounds)
+            metrics[f"iterations_{tag}"] = float(report.total_iterations)
+            for tier, nbytes in report.transfer_bytes.items():
+                metrics[f"transfer_{tier}_bytes_{tag}"] = float(nbytes)
+            for tier, count in report.tree["tier_counts"].items():
+                metrics[f"merges_{tier}_{tag}"] = float(count)
+
+    # The gateable inverses: check_regression --slo only bounds from
+    # above, so a ceiling on these is a floor on speedup / the gap margin.
+    metrics["slowdown_4dev"] = 1.0 / metrics["speedup_4dev"]
+    metrics["gap_over_budget_4dev"] = (
+        metrics["dual_gap_4dev"] / metrics["gap_budget_4dev"]
+    )
+    metrics["gap_over_budget_2x2"] = (
+        metrics["dual_gap_2x2"] / metrics["gap_budget_2x2"]
+    )
+    return metrics
+
+
 BENCH_RUNNERS = {
+    "cascade": run_cascade,
     "smoke": run_smoke,
     "backends": run_backends,
     "coupling": run_coupling,

@@ -32,6 +32,11 @@ Public entry points:
   model registry and its polling side: content-hashed artifacts,
   lineage, integrity-checked loads, and zero-downtime hot swap into a
   live dispatcher (DESIGN.md §14);
+- :class:`CascadeConfig` / :func:`train_cascade` — instance-sharded
+  cascade SMO for single large binary problems over hierarchical
+  clusters: seeded stratified partitioning, per-shard sub-solves, a
+  topology-aware pairwise SV merge tree, and a global-KKT feedback loop
+  gated by an explicit dual-gap error budget (DESIGN.md §17);
 - :class:`FaultPlan` / :class:`FaultInjector` — deterministic, seeded
   fault injection over the simulated cluster (stragglers, device loss,
   link faults) with checkpoint/resume recovery that keeps models
@@ -54,6 +59,7 @@ from repro.backends import (
     list_backends,
     register_backend,
 )
+from repro.cascade import CascadeConfig, train_cascade
 from repro.core.gmp import GMPSVC
 from repro.distributed import (
     ClusterSpec,
@@ -86,11 +92,12 @@ from repro.serving import InferenceSession, MicroBatcher
 from repro.sparse import CSRMatrix, dump_libsvm, load_libsvm
 from repro.telemetry import Tracer
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BackendSpec",
     "CSRMatrix",
+    "CascadeConfig",
     "CheckpointError",
     "ClusterSpec",
     "ComputeBackend",
@@ -128,5 +135,6 @@ __all__ = [
     "load_model",
     "register_backend",
     "save_model",
+    "train_cascade",
     "train_multiclass_sharded",
 ]

@@ -1,0 +1,1081 @@
+"""The cascade driver: instance-sharded training of one binary SVM.
+
+The pipeline (Govada et al.'s cascade, PAPERS.md "A Novel Approach to
+Distributed Multi-Class SVM"):
+
+1. **Partition** — the instances are cut into seeded, stratified shards
+   (:mod:`repro.cascade.partition`), assigned node-major to the cluster's
+   devices, and their rows shipped over the host link.
+2. **Shard sub-solves** — every shard trains its own sub-SVM through the
+   existing resumable :class:`~repro.solvers.batch_smo.BatchSMOSession`
+   under the interleaved wave scheduler, one wave group per device (the
+   same machinery single-device and pair-sharded training use).  Fault
+   injection plugs in here exactly as in ``train_multiclass_sharded``:
+   stragglers stretch the device clock, a scripted device loss aborts at
+   a wave boundary and the lost shards re-solve on the survivors from
+   the last shipped checkpoint.
+3. **Reduction-tree merge** — surviving support vectors fold pairwise up
+   a topology-aware tree (:mod:`repro.cascade.tree`): the src slot's SV
+   rows and weights cross a ``DevicePool`` peer link (intra-node tier
+   first; bytes land in the link ledger), the union warm-starts a merged
+   sub-solve on the destination device, and only its support vectors
+   survive to the next level.
+4. **Feedback loop** — the root's active set is only locally optimal, so
+   the driver reconstructs the full-problem optimality indicators
+   ``f_i`` (each device scores its own resident instances against the
+   broadcast root SVs), pulls the worst globally KKT-violating instances
+   into the root problem, and re-solves warm-started — until the global
+   dual gap meets the error budget or the round cap is hit.  The loop
+   head doubles as the **final full-KKT verification pass**: the
+   reported gap is always computed from the final weights over *all*
+   instances.
+
+The merge is approximate (a support vector discarded at level 0 can in
+principle re-enter only through the feedback loop), so unlike the
+pair-sharded trainer there is **no bitwise-parity claim** — correctness
+is gated by the explicit dual-gap budget plus the decision-delta /
+argmax-agreement gates enforced in the test-suite and CI benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cascade.config import CascadeConfig
+from repro.cascade.partition import effective_shards, shard_instances
+from repro.cascade.tree import build_reduction_tree, assign_shards
+from repro.core.interleave import PairMember, run_interleaved
+from repro.exceptions import (
+    ConvergenceWarning,
+    DeviceLostError,
+    SolverError,
+    ValidationError,
+)
+from repro.faults.checkpoint import (
+    CheckpointStore,
+    SessionSnapshot,
+    TrainingCheckpoint,
+)
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.gpusim.clock import SimClock
+from repro.gpusim.engine import FLOAT_BYTES, make_engine
+from repro.kernels.functions import KernelFunction
+from repro.kernels.rows import KernelRowComputer
+from repro.solvers.base import (
+    SolverResult,
+    bias_from_f,
+    dual_objective,
+    lower_mask,
+    optimality_gap,
+    resolve_penalty_vector,
+    upper_mask,
+    validate_binary_problem,
+)
+from repro.solvers.warm_start import reconstruct_gradient
+from repro.sparse import ops as mops
+from repro.telemetry.schema import REPORT_SCHEMA_VERSION
+from repro.telemetry.tracer import _json_safe, maybe_span
+
+__all__ = ["CascadeReport", "train_cascade"]
+
+# Constants shipped alongside a slot's SV payload in a merge: the SV
+# count, the child's bias, its local gap and iteration count.
+_SLOT_HEADER_BYTES = 4 * FLOAT_BYTES
+
+
+@dataclass(eq=False)
+class _ShardMember(PairMember):
+    """A cascade shard in the wave driver (named ``shard_<i>``)."""
+
+    @property
+    def name(self) -> str:
+        return f"shard_{self.index}"
+
+
+@dataclass
+class _ShardProblem:
+    """What the wave driver needs to know about one shard."""
+
+    s: int  # shard id
+    t: int  # -2 marks cascade shards in any shared tooling
+    n: int
+    labels: np.ndarray
+    global_indices: np.ndarray  # into the *binary problem's* row order
+
+
+@dataclass
+class _Slot:
+    """One surviving sub-solution flowing up the reduction tree."""
+
+    indices: np.ndarray  # binary-problem-local instance ids (SVs only)
+    alpha: np.ndarray  # matching dual weights (> 0)
+    device: int
+
+    @property
+    def n_sv(self) -> int:
+        return int(self.indices.size)
+
+
+@dataclass
+class CascadeReport:
+    """What one cascade solve did and what it cost.
+
+    ``levels`` carries the per-level timeline: the shard phase, then one
+    entry per reduction-tree level (SV survival, link tier, bytes), then
+    one entry per feedback round.  ``transfer_bytes`` is the per-tier
+    interconnect volume the cascade itself moved.
+    """
+
+    n_instances: int
+    n_shards: int
+    requested_shards: int
+    n_devices: int
+    n_nodes: int
+    levels: list[dict] = field(default_factory=list)
+    feedback_rounds: int = 0
+    kkt_passes: int = 0
+    instances_fed_back: int = 0
+    final_gap: float = float("inf")
+    gap_budget: float = 0.0
+    budget_met: bool = False
+    n_support: int = 0
+    total_iterations: int = 0
+    transfer_bytes: dict = field(default_factory=dict)
+    tree: dict = field(default_factory=dict)
+    simulated_seconds: float = 0.0
+    faults: dict = field(default_factory=dict)
+
+    @property
+    def sv_survival(self) -> float:
+        """Final support count over the instance count."""
+        if self.n_instances <= 0:
+            return 0.0
+        return self.n_support / self.n_instances
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat, JSON-native, schema-versioned snapshot of this report."""
+        payload = asdict(self)
+        payload["schema_version"] = REPORT_SCHEMA_VERSION
+        payload["kind"] = "cascade_report"
+        payload["sv_survival"] = self.sv_survival
+        return _json_safe(payload)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot serialized to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def _row_bytes(data: mops.MatrixLike) -> float:
+    """Average resident bytes of one training row."""
+    return mops.matrix_nbytes(data) / max(mops.n_rows(data), 1)
+
+
+def _slot_payload_bytes(slot: _Slot, per_row: float) -> int:
+    """Interconnect bytes one slot costs to ship (SV rows + weights)."""
+    return int(
+        round(slot.n_sv * per_row)
+        + slot.n_sv * FLOAT_BYTES
+        + _SLOT_HEADER_BYTES
+    )
+
+
+def _member_snapshot(member: PairMember) -> SessionSnapshot:
+    """One shard member's resumable solver state (keyed by shard id)."""
+    state = member.session.snapshot_state()
+    return SessionSnapshot(
+        problem_index=member.index,
+        alpha=state["alpha"],
+        f=state["f"],
+        rounds=state["rounds"],
+        inner_total=state["inner_total"],
+        ws_order=tuple(state["ws_order"]),
+        stalled=state["stalled"],
+        converged=state["converged"],
+        finished=state["finished"],
+    )
+
+
+def _make_shard_member(
+    config,
+    shard: int,
+    indices: np.ndarray,
+    data: mops.MatrixLike,
+    labels: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+    box: Optional[np.ndarray],
+    counters,
+) -> _ShardMember:
+    """A resumable wave-driver member for one instance shard."""
+    from repro.core.trainer import _batched_solver, _batched_task_bytes
+
+    engine = make_engine(
+        config.device,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
+        counters=counters,
+    )
+    rows = KernelRowComputer(
+        engine, kernel, mops.take_rows(data, indices), category="cascade_shard"
+    )
+    solver = _batched_solver(config, penalty, tracer=None, record_rounds=False)
+    session = solver.start(
+        rows,
+        labels[indices],
+        penalty_vector=None if box is None else box[indices],
+    )
+    problem = _ShardProblem(
+        s=shard,
+        t=-2,
+        n=int(indices.size),
+        labels=labels[indices],
+        global_indices=indices,
+    )
+    return _ShardMember(
+        index=shard,
+        problem=problem,
+        engine=engine,
+        session=session,
+        mem_bytes=_batched_task_bytes(config, int(indices.size)),
+        blocks=config.blocks_per_svm,
+    )
+
+
+def _merge_solve(
+    config,
+    pool,
+    slots: dict[int, _Slot],
+    step,
+    data: mops.MatrixLike,
+    labels: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+    box: Optional[np.ndarray],
+    per_row: float,
+    member_clocks: list[SimClock],
+    tracer,
+) -> dict:
+    """Fold slot ``step.src`` into ``step.dst`` and re-solve the union.
+
+    The src payload crosses the peer link (the pool picks the tier from
+    the topology and records the bytes), the concatenated dual weights
+    warm-start the merged sub-solve (the children partition the
+    instances, so ``sum alpha_i y_i = 0`` is preserved exactly), and the
+    destination slot keeps only the surviving support vectors.
+    """
+    from repro.core.trainer import _batched_solver
+
+    src, dst = slots[step.src], slots[step.dst]
+    payload = _slot_payload_bytes(src, per_row)
+    pool.device_to_device(
+        src.device, dst.device, payload, category="cascade_merge"
+    )
+    merged_idx = np.concatenate([dst.indices, src.indices])
+    merged_alpha = np.concatenate([dst.alpha, src.alpha])
+    merged_labels = labels[merged_idx]
+    sv_in = int(merged_idx.size)
+
+    engine = make_engine(
+        config.device,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
+        counters=pool.engine(dst.device).counters,
+    )
+    with maybe_span(
+        tracer,
+        "cascade_merge",
+        clock=engine.clock,
+        src_slot=step.src,
+        dst_slot=step.dst,
+        tier=step.tier,
+        sv_in=sv_in,
+        nbytes=payload,
+    ) as span:
+        rows = KernelRowComputer(
+            engine,
+            kernel,
+            mops.take_rows(data, merged_idx),
+            category="cascade_merge",
+        )
+        initial_f = reconstruct_gradient(
+            rows, merged_labels, merged_alpha, category="cascade_merge"
+        )
+        solver = _batched_solver(
+            config, penalty, tracer=None, record_rounds=False
+        )
+        result = solver.solve(
+            rows,
+            merged_labels,
+            penalty_vector=None if box is None else box[merged_idx],
+            initial_alpha=merged_alpha,
+            initial_f=initial_f,
+        )
+        support = result.support_indices
+        slots[step.dst] = _Slot(
+            indices=merged_idx[support],
+            alpha=result.alpha[support],
+            device=dst.device,
+        )
+        del slots[step.src]
+        span.set(
+            sv_out=int(support.size),
+            iterations=result.iterations,
+            converged=result.converged,
+        )
+    member_clocks[dst.device].merge(engine.clock)
+    return {
+        "src": int(step.src),
+        "dst": int(step.dst),
+        "tier": step.tier,
+        "nbytes": int(payload),
+        "sv_in": sv_in,
+        "sv_out": int(support.size),
+        "iterations": int(result.iterations),
+        "simulated_seconds": float(engine.clock.elapsed_s),
+    }
+
+
+def _global_kkt_pass(
+    config,
+    pool,
+    root: _Slot,
+    home_device: np.ndarray,
+    data: mops.MatrixLike,
+    labels: np.ndarray,
+    box: np.ndarray,
+    kernel: KernelFunction,
+    per_row: float,
+    member_clocks: list[SimClock],
+    tracer,
+) -> tuple[np.ndarray, float, dict]:
+    """Reconstruct the full-problem ``f`` and the global dual gap.
+
+    Distributed: the root broadcasts its SV rows to every device that
+    still owns instances (peer links, tier-charged), each device scores
+    its own resident rows as one batched kernel product on its own
+    clock, and the per-instance indicators flow back to the root.
+    Numerically this is exact — ``f_i = sum_j alpha_j y_j K_ij - y_i``
+    with zeros outside the active set.
+    """
+    n = labels.size
+    f_full = np.empty(n)
+    coefficients = root.alpha * labels[root.indices]
+    sv_rows = mops.take_rows(data, root.indices)
+    sv_payload = int(round(root.n_sv * per_row)) + _SLOT_HEADER_BYTES
+    devices = sorted(set(int(d) for d in home_device))
+    seconds = 0.0
+    for device in devices:
+        owned = np.flatnonzero(home_device == device)
+        if device != root.device:
+            pool.device_to_device(
+                root.device, device, sv_payload, category="cascade_kkt"
+            )
+        engine = make_engine(
+            config.device,
+            flop_efficiency=config.flop_efficiency,
+            bandwidth_efficiency=config.bandwidth_efficiency,
+            backend=config.backend,
+            counters=pool.engine(device).counters,
+        )
+        computer = KernelRowComputer(
+            engine,
+            kernel,
+            mops.take_rows(data, owned),
+            category="cascade_kkt",
+        )
+        block = computer.block(sv_rows, category="cascade_kkt")
+        f_full[owned] = coefficients @ block - labels[owned]
+        engine.charge(
+            "cascade_kkt",
+            flops=2 * root.n_sv * owned.size,
+            bytes_read=root.n_sv * owned.size * FLOAT_BYTES,
+            bytes_written=owned.size * FLOAT_BYTES,
+            launches=1,
+        )
+        if device != root.device:
+            pool.device_to_device(
+                device, root.device, owned.size * FLOAT_BYTES,
+                category="cascade_kkt",
+            )
+        member_clocks[device].merge(engine.clock)
+        seconds = max(seconds, engine.clock.elapsed_s)
+    alpha_full = np.zeros(n)
+    alpha_full[root.indices] = root.alpha
+    gap = optimality_gap(f_full, labels, alpha_full, box)
+    stats = {
+        "kind": "kkt",
+        "n_sv": root.n_sv,
+        "gap": float(gap),
+        "devices": len(devices),
+        "simulated_seconds": float(seconds),
+    }
+    if tracer is not None:
+        with maybe_span(
+            tracer,
+            "cascade_kkt",
+            clock=pool.engine(root.device).clock,
+            n_sv=root.n_sv,
+            gap=float(gap),
+            devices=len(devices),
+        ):
+            pass
+    return f_full, gap, stats
+
+
+def _select_violators(
+    f: np.ndarray,
+    labels: np.ndarray,
+    alpha_full: np.ndarray,
+    box: np.ndarray,
+    active: np.ndarray,
+    chunk: int,
+    epsilon: float,
+) -> np.ndarray:
+    """The worst globally KKT-violating instances outside the active set.
+
+    Violation magnitude mirrors the gap definition: for ``i`` in
+    ``I_up``, how far ``f_i`` sits below ``max_{I_low} f``; for ``i`` in
+    ``I_low``, how far above ``min_{I_up} f``.  Only violations beyond
+    the sub-solver tolerance count (anything smaller cannot move the
+    converged gap).
+    """
+    up = upper_mask(labels, alpha_full, box)
+    low = lower_mask(labels, alpha_full, box)
+    if not up.any() or not low.any():
+        return np.empty(0, dtype=np.int64)
+    b_up = float(f[up].min())
+    b_low = float(f[low].max())
+    violation = np.full(labels.size, -np.inf)
+    violation[up] = b_low - f[up]
+    violation[low] = np.maximum(violation[low], (f - b_up)[low])
+    violation[active] = -np.inf  # already in the root problem
+    candidates = np.flatnonzero(violation > epsilon)
+    if candidates.size == 0:
+        return candidates.astype(np.int64)
+    order = candidates[np.argsort(-violation[candidates], kind="stable")]
+    return np.sort(order[:chunk]).astype(np.int64)
+
+
+def _cascade_solve(
+    config,
+    cascade: CascadeConfig,
+    pool,
+    data: mops.MatrixLike,
+    labels: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+    *,
+    penalty_vector: Optional[np.ndarray] = None,
+    injector: Optional[FaultInjector] = None,
+    store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 4,
+    member_clocks: Optional[list[SimClock]] = None,
+    tracer=None,
+) -> tuple[SolverResult, CascadeReport]:
+    """Run one cascade solve over an existing :class:`DevicePool`.
+
+    ``member_clocks`` (one per device) accumulate the wave-scaled member
+    time; the caller folds them with the pool's engine clocks to obtain
+    the timeline.  Returns the full-problem :class:`SolverResult` (alpha
+    over every instance, exact final ``f``, bias, global gap) plus the
+    :class:`CascadeReport`.
+    """
+    from repro.core.trainer import _batched_solver, _interleave_limits
+
+    cluster = pool.cluster
+    labels = validate_binary_problem(labels, penalty)
+    n = labels.size
+    box = resolve_penalty_vector(penalty, n, penalty_vector)
+    weighted_box = None if penalty_vector is None else box
+    budget = cascade.resolve_budget(config.epsilon)
+    n_shards = effective_shards(labels, cascade.n_shards)
+    shards = shard_instances(labels, n_shards, cascade.seed)
+    shard_device = assign_shards(n_shards, pool.n_devices)
+    per_row = _row_bytes(data)
+    if member_clocks is None:
+        member_clocks = [SimClock() for _ in range(pool.n_devices)]
+
+    report = CascadeReport(
+        n_instances=n,
+        n_shards=n_shards,
+        requested_shards=cascade.n_shards,
+        n_devices=pool.n_devices,
+        n_nodes=cluster.n_nodes,
+        gap_budget=budget,
+    )
+    ledger_before = dict(pool.transfer_ledger)
+    total_iterations = 0
+    total_rows_computed = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: per-device shard sub-solves under the wave scheduler.
+    # ------------------------------------------------------------------
+    members_by_device: dict[int, list[_ShardMember]] = {}
+    for shard, indices in enumerate(shards):
+        device = shard_device[shard]
+        members_by_device.setdefault(device, []).append(
+            _make_shard_member(
+                config, shard, indices, data, labels, kernel, penalty,
+                weighted_box, pool.engine(device).counters,
+            )
+        )
+    lost_devices: dict[int, float] = {}
+    results: dict[int, SolverResult] = {}
+    shard_seconds = 0.0
+    for device in sorted(members_by_device):
+        members = members_by_device[device]
+        master = pool.engine(device)
+        if tracer is not None:
+            tracer.bind_clock(master.clock)
+        resident = int(
+            round(sum(m.problem.n for m in members) * per_row)
+        )
+        with maybe_span(
+            tracer,
+            "cascade_shard_wave",
+            clock=master.clock,
+            device=device,
+            n_shards=len(members),
+            resident_bytes=resident,
+        ) as device_span:
+            pool.host_to_device(device, resident)
+            if injector is not None:
+                rate = injector.straggler_rate(device)
+                if rate != 1.0:
+                    for member in members:
+                        member.engine.clock.rate = rate
+            loss_at = (
+                injector.loss_time(device) if injector is not None else None
+            )
+            on_wave = None
+            if loss_at is not None or store is not None:
+
+                def on_wave(
+                    wave_index,
+                    running,
+                    finished,
+                    wave_outcome,
+                    *,
+                    _device=device,
+                    _members=members,
+                    _master=master,
+                    _loss_at=loss_at,
+                ):
+                    now_s = (
+                        _master.clock.elapsed_s
+                        + wave_outcome.timeline.elapsed_s
+                    )
+                    # Loss first: a checkpoint "taken" on the wave that
+                    # crosses the loss time never reached the host.
+                    if _loss_at is not None and now_s >= _loss_at:
+                        injector.check_device(_device, now_s)
+                    if store is not None and wave_index % checkpoint_every == 0:
+                        checkpoint = TrainingCheckpoint(
+                            device=_device,
+                            wave=wave_index,
+                            simulated_s=now_s,
+                            snapshots={
+                                m.index: _member_snapshot(m)
+                                for m in _members
+                            },
+                        )
+                        pool.device_to_host(
+                            _device, checkpoint.nbytes, category="checkpoint"
+                        )
+                        store.save(checkpoint)
+
+            limits = _interleave_limits(config, resident)
+            try:
+                outcome = run_interleaved(
+                    members,
+                    limits,
+                    tracer=tracer,
+                    span_clock=master.clock,
+                    on_wave=on_wave,
+                )
+            except DeviceLostError as exc:
+                lost_devices[device] = exc.at_s
+                device_span.set(lost=True, lost_at_s=exc.at_s)
+                continue
+            member_clocks[device].merge(outcome.timeline)
+            shard_seconds = max(shard_seconds, outcome.timeline.elapsed_s)
+            for member in members:
+                results[member.index] = member.result
+            device_span.set(
+                simulated_seconds=outcome.timeline.elapsed_s,
+                max_concurrency=outcome.max_concurrency,
+            )
+        if tracer is not None:
+            tracer.bind_clock(None)
+
+    # ------------------------------------------------------------------
+    # Recovery: lost devices hand their shards to the survivors, which
+    # restore the last shipped checkpoint (or restart) and re-solve.
+    # ------------------------------------------------------------------
+    if lost_devices:
+        survivors = [
+            d for d in range(pool.n_devices) if d not in lost_devices
+        ]
+        if not survivors:
+            raise SolverError(
+                "every device in the cluster was lost mid-cascade; "
+                "nothing survives to recover on"
+            )
+        lost_shards = sorted(
+            member.index
+            for device in lost_devices
+            for member in members_by_device.get(device, [])
+        )
+        snapshots: dict[int, SessionSnapshot] = {}
+        if store is not None:
+            for device in lost_devices:
+                checkpoint = store.latest(device)
+                if checkpoint is not None:
+                    snapshots.update(checkpoint.snapshots)
+        regrouped: dict[int, list[int]] = {}
+        for position, shard in enumerate(lost_shards):
+            survivor = survivors[position % len(survivors)]
+            regrouped.setdefault(survivor, []).append(shard)
+            shard_device[shard] = survivor
+        with maybe_span(
+            tracer,
+            "cascade_recovery",
+            n_shards=len(lost_shards),
+            n_survivors=len(survivors),
+            resumed_from_checkpoint=sum(
+                1 for shard in lost_shards if shard in snapshots
+            ),
+        ):
+            for survivor in sorted(regrouped):
+                shards_here = regrouped[survivor]
+                master = pool.engine(survivor)
+                if tracer is not None:
+                    tracer.bind_clock(master.clock)
+                resident = int(
+                    round(sum(shards[s].size for s in shards_here) * per_row)
+                )
+                with maybe_span(
+                    tracer,
+                    "cascade_shard_wave",
+                    clock=master.clock,
+                    device=survivor,
+                    n_shards=len(shards_here),
+                    resident_bytes=resident,
+                    recovery=True,
+                ):
+                    pool.host_to_device(survivor, resident)
+                    restore_bytes = sum(
+                        snapshots[s].nbytes
+                        for s in shards_here
+                        if s in snapshots
+                    )
+                    if restore_bytes:
+                        pool.host_to_device(
+                            survivor, restore_bytes, category="checkpoint"
+                        )
+                    recovered = [
+                        _make_shard_member(
+                            config, shard, shards[shard], data, labels,
+                            kernel, penalty, weighted_box, master.counters,
+                        )
+                        for shard in shards_here
+                    ]
+                    if injector is not None:
+                        rate = injector.straggler_rate(survivor)
+                        if rate != 1.0:
+                            for member in recovered:
+                                member.engine.clock.rate = rate
+                    for member in recovered:
+                        snapshot = snapshots.get(member.index)
+                        if snapshot is not None:
+                            member.session.restore_state(
+                                {
+                                    "alpha": snapshot.alpha,
+                                    "f": snapshot.f,
+                                    "rounds": snapshot.rounds,
+                                    "inner_total": snapshot.inner_total,
+                                    "ws_order": list(snapshot.ws_order),
+                                    "stalled": snapshot.stalled,
+                                    "converged": snapshot.converged,
+                                    "finished": snapshot.finished,
+                                }
+                            )
+                    limits = _interleave_limits(config, resident)
+                    outcome = run_interleaved(
+                        recovered,
+                        limits,
+                        tracer=tracer,
+                        span_clock=master.clock,
+                    )
+                    member_clocks[survivor].merge(outcome.timeline)
+                    shard_seconds = max(
+                        shard_seconds, outcome.timeline.elapsed_s
+                    )
+                    for member in recovered:
+                        results[member.index] = member.result
+                if tracer is not None:
+                    tracer.bind_clock(None)
+        report.faults = {
+            "devices_lost": {
+                int(d): float(at) for d, at in sorted(lost_devices.items())
+            },
+            "survivors": [int(d) for d in survivors],
+            "recovered_shards": len(lost_shards),
+            "resumed_from_checkpoint": sum(
+                1 for shard in lost_shards if shard in snapshots
+            ),
+        }
+
+    # Collapse the shard results into tree slots (SVs only).
+    slots: dict[int, _Slot] = {}
+    shard_entries = []
+    for shard in range(n_shards):
+        result = results[shard]
+        support = result.support_indices
+        slots[shard] = _Slot(
+            indices=shards[shard][support],
+            alpha=result.alpha[support],
+            device=shard_device[shard],
+        )
+        total_iterations += result.iterations
+        total_rows_computed += result.kernel_rows_computed
+        shard_entries.append(
+            {
+                "shard": shard,
+                "device": int(shard_device[shard]),
+                "n": int(shards[shard].size),
+                "sv_out": int(support.size),
+                "iterations": int(result.iterations),
+                "converged": bool(result.converged),
+            }
+        )
+    report.levels.append(
+        {
+            "kind": "shard",
+            "n_slots": n_shards,
+            "sv_in": n,
+            "sv_out": int(sum(e["sv_out"] for e in shard_entries)),
+            "survival": float(
+                sum(e["sv_out"] for e in shard_entries) / max(n, 1)
+            ),
+            "iterations": int(sum(e["iterations"] for e in shard_entries)),
+            "simulated_seconds": float(shard_seconds),
+            "shards": shard_entries,
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 2: pairwise SV merge up the topology-aware reduction tree.
+    # ------------------------------------------------------------------
+    tree = build_reduction_tree(
+        [slots[s].device for s in range(n_shards)], cluster
+    )
+    for level_steps in tree.levels:
+        merges = [
+            _merge_solve(
+                config, pool, slots, step, data, labels, kernel, penalty,
+                weighted_box, per_row, member_clocks, tracer,
+            )
+            for step in level_steps
+        ]
+        total_iterations += sum(m["iterations"] for m in merges)
+        tier_bytes: dict[str, int] = {}
+        for m in merges:
+            tier_bytes[m["tier"]] = tier_bytes.get(m["tier"], 0) + m["nbytes"]
+        sv_in = sum(m["sv_in"] for m in merges)
+        sv_out = sum(m["sv_out"] for m in merges)
+        report.levels.append(
+            {
+                "kind": "merge",
+                "n_merges": len(merges),
+                "sv_in": int(sv_in),
+                "sv_out": int(sv_out),
+                "survival": float(sv_out / sv_in) if sv_in else 1.0,
+                "iterations": int(sum(m["iterations"] for m in merges)),
+                "simulated_seconds": float(
+                    max((m["simulated_seconds"] for m in merges), default=0.0)
+                ),
+                "tier_bytes": tier_bytes,
+                "merges": merges,
+            }
+        )
+    report.tree = {
+        "n_levels": len(tree.levels),
+        "n_merges": tree.n_merges,
+        "tier_counts": tree.tier_counts(),
+        "root_slot": int(tree.root),
+        "root_device": int(slots[tree.root].device),
+    }
+
+    # ------------------------------------------------------------------
+    # Phase 3: feedback loop + final full-KKT verification.  Every pass
+    # recomputes the exact global indicators from the current weights,
+    # so the loop head is the verification of whatever solve came last.
+    # ------------------------------------------------------------------
+    root = slots[tree.root]
+    home_device = np.empty(n, dtype=np.int64)
+    for shard in range(n_shards):
+        home_device[shards[shard]] = shard_device[shard]
+    feedback_entries: list[dict] = []
+    while True:
+        f_full, gap, kkt_stats = _global_kkt_pass(
+            config, pool, root, home_device, data, labels, box, kernel,
+            per_row, member_clocks, tracer,
+        )
+        report.kkt_passes += 1
+        if gap <= budget:
+            report.budget_met = True
+            break
+        if report.feedback_rounds >= cascade.max_feedback_rounds:
+            break
+        alpha_full = np.zeros(n)
+        alpha_full[root.indices] = root.alpha
+        violators = _select_violators(
+            f_full, labels, alpha_full, box, root.indices,
+            cascade.feedback_chunk, config.epsilon,
+        )
+        if violators.size == 0:
+            break
+        # Ship the violating rows from their home devices to the root.
+        for device in sorted(set(int(d) for d in home_device[violators])):
+            if device == root.device:
+                continue
+            owned = int(np.count_nonzero(home_device[violators] == device))
+            pool.device_to_device(
+                device,
+                root.device,
+                int(round(owned * per_row)) + owned * FLOAT_BYTES,
+                category="cascade_feedback",
+            )
+        active = np.sort(np.concatenate([root.indices, violators]))
+        position_of = {int(g): i for i, g in enumerate(active)}
+        alpha0 = np.zeros(active.size)
+        for g, a in zip(root.indices, root.alpha):
+            alpha0[position_of[int(g)]] = a
+        engine = make_engine(
+            config.device,
+            flop_efficiency=config.flop_efficiency,
+            bandwidth_efficiency=config.bandwidth_efficiency,
+            backend=config.backend,
+            counters=pool.engine(root.device).counters,
+        )
+        with maybe_span(
+            tracer,
+            "cascade_feedback",
+            clock=engine.clock,
+            round=report.feedback_rounds + 1,
+            n_violators=int(violators.size),
+            n_active=int(active.size),
+            gap=float(gap),
+        ) as span:
+            rows = KernelRowComputer(
+                engine,
+                kernel,
+                mops.take_rows(data, active),
+                category="cascade_feedback",
+            )
+            solver = _batched_solver(
+                config, penalty, tracer=None, record_rounds=False
+            )
+            result = solver.solve(
+                rows,
+                labels[active],
+                penalty_vector=None if weighted_box is None else box[active],
+                initial_alpha=alpha0,
+                initial_f=f_full[active],
+            )
+            support = result.support_indices
+            root = _Slot(
+                indices=active[support],
+                alpha=result.alpha[support],
+                device=root.device,
+            )
+            slots[tree.root] = root
+            span.set(
+                sv_out=int(support.size),
+                iterations=result.iterations,
+                converged=result.converged,
+            )
+        member_clocks[root.device].merge(engine.clock)
+        total_iterations += result.iterations
+        total_rows_computed += result.kernel_rows_computed
+        report.feedback_rounds += 1
+        report.instances_fed_back += int(violators.size)
+        feedback_entries.append(
+            {
+                "kind": "feedback",
+                "round": report.feedback_rounds,
+                "gap_before": float(gap),
+                "n_violators": int(violators.size),
+                "n_active": int(active.size),
+                "sv_out": int(support.size),
+                "iterations": int(result.iterations),
+                "simulated_seconds": float(engine.clock.elapsed_s),
+            }
+        )
+    report.levels.extend(feedback_entries)
+    report.levels.append(kkt_stats)
+
+    if not report.budget_met:
+        warnings.warn(
+            f"cascade feedback loop stopped at global gap {gap:.3g} above "
+            f"the dual-gap budget {budget:.3g} "
+            f"({report.feedback_rounds} feedback rounds)",
+            ConvergenceWarning,
+            stacklevel=3,
+        )
+
+    # Assemble the full-problem result from the verified final state.
+    alpha_full = np.zeros(n)
+    alpha_full[root.indices] = root.alpha
+    bias = bias_from_f(f_full, labels, alpha_full, box)
+    report.final_gap = float(gap)
+    report.n_support = root.n_sv
+    report.total_iterations = total_iterations
+    tier_totals = {"host": 0, "intra": 0, "inter": 0}
+    for (src, dst), nbytes in pool.transfer_ledger.items():
+        moved = nbytes - ledger_before.get((src, dst), 0)
+        if moved:
+            tier_totals[pool.link_tier(src, dst)] += moved
+    report.transfer_bytes = tier_totals
+    result = SolverResult(
+        alpha=alpha_full,
+        bias=bias,
+        converged=report.budget_met,
+        iterations=total_iterations,
+        rounds=report.kkt_passes,
+        objective=dual_objective(alpha_full, labels, f_full),
+        final_gap=float(gap),
+        kernel_rows_computed=total_rows_computed,
+        diagnostics={
+            "cascade": True,
+            "n_shards": n_shards,
+            "feedback_rounds": report.feedback_rounds,
+            "gap_budget": budget,
+        },
+        f=f_full,
+    )
+    return result, report
+
+
+def train_cascade(
+    config,
+    cluster,
+    data: mops.MatrixLike,
+    y: np.ndarray,
+    kernel: KernelFunction,
+    penalty: float,
+    *,
+    cascade: Optional[CascadeConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 4,
+    checkpoint_dir: Optional[object] = None,
+) -> tuple[SolverResult, CascadeReport]:
+    """Train one binary SVM instance-sharded across a simulated cluster.
+
+    ``y`` must be ±1 labels; ``config`` is the usual
+    :class:`~repro.core.trainer.TrainerConfig` (batched solver only),
+    ``cluster`` a (possibly hierarchical)
+    :class:`~repro.distributed.cluster.ClusterSpec`.  Returns the
+    full-problem :class:`~repro.solvers.base.SolverResult` — dual
+    weights over every instance, bias, exact final indicators ``f`` and
+    the verified global dual gap — plus the :class:`CascadeReport`
+    (per-level timeline, SV survival, per-tier transfer bytes, feedback
+    accounting, faults).
+
+    The trained model is **not** bitwise-identical to the sequential
+    solve — the cascade merge is approximate.  ``converged`` on the
+    result means the final full-KKT verification met the configured
+    dual-gap budget; a miss raises a
+    :class:`~repro.exceptions.ConvergenceWarning` instead of failing.
+
+    ``fault_plan`` / ``checkpoint_every`` / ``checkpoint_dir`` mirror
+    :func:`~repro.distributed.trainer.train_multiclass_sharded`: device
+    losses abort the affected shard solves at a wave boundary and the
+    survivors resume them from the last shipped checkpoint; the merge
+    tree is then built over the surviving devices and the error budget
+    still applies.
+    """
+    from repro.distributed.cluster import DevicePool
+
+    tracer = config.tracer
+    if config.solver != "batched":
+        raise ValidationError(
+            "cascade training drives resumable batched-SMO sessions; "
+            f"solver {config.solver!r} is not shardable"
+        )
+    if checkpoint_every < 1:
+        raise ValidationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if config.device is not cluster.device:
+        config = replace(config, device=cluster.device)
+    cascade = cascade if cascade is not None else CascadeConfig()
+    injector = (
+        FaultInjector(fault_plan, cluster.n_devices)
+        if fault_plan is not None and not fault_plan.is_empty
+        else None
+    )
+    store_root = None if checkpoint_dir == ":memory:" else checkpoint_dir
+    store = (
+        CheckpointStore(store_root)
+        if injector is not None or checkpoint_dir is not None
+        else None
+    )
+    pool = DevicePool(
+        cluster,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
+        tracer=tracer,
+        fault_injector=injector,
+    )
+    member_clocks = [SimClock() for _ in range(cluster.n_devices)]
+    with maybe_span(
+        tracer,
+        "train_cascade",
+        n_instances=mops.n_rows(data),
+        n_devices=cluster.n_devices,
+        n_nodes=cluster.n_nodes,
+        n_shards=cascade.n_shards,
+    ) as span:
+        result, report = _cascade_solve(
+            config,
+            cascade,
+            pool,
+            data,
+            np.asarray(y).ravel(),
+            kernel,
+            penalty,
+            injector=injector,
+            store=store,
+            checkpoint_every=checkpoint_every,
+            member_clocks=member_clocks,
+            tracer=tracer,
+        )
+        report.simulated_seconds = max(
+            pool.engine(d).clock.elapsed_s + member_clocks[d].elapsed_s
+            for d in range(cluster.n_devices)
+        )
+        if injector is not None:
+            faults = injector.summary()
+            faults["checkpoints_written"] = store.n_written if store else 0
+            faults["recovery"] = report.faults
+            report.faults = faults
+        elif store is not None and store.n_written:
+            report.faults = {"checkpoints_written": store.n_written}
+        span.set(
+            simulated_seconds=report.simulated_seconds,
+            final_gap=report.final_gap,
+            budget_met=report.budget_met,
+            feedback_rounds=report.feedback_rounds,
+            n_support=report.n_support,
+        )
+    return result, report

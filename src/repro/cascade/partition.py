@@ -1,0 +1,61 @@
+"""Seeded, deterministic instance partitioning for the cascade.
+
+Each sub-SVM must be a well-posed binary problem, so the partitioner is
+*stratified*: the positive and the negative instances are shuffled
+independently (seeded generator) and dealt round-robin to the shards,
+which guarantees every shard holds both classes and shard sizes differ
+by at most one per class.  Same ``(labels, n_shards, seed)`` always
+yields the same shards — the cascade timeline, the reduction tree and
+the recovered-after-fault run all see identical partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["effective_shards", "shard_instances"]
+
+
+def effective_shards(labels: np.ndarray, n_shards: int) -> int:
+    """Largest usable shard count: every shard needs both classes."""
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    n_positive = int(np.count_nonzero(labels > 0))
+    n_negative = int(np.count_nonzero(labels < 0))
+    return max(1, min(n_shards, n_positive, n_negative))
+
+
+def shard_instances(
+    labels: np.ndarray, n_shards: int, seed: int
+) -> list[np.ndarray]:
+    """Partition a binary problem's instances into stratified shards.
+
+    ``labels`` are the problem's ±1 labels in local order.  Returns
+    ``n_shards`` sorted index arrays that disjointly cover
+    ``range(len(labels))``, each containing at least one instance of
+    either class.  Raises when the labels cannot support ``n_shards``
+    stratified shards (use :func:`effective_shards` to clamp first).
+    """
+    labels = np.asarray(labels).ravel()
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    positives = np.flatnonzero(labels > 0)
+    negatives = np.flatnonzero(labels < 0)
+    if min(positives.size, negatives.size) < n_shards:
+        raise ValidationError(
+            f"cannot cut {n_shards} stratified shards from "
+            f"{positives.size} positive / {negatives.size} negative "
+            "instances; every shard needs both classes"
+        )
+    rng = np.random.default_rng(seed)
+    shards: list[list[np.ndarray]] = [[] for _ in range(n_shards)]
+    for class_indices in (positives, negatives):
+        shuffled = class_indices.copy()
+        rng.shuffle(shuffled)
+        for shard in range(n_shards):
+            shards[shard].append(shuffled[shard::n_shards])
+    return [
+        np.sort(np.concatenate(parts)).astype(np.int64) for parts in shards
+    ]

@@ -1,0 +1,134 @@
+"""Topology-aware pairwise reduction tree over cascade shards.
+
+The cascade merges surviving support vectors pairwise until one slot
+remains.  On a hierarchical cluster the order matters: a merge between
+devices on the same node rides the fast intra-node tier, a cross-node
+merge rides the slow inter-node tier.  The tree therefore exhausts
+same-device merges (free) and intra-node merges first, and only when
+every node is down to a single surviving slot does it pair across nodes
+— so exactly ``n_nodes - 1`` merges ever touch the inter-node tier.
+
+Everything here is deterministic: slots are ordered by (node, device,
+slot id) and paired adjacently, so the same shard→device assignment
+always produces the same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MergeStep", "ReductionTree", "assign_shards", "build_reduction_tree"]
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One pairwise merge: slot ``src`` folds into slot ``dst``.
+
+    ``tier`` names the link the SV payload rides: ``"local"`` (same
+    device, no interconnect), ``"intra"`` (same node, fast tier) or
+    ``"inter"`` (cross-node tier).
+    """
+
+    src: int
+    dst: int
+    tier: str
+
+
+@dataclass
+class ReductionTree:
+    """The merge schedule: levels of independent pairwise merges."""
+
+    levels: list[list[MergeStep]] = field(default_factory=list)
+    root: int = 0
+
+    @property
+    def n_merges(self) -> int:
+        """Total pairwise merges across all levels."""
+        return sum(len(level) for level in self.levels)
+
+    def tier_counts(self) -> dict[str, int]:
+        """How many merges ride each link tier."""
+        counts = {"local": 0, "intra": 0, "inter": 0}
+        for level in self.levels:
+            for step in level:
+                counts[step.tier] += 1
+        return counts
+
+
+def assign_shards(n_shards: int, n_devices: int) -> list[int]:
+    """Deterministic shard→device assignment, contiguous and node-major.
+
+    With at most one shard per device the assignment is the identity
+    (devices are numbered node-major, so neighbouring shards share a
+    node); with more shards than devices, contiguous blocks keep a
+    shard's first merge partner on the same device whenever possible.
+    """
+    if n_shards < 1 or n_devices < 1:
+        raise ValidationError("need at least one shard and one device")
+    if n_shards <= n_devices:
+        return list(range(n_shards))
+    return [(i * n_devices) // n_shards for i in range(n_shards)]
+
+
+def build_reduction_tree(slot_devices: list[int], cluster) -> ReductionTree:
+    """Plan the pairwise reduction of ``len(slot_devices)`` slots.
+
+    ``slot_devices[i]`` is the device holding slot ``i``'s sub-solution;
+    ``cluster`` is the :class:`~repro.distributed.cluster.ClusterSpec`
+    supplying the node map.  Each level pairs adjacent surviving slots
+    ordered by (node, device, slot), never crossing a node boundary
+    while any node still holds two slots; the surviving slot of a pair
+    is the earlier one and inherits its device.
+    """
+    if not slot_devices:
+        raise ValidationError("cannot reduce zero slots")
+    device_of = dict(enumerate(slot_devices))
+    active = sorted(
+        device_of,
+        key=lambda slot: (cluster.node_of(device_of[slot]), device_of[slot], slot),
+    )
+    levels: list[list[MergeStep]] = []
+    while len(active) > 1:
+        by_node: dict[int, list[int]] = {}
+        for slot in active:
+            by_node.setdefault(cluster.node_of(device_of[slot]), []).append(slot)
+        merges: list[MergeStep] = []
+        survivors: list[int] = []
+        if any(len(slots) >= 2 for slots in by_node.values()):
+            # Intra-node phase: pair adjacent slots within each node
+            # (same-device neighbours first, by construction of the
+            # ordering); odd slots carry to the next level.
+            for node in sorted(by_node):
+                slots = by_node[node]
+                for i in range(0, len(slots) - 1, 2):
+                    dst, src = slots[i], slots[i + 1]
+                    tier = (
+                        "local"
+                        if device_of[src] == device_of[dst]
+                        else "intra"
+                    )
+                    merges.append(MergeStep(src=src, dst=dst, tier=tier))
+                    survivors.append(dst)
+                if len(slots) % 2:
+                    survivors.append(slots[-1])
+        else:
+            # Every node is down to one slot: pair across nodes.
+            slots = [by_node[node][0] for node in sorted(by_node)]
+            for i in range(0, len(slots) - 1, 2):
+                dst, src = slots[i], slots[i + 1]
+                merges.append(MergeStep(src=src, dst=dst, tier="inter"))
+                survivors.append(dst)
+            if len(slots) % 2:
+                survivors.append(slots[-1])
+        levels.append(merges)
+        active = sorted(
+            survivors,
+            key=lambda slot: (
+                cluster.node_of(device_of[slot]),
+                device_of[slot],
+                slot,
+            ),
+        )
+    return ReductionTree(levels=levels, root=active[0])

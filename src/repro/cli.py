@@ -94,6 +94,15 @@ def _train_parser() -> argparse.ArgumentParser:
     parser.add_argument("--placement", default="affinity",
                         choices=("affinity", "round_robin"),
                         help="pair-to-device placement when --devices > 1")
+    parser.add_argument("--instance-shards", type=int, default=1, metavar="N",
+                        help="cut each large pairwise problem into N "
+                             "instance shards and train it through the "
+                             "cascade SMO driver (gmp-svm only; approximate "
+                             "under an explicit dual-gap budget)")
+    parser.add_argument("--cascade-threshold", type=int, default=2048,
+                        metavar="M",
+                        help="pairs with at least M instances route through "
+                             "the cascade when --instance-shards > 1")
     parser.add_argument("--fault-seed", type=int, default=None,
                         metavar="SEED",
                         help="inject a seeded random fault plan (stragglers, "
@@ -136,7 +145,17 @@ def _build_cli_classifier(args: argparse.Namespace):
         probability=bool(args.probability),
     )
     if args.system == "gmp-svm":
-        return GMPSVC(working_set_size=args.working_set, **kwargs)
+        cascade = None
+        if args.instance_shards > 1:
+            from repro.cascade import CascadeConfig
+
+            cascade = CascadeConfig(
+                n_shards=args.instance_shards,
+                threshold=args.cascade_threshold,
+            )
+        return GMPSVC(
+            working_set_size=args.working_set, cascade=cascade, **kwargs
+        )
     if args.system == "libsvm":
         return LibSVMClassifier(**kwargs)
     if args.system == "libsvm-openmp":
@@ -204,6 +223,25 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
         if args.checkpoint_every < 1:
             raise ReproError(
                 f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
+        if args.instance_shards < 1:
+            raise ReproError(
+                f"--instance-shards must be >= 1, got {args.instance_shards}"
+            )
+        if args.instance_shards > 1 and args.system != "gmp-svm":
+            raise ReproError(
+                "--instance-shards drives the cascade on the GPU system "
+                "only; use --system gmp-svm"
+            )
+        if args.instance_shards > 1 and args.fault_seed is not None:
+            raise ReproError(
+                "--instance-shards does not combine with --fault-seed; "
+                "cascade fault injection runs through "
+                "repro.cascade.train_cascade"
+            )
+        if args.cascade_threshold < 2:
+            raise ReproError(
+                f"--cascade-threshold must be >= 2, got {args.cascade_threshold}"
             )
         if args.backend != "numpy64" and args.system not in (
             "gmp-svm", "cmp-svm"
@@ -273,6 +311,39 @@ def train_main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print(f"simulated {report.device_name} time: "
                   f"{report.simulated_seconds * 1e3:.3f} ms")
+        cascade_stats = [
+            stats for stats in report.per_svm if stats.get("cascade")
+        ]
+        if cascade_stats:
+            print(f"cascade-routed {len(cascade_stats)} pair(s) "
+                  f"across {args.instance_shards} instance shard(s):")
+            for stats in cascade_stats:
+                info = stats["cascade"]
+                met = "met" if info["budget_met"] else "MISSED"
+                print(f"  pair {tuple(stats['pair'])}: "
+                      f"{info['n_shards']} shard(s), "
+                      f"{info['feedback_rounds']} feedback round(s), "
+                      f"gap {info['final_gap']:.2e} / "
+                      f"budget {info['gap_budget']:.2e} ({met}), "
+                      f"SV survival {info['sv_survival']:.1%}")
+                for level in info.get("levels", []):
+                    kind = level["kind"]
+                    if kind == "shard":
+                        print(f"    level shard: {level['n_slots']} slot(s)  "
+                              f"SVs {level['sv_in']} -> {level['sv_out']} "
+                              f"({level['survival']:.1%})")
+                    elif kind == "merge":
+                        tiers = ", ".join(
+                            f"{tier}={nbytes} B" for tier, nbytes in
+                            sorted(level.get("tier_bytes", {}).items())
+                        )
+                        print(f"    level merge: {level['n_merges']} merge(s)  "
+                              f"SVs {level['sv_in']} -> {level['sv_out']} "
+                              f"({level['survival']:.1%})  {tiers}")
+                    elif kind == "feedback":
+                        print(f"    level feedback round {level['round']}: "
+                              f"{level['n_violators']} violator(s), "
+                              f"gap before {level['gap_before']:.2e}")
         print(f"model saved to {model_path}")
         if published is not None:
             lineage = (

@@ -84,6 +84,7 @@ class GMPSVC:
         share_budget_bytes: Optional[int] = None,
         coupling_method: str = "eq15",
         backend: Optional[object] = None,
+        cascade: Optional[object] = None,
         device: Optional[DeviceSpec] = None,
         warm_start: bool = False,
     ) -> None:
@@ -112,6 +113,9 @@ class GMPSVC:
         self.share_budget_bytes = share_budget_bytes
         self.coupling_method = coupling_method
         self.backend = backend
+        # A repro.cascade.CascadeConfig routes pairwise problems at or
+        # above its threshold through instance-sharded cascade training.
+        self.cascade = cascade
         self.device = device if device is not None else scaled_tesla_p100()
         self.warm_start = warm_start
 
@@ -207,6 +211,7 @@ class GMPSVC:
             blocks_per_svm=self.blocks_per_svm,
             max_concurrent_svms=self.max_concurrent_svms,
             backend=self.backend,
+            cascade=self.cascade,
         )
 
     def _predictor_config(self) -> PredictorConfig:

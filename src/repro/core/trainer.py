@@ -111,6 +111,12 @@ class TrainerConfig:
     # Compute backend: None (the float64 reference), a backend name, a
     # repro.backends.BackendSpec or a ComputeBackend instance.
     backend: Optional[object] = None
+    # Instance-sharded cascade routing: a repro.cascade.CascadeConfig
+    # sends pairwise problems with at least ``cascade.threshold``
+    # instances through the cascade SMO driver (seeded instance shards,
+    # pairwise SV merge, global-KKT feedback — see repro.cascade) instead
+    # of one monolithic solve.  ``None`` keeps every pair monolithic.
+    cascade: Optional[object] = None
     # Telemetry: an optional hierarchical span tracer (spans cover the
     # whole run, every pair solve and the concurrency packing), and a
     # switch for per-round solver telemetry in the report even when no
@@ -151,6 +157,19 @@ class TrainerConfig:
             from repro.backends import resolve_backend
 
             resolve_backend(self.backend)
+        if self.cascade is not None:
+            from repro.cascade.config import CascadeConfig
+
+            if not isinstance(self.cascade, CascadeConfig):
+                raise ValidationError(
+                    "cascade must be a repro.cascade.CascadeConfig, got "
+                    f"{type(self.cascade).__name__}"
+                )
+            if self.solver != "batched":
+                raise ValidationError(
+                    "cascade routing drives resumable batched-SMO "
+                    f"sessions; solver {self.solver!r} is not shardable"
+                )
 
 
 def train_multiclass(
@@ -327,13 +346,40 @@ def _train_multiclass_impl(
         else ova_problems(classes, partition)
     )
 
+    # Instance-sharded cascade routing: pairs at or above the configured
+    # threshold leave the monolithic path and train through the cascade
+    # driver (repro.cascade); the rest proceed exactly as before.  Model
+    # assembly happens in problem order below, so routing never reorders
+    # records.  Results land keyed by problem index.
+    finals: dict[int, tuple] = {}
+    cascade_cfg = config.cascade
+    cascade_indices: set[int] = set()
+    if cascade_cfg is not None and cascade_cfg.n_shards > 1:
+        cascade_indices = {
+            index
+            for index, problem in enumerate(problems)
+            if problem.n >= cascade_cfg.threshold
+        }
+    cascade_clock = SimClock()
+    if cascade_indices:
+        total_iterations, total_rows_computed = _run_cascade_pairs(
+            config, classes, problems, cascade_indices, cascade_cfg,
+            data, kernel, penalty, master, finals, cascade_clock,
+            warm_start=warm_start,
+        )
+    remaining = [
+        (index, problem)
+        for index, problem in enumerate(problems)
+        if index not in cascade_indices
+    ]
+
     # The interleaved driver needs resumable sessions, which only the
     # batched solver provides; a single pair has nothing to interleave.
     use_interleaved = (
         config.concurrent
         and config.concurrency_mode == "interleaved"
         and config.solver == "batched"
-        and len(problems) > 1
+        and len(remaining) > 1
     )
 
     schedule_source = "serial"
@@ -354,7 +400,7 @@ def _train_multiclass_impl(
                 counters=master.counters,
                 warm_start=warm_start,
             )
-            for index, problem in enumerate(problems)
+            for index, problem in remaining
         ]
         limits = _interleave_limits(config, mops.matrix_nbytes(data))
         outcome = run_interleaved(
@@ -373,9 +419,7 @@ def _train_multiclass_impl(
                 config, classes, member, data, kernel, penalty, tracer
             )
             svm_stats["warm_start"] = member.warm_started
-            per_svm_records.append(record)
-            pool_entries.append(pool_entry)
-            per_svm_stats.append(svm_stats)
+            finals[member.index] = (record, pool_entry, svm_stats)
             total_iterations += member.result.iterations
             total_rows_computed += member.result.kernel_rows_computed
             peak_task_mem = max(peak_task_mem, member.mem_bytes)
@@ -385,7 +429,7 @@ def _train_multiclass_impl(
         schedule_source = "wave_trace"
         wave_trace = outcome.wave_trace
 
-    for problem in ([] if use_interleaved else problems):
+    for index, problem in ([] if use_interleaved else remaining):
         engine = make_engine(
             config.device,
             flop_efficiency=config.flop_efficiency,
@@ -427,9 +471,7 @@ def _train_multiclass_impl(
                 pair_data=pair_data,
             )
             svm_stats["warm_start"] = warm is not None
-            per_svm_records.append(record)
-            pool_entries.append(pool_entry)
-            per_svm_stats.append(svm_stats)
+            finals[index] = (record, pool_entry, svm_stats)
             tasks.append(
                 ScheduledTask.from_clock(
                     f"svm_{problem.s}_{problem.t}",
@@ -467,6 +509,17 @@ def _train_multiclass_impl(
                 combined.merge(task.clock)
         max_concurrency = 1
         concurrency_speedup = 1.0
+    # Cascade pairs train sequentially before the monolithic pass; their
+    # single-pool timeline (shards, merges, feedback, finalize) adds on.
+    combined.merge(cascade_clock)
+
+    # Assemble the model in problem order regardless of which execution
+    # path (cascade / interleaved / sequential) produced each pair.
+    for index in range(len(problems)):
+        record, pool_entry, svm_stats = finals[index]
+        per_svm_records.append(record)
+        pool_entries.append(pool_entry)
+        per_svm_stats.append(svm_stats)
 
     pool = SupportVectorPool.build(data, pool_entries)
     model = MPSVMModel(
@@ -501,6 +554,128 @@ def _train_multiclass_impl(
         wave_trace=wave_trace,
     )
     return model, report
+
+
+def _run_cascade_pairs(
+    config: TrainerConfig,
+    classes: np.ndarray,
+    problems: list,
+    cascade_indices: set,
+    cascade_cfg,
+    data: mops.MatrixLike,
+    kernel: KernelFunction,
+    penalty: float,
+    master: Engine,
+    finals: dict,
+    cascade_clock: SimClock,
+    *,
+    warm_start: Optional[MPSVMModel] = None,
+) -> tuple[int, int]:
+    """Train the routed pairs through the cascade driver, in problem order.
+
+    Each routed pair gets a fresh single-device pool (the multi-device
+    cascade lives in ``train_multiclass_sharded`` /
+    :func:`repro.cascade.train_cascade`); its shard/merge/feedback
+    timeline folds into ``cascade_clock`` and its op counters into the
+    master tally, so the report covers the routed work.  Cascade pairs
+    always train cold — ``warm_start`` priors map a monolithic dual
+    solution, which has no sound projection onto the instance shards.
+
+    Fills ``finals[index]`` with the standard ``(record, pool_entry,
+    svm_stats)`` triple (plus a ``"cascade"`` stats block) and returns
+    the accumulated ``(iterations, kernel_rows_computed)``.
+    """
+    del warm_start  # accepted for signature symmetry; see docstring
+    from repro.cascade.driver import _cascade_solve
+    from repro.distributed.cluster import ClusterSpec, DevicePool
+
+    tracer = config.tracer
+    if config.device.kind != "gpu":
+        raise ValidationError(
+            "cascade routing shards instances across (simulated) GPU "
+            f"devices; device kind {config.device.kind!r} runs the "
+            "monolithic path only"
+        )
+    total_iterations = 0
+    total_rows = 0
+    for index in sorted(cascade_indices):
+        problem = problems[index]
+        pool = DevicePool(
+            ClusterSpec(device=config.device, n_devices=1),
+            flop_efficiency=config.flop_efficiency,
+            bandwidth_efficiency=config.bandwidth_efficiency,
+            backend=config.backend,
+            tracer=tracer,
+        )
+        member_clocks = [SimClock()]
+        pair_data = mops.take_rows(data, problem.global_indices)
+        penalty_vector = _class_weighted_penalties(
+            config, classes, problem, penalty
+        )
+        with maybe_span(
+            tracer,
+            "solve_pair",
+            clock=pool.engine(0).clock,
+            pair=(problem.s, problem.t),
+            n=problem.n,
+            cascade=True,
+        ) as pair_span:
+            result, casc_report = _cascade_solve(
+                config,
+                cascade_cfg,
+                pool,
+                pair_data,
+                problem.labels,
+                kernel,
+                penalty,
+                penalty_vector=penalty_vector,
+                member_clocks=member_clocks,
+                tracer=tracer,
+            )
+            finalize_engine = make_engine(
+                config.device,
+                flop_efficiency=config.flop_efficiency,
+                bandwidth_efficiency=config.bandwidth_efficiency,
+                backend=config.backend,
+                counters=master.counters,
+            )
+            record, pool_entry, svm_stats = _finalize_pair(
+                config, finalize_engine, problem, result, data, kernel,
+                penalty, penalty_vector=penalty_vector, pair_span=pair_span,
+                pair_data=pair_data,
+            )
+            svm_stats["warm_start"] = False
+            svm_stats["simulated_seconds"] = (
+                pool.engine(0).clock.elapsed_s
+                + member_clocks[0].elapsed_s
+                + finalize_engine.clock.elapsed_s
+            )
+            svm_stats["cascade"] = {
+                "n_shards": casc_report.n_shards,
+                "feedback_rounds": casc_report.feedback_rounds,
+                "final_gap": casc_report.final_gap,
+                "gap_budget": casc_report.gap_budget,
+                "budget_met": casc_report.budget_met,
+                "sv_survival": casc_report.sv_survival,
+                "transfer_bytes": dict(casc_report.transfer_bytes),
+                "levels": [
+                    {k: v for k, v in level.items()
+                     if k not in ("merges", "shards")}
+                    for level in casc_report.levels
+                ],
+            }
+            finals[index] = (record, pool_entry, svm_stats)
+        if tracer is not None:
+            # _cascade_solve unbinds its wave clocks on exit; restore the
+            # run-wide default axis for subsequent clock-less spans.
+            tracer.bind_clock(master.clock)
+        total_iterations += result.iterations
+        total_rows += result.kernel_rows_computed
+        cascade_clock.merge(pool.engine(0).clock)
+        cascade_clock.merge(member_clocks[0])
+        cascade_clock.merge(finalize_engine.clock)
+        master.counters.merge(pool.engine(0).counters)
+    return total_iterations, total_rows
 
 
 def _finalize_pair(

@@ -18,6 +18,14 @@ writes in), so the charge lands on both clocks; a host↔device copy charges
 only the device (the host is not a simulated resource).  All transfers are
 tallied in a ``(src, dst) -> bytes`` ledger and, when a tracer is attached,
 emitted as ``transfer`` spans on the destination clock's time axis.
+
+Hierarchical topologies: a :class:`ClusterSpec` with ``n_nodes > 1``
+spreads its devices node-major over the nodes (device ``d`` lives on node
+``d // devices_per_node``), and the interconnect grows a third, slower
+tier — peer copies between devices on the *same* node pay the intra-node
+(NVLink-class) charge, copies crossing nodes pay the inter-node
+(network-class) charge.  The ledger keys stay ``(src, dst)``, so per-tier
+volumes fall out of :meth:`DevicePool.tier_bytes`.
 """
 
 from __future__ import annotations
@@ -43,17 +51,30 @@ class InterconnectSpec:
 
     Defaults model a PCIe 3.0 x16 host link and an NVLink-class peer
     mesh — per-transfer initiation overhead plus a sustained byte rate.
+    The inter-node tier (used only by hierarchical clusters, see
+    :class:`ClusterSpec.n_nodes`) defaults to a network-class link:
+    higher initiation latency, a quarter of the intra-node bandwidth.
     """
 
     host_latency_s: float = 10e-6
     host_bandwidth_gbps: float = 12.0
     peer_latency_s: float = 5e-6
     peer_bandwidth_gbps: float = 40.0
+    inter_node_latency_s: float = 25e-6
+    inter_node_bandwidth_gbps: float = 10.0
 
     def __post_init__(self) -> None:
-        if self.host_latency_s < 0 or self.peer_latency_s < 0:
+        if (
+            self.host_latency_s < 0
+            or self.peer_latency_s < 0
+            or self.inter_node_latency_s < 0
+        ):
             raise ValidationError("interconnect latencies must be non-negative")
-        if self.host_bandwidth_gbps <= 0 or self.peer_bandwidth_gbps <= 0:
+        if (
+            self.host_bandwidth_gbps <= 0
+            or self.peer_bandwidth_gbps <= 0
+            or self.inter_node_bandwidth_gbps <= 0
+        ):
             raise ValidationError("interconnect bandwidths must be positive")
 
     def host_charge(self, nbytes: int) -> TimeCharge:
@@ -64,25 +85,50 @@ class InterconnectSpec:
         )
 
     def peer_charge(self, nbytes: int) -> TimeCharge:
-        """Cost of moving ``nbytes`` over a device↔device link."""
+        """Cost of moving ``nbytes`` over an intra-node device↔device link."""
         return TimeCharge(
             latency_s=self.peer_latency_s,
             compute_s=nbytes / (self.peer_bandwidth_gbps * 1e9),
         )
 
+    def inter_node_charge(self, nbytes: int) -> TimeCharge:
+        """Cost of moving ``nbytes`` over the cross-node link tier."""
+        return TimeCharge(
+            latency_s=self.inter_node_latency_s,
+            compute_s=nbytes / (self.inter_node_bandwidth_gbps * 1e9),
+        )
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """``n_devices`` identical simulated devices plus their interconnect."""
+    """``n_devices`` identical simulated devices plus their interconnect.
+
+    ``n_nodes > 1`` makes the cluster hierarchical: the devices are
+    spread node-major over the nodes (``n_devices`` must divide evenly),
+    and peer transfers crossing a node boundary pay the interconnect's
+    inter-node tier instead of the intra-node one.  The flat single-node
+    cluster is the ``n_nodes = 1`` special case and behaves exactly as
+    before.
+    """
 
     device: DeviceSpec = field(default_factory=scaled_tesla_p100)
     n_devices: int = 1
     interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    n_nodes: int = 1
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
             raise ValidationError(
                 f"a cluster needs at least one device, got {self.n_devices}"
+            )
+        if self.n_nodes < 1:
+            raise ValidationError(
+                f"a cluster needs at least one node, got {self.n_nodes}"
+            )
+        if self.n_devices % self.n_nodes != 0:
+            raise ValidationError(
+                f"{self.n_devices} devices do not spread evenly over "
+                f"{self.n_nodes} nodes"
             )
         if self.device.kind != "gpu":
             raise ValidationError(
@@ -91,8 +137,30 @@ class ClusterSpec:
             )
 
     @property
+    def devices_per_node(self) -> int:
+        """Devices on each node (devices are spread node-major)."""
+        return self.n_devices // self.n_nodes
+
+    def node_of(self, device: int) -> int:
+        """The node hosting device ``device``."""
+        if not 0 <= device < self.n_devices:
+            raise ValidationError(
+                f"device {device} out of range for a "
+                f"{self.n_devices}-device cluster"
+            )
+        return device // self.devices_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether devices ``a`` and ``b`` share a node (fast peer tier)."""
+        return self.node_of(a) == self.node_of(b)
+
+    @property
     def name(self) -> str:
-        """Display name, e.g. ``4x Tesla P100 (scaled)``."""
+        """Display name, e.g. ``4x Tesla P100 (scaled)`` or ``2x2 ...``."""
+        if self.n_nodes > 1:
+            return (
+                f"{self.n_nodes}x{self.devices_per_node} {self.device.name}"
+            )
         return f"{self.n_devices}x {self.device.name}"
 
 
@@ -169,6 +237,26 @@ class DevicePool:
             if device in (src, dst)
         )
 
+    def link_tier(self, src: int, dst: int) -> str:
+        """Which interconnect tier a ``(src, dst)`` copy rides.
+
+        ``"host"`` when either endpoint is the host, ``"intra"`` for
+        peers sharing a node, ``"inter"`` for peers on different nodes.
+        """
+        if HOST in (src, dst):
+            return "host"
+        if self.cluster.same_node(src, dst):
+            return "intra"
+        return "inter"
+
+    @property
+    def tier_bytes(self) -> dict[str, int]:
+        """Ledger volume per interconnect tier (host / intra / inter)."""
+        totals = {"host": 0, "intra": 0, "inter": 0}
+        for (src, dst), nbytes in self.transfer_ledger.items():
+            totals[self.link_tier(src, dst)] += nbytes
+        return totals
+
     @property
     def makespan_s(self) -> float:
         """Cluster wall time: the busiest device's simulated clock."""
@@ -215,10 +303,13 @@ class DevicePool:
         if nbytes == 0:
             return
         interconnect = self.cluster.interconnect
-        if HOST in (src, dst):
+        tier = self.link_tier(src, dst)
+        if tier == "host":
             charge = interconnect.host_charge(nbytes)
-        else:
+        elif tier == "intra":
             charge = interconnect.peer_charge(nbytes)
+        else:
+            charge = interconnect.inter_node_charge(nbytes)
         if self.fault_injector is not None:
             # A transfer "happens" at the busier endpoint's current
             # simulated time; a link-fault window covering that instant
@@ -249,6 +340,7 @@ class DevicePool:
                 clock=span_engine.clock,
                 src="host" if src == HOST else src,
                 dst="host" if dst == HOST else dst,
+                tier=tier,
                 nbytes=int(nbytes),
                 seconds=charge.latency_s + charge.compute_s,
             ):

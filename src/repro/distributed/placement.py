@@ -20,6 +20,15 @@ Two strategies, both deterministic:
   ignores the affinity graph (useful as a control, and what a naive
   sharder would do).
 
+Hierarchical clusters: passing the :class:`~repro.distributed.cluster.
+ClusterSpec` makes the affinity strategy *topology-aware* — after the
+device-level class overlap, ties prefer a device whose **node** already
+hosts the problem's classes, so class blocks duplicate across as few
+node boundaries as possible and any cross-device traffic those problems
+cause rides the fast intra-node tier.  On a flat (single-node) cluster
+the node-level tie-break is a constant and the plan is unchanged, which
+preserves the bitwise-parity guarantee of the existing paths.
+
 The estimated cost of a problem is ``n^2`` (SMO work grows superlinearly
 with the pair's instance count; the quadratic proxy orders pairs the same
 way the measured solves do).  Placement never affects trained *values* —
@@ -55,6 +64,9 @@ class PlacementPlan:
     device_load: list[float]
     # Class positions resident per device (drives transfer/memory sizing).
     device_classes: list[set] = field(default_factory=list)
+    # Topology (1 for flat clusters): node count and device -> node map.
+    n_nodes: int = 1
+    node_map: list[int] = field(default_factory=list)
 
     @property
     def device_problems(self) -> list[list[int]]:
@@ -73,15 +85,29 @@ class PlacementPlan:
         mean = sum(self.device_load) / self.n_devices
         return max(self.device_load) / mean if mean > 0 else 1.0
 
+    @property
+    def node_classes(self) -> list[set]:
+        """Class positions resident per node (union over its devices)."""
+        node_map = self.node_map or [0] * self.n_devices
+        n_nodes = max(self.n_nodes, 1)
+        groups: list[set] = [set() for _ in range(n_nodes)]
+        for device, classes in enumerate(self.device_classes):
+            groups[node_map[device]].update(classes)
+        return groups
+
     def summary(self) -> dict:
         """JSON-ready description of the placement."""
         return {
             "strategy": self.strategy,
             "n_devices": self.n_devices,
+            "n_nodes": int(max(self.n_nodes, 1)),
             "assignments": list(map(int, self.assignments)),
             "device_load": [float(load) for load in self.device_load],
             "device_classes": [
                 sorted(map(int, classes)) for classes in self.device_classes
+            ],
+            "node_classes": [
+                sorted(map(int, classes)) for classes in self.node_classes
             ],
             "balance": float(self.balance),
         }
@@ -99,12 +125,17 @@ def plan_placement(
     n_devices: int,
     *,
     strategy: str = "affinity",
+    cluster=None,
 ) -> PlacementPlan:
     """Assign every problem to a device under the chosen strategy.
 
     ``problems`` are the trainer's pairwise problems in canonical order
     (each carries ``s``, ``t`` and ``n``); the plan's ``assignments`` are
-    aligned with that order.
+    aligned with that order.  ``cluster`` optionally names the
+    :class:`~repro.distributed.cluster.ClusterSpec` being planned for —
+    a hierarchical cluster makes the affinity tie-break node-aware (see
+    the module docstring); a flat cluster or ``None`` plans exactly as
+    before.
     """
     if strategy not in PLACEMENT_STRATEGIES:
         raise ValidationError(
@@ -113,12 +144,23 @@ def plan_placement(
         )
     if n_devices < 1:
         raise ValidationError(f"n_devices must be >= 1, got {n_devices}")
+    if cluster is not None and cluster.n_devices != n_devices:
+        raise ValidationError(
+            f"cluster has {cluster.n_devices} devices but the placement "
+            f"was asked for {n_devices}"
+        )
+    n_nodes = cluster.n_nodes if cluster is not None else 1
+    node_map = (
+        [cluster.node_of(d) for d in range(n_devices)]
+        if cluster is not None
+        else [0] * n_devices
+    )
 
     weights = [float(problem.n) ** 2 for problem in problems]
     if strategy == "round_robin" or n_devices == 1:
         assignments = [index % n_devices for index in range(len(problems))]
     else:
-        assignments = _affinity_assign(problems, weights, n_devices)
+        assignments = _affinity_assign(problems, weights, n_devices, node_map)
         assignments = _refine(problems, weights, n_devices, assignments)
 
     device_load = [0.0] * n_devices
@@ -132,18 +174,22 @@ def plan_placement(
         assignments=assignments,
         device_load=device_load,
         device_classes=device_classes,
+        n_nodes=n_nodes,
+        node_map=node_map,
     )
 
 
 def _affinity_assign(
-    problems: list, weights: list, n_devices: int
+    problems: list, weights: list, n_devices: int, node_map: list
 ) -> list[int]:
     """Greedy heaviest-first placement with a class-affinity tie-break."""
     order = sorted(
         range(len(problems)), key=lambda i: (-weights[i], i)
     )
+    n_nodes = max(node_map) + 1 if node_map else 1
     load = [0.0] * n_devices
     classes: list[set] = [set() for _ in range(n_devices)]
+    node_classes: list[set] = [set() for _ in range(n_nodes)]
     assignments = [0] * len(problems)
     for index in order:
         touched = _problem_classes(problems[index])
@@ -152,7 +198,10 @@ def _affinity_assign(
         # Devices whose projected load is within one problem of the best
         # are all acceptable; among them, prefer the one already hosting
         # the most of this problem's classes (fewer duplicated class
-        # blocks, better segment-share reuse), then the emptier one.
+        # blocks, better segment-share reuse), then — on hierarchical
+        # clusters — the one whose *node* hosts them (cross-device reuse
+        # stays on the fast tier; a constant on flat clusters), then the
+        # emptier one.
         eligible = [
             d for d in range(n_devices)
             if projected[d] <= best + weights[index]
@@ -161,6 +210,7 @@ def _affinity_assign(
             eligible,
             key=lambda d: (
                 -sum(1 for c in touched if c in classes[d]),
+                -sum(1 for c in touched if c in node_classes[node_map[d]]),
                 projected[d],
                 d,
             ),
@@ -168,6 +218,7 @@ def _affinity_assign(
         assignments[index] = device
         load[device] += weights[index]
         classes[device].update(touched)
+        node_classes[node_map[device]].update(touched)
     return assignments
 
 

@@ -43,7 +43,9 @@ import numpy as np
 from repro.core.interleave import run_interleaved
 from repro.core.trainer import (
     TrainerConfig,
+    _class_weighted_penalties,
     _finalize_member,
+    _finalize_pair,
     _interleave_limits,
     _make_pair_member,
     _make_shared_store,
@@ -59,7 +61,7 @@ from repro.faults.checkpoint import (
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import OpCounters
-from repro.gpusim.engine import FLOAT_BYTES
+from repro.gpusim.engine import FLOAT_BYTES, make_engine
 from repro.kernels.functions import KernelFunction
 from repro.model.multiclass import MPSVMModel
 from repro.multiclass.decomposition import class_partition, pair_problems
@@ -101,6 +103,14 @@ class ClusterTrainingReport:
     # Fault-injection outcome: empty for a nominal run; otherwise the
     # plan, which losses fired, checkpoint and recovery accounting.
     faults: dict = field(default_factory=dict)
+    # One entry per cascade-routed pair (instance-sharded training, see
+    # repro.cascade): the pair, its owning (root) device, and the full
+    # CascadeReport snapshot — per-level timelines, SV survival ratios,
+    # feedback accounting, per-tier transfer bytes.
+    cascade: list = field(default_factory=list)
+    # Interconnect bytes split by link tier (host / intra-node peer /
+    # inter-node), the whole run.
+    transfer_tier_bytes: dict = field(default_factory=dict)
 
     @property
     def total_busy_seconds(self) -> float:
@@ -133,6 +143,8 @@ class ClusterTrainingReport:
             "per_svm": _json_safe(self.per_svm),
             "schedule_source": self.schedule_source,
             "faults": _json_safe(self.faults),
+            "cascade": _json_safe(self.cascade),
+            "transfer_tier_bytes": _json_safe(self.transfer_tier_bytes),
         }
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -204,6 +216,7 @@ def train_multiclass_sharded(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_every: int = 4,
     checkpoint_dir: Optional[object] = None,
+    cascade: Optional[object] = None,
 ) -> tuple[MPSVMModel, ClusterTrainingReport]:
     """Train a multi-class SVM sharded across a simulated cluster.
 
@@ -211,6 +224,20 @@ def train_multiclass_sharded(
     :func:`~repro.core.trainer.train_multiclass` under the same config,
     for every device count and placement strategy (see the module
     docstring); the report carries the cluster timeline instead.
+
+    ``cascade`` (a :class:`repro.cascade.CascadeConfig`, or the one on
+    ``config.cascade``) additionally routes pairwise problems with at
+    least ``cascade.threshold`` instances through the instance-sharded
+    cascade driver across the *whole* cluster — seeded shards, pairwise
+    SV merges up a topology-aware reduction tree, global-KKT feedback —
+    before the remaining pairs run the bitwise pair-sharded path.
+    Cascade-routed pairs are approximate under an explicit dual-gap
+    budget (the bitwise guarantee above then covers only the unrouted
+    pairs); the report's ``cascade`` section carries each routed pair's
+    per-level timeline, SV survival and per-tier transfer bytes.
+    Cascade routing cannot be combined with ``fault_plan`` here — for
+    faults during a cascade, drive :func:`repro.cascade.train_cascade`
+    directly.
 
     ``fault_plan`` injects scripted faults (see :mod:`repro.faults`):
     stragglers stretch the affected device's timeline; a scripted device
@@ -245,7 +272,46 @@ def train_multiclass_sharded(
     if config.force_dense:
         data = mops.to_dense(data)
     problems = list(pair_problems(classes, partition))
-    plan = plan_placement(problems, cluster.n_devices, strategy=placement)
+
+    # Instance-sharded cascade routing: the routed pairs train across
+    # the whole pool before the per-device phase; placement then covers
+    # only the remaining (bitwise pair-sharded) problems.
+    cascade_cfg = cascade if cascade is not None else config.cascade
+    cascade_indices: set[int] = set()
+    if cascade_cfg is not None and cascade_cfg.n_shards > 1:
+        from repro.cascade.config import CascadeConfig
+
+        if not isinstance(cascade_cfg, CascadeConfig):
+            raise ValidationError(
+                "cascade must be a repro.cascade.CascadeConfig, got "
+                f"{type(cascade_cfg).__name__}"
+            )
+        if fault_plan is not None and not fault_plan.is_empty:
+            raise ValidationError(
+                "cascade routing and fault injection cannot be combined "
+                "in sharded training; drive repro.cascade.train_cascade "
+                "directly to exercise faults mid-cascade"
+            )
+        cascade_indices = {
+            index
+            for index, problem in enumerate(problems)
+            if problem.n >= cascade_cfg.threshold
+        }
+    small_indices = [
+        index for index in range(len(problems)) if index not in cascade_indices
+    ]
+    plan = plan_placement(
+        [problems[index] for index in small_indices],
+        cluster.n_devices,
+        strategy=placement,
+        cluster=cluster,
+    )
+    # Per-device problem lists and classes in *global* problem indices
+    # (the plan is over the unrouted subset only).
+    device_problems = [
+        [small_indices[local] for local in plan.device_problems[device]]
+        for device in range(cluster.n_devices)
+    ]
     injector = (
         FaultInjector(fault_plan, cluster.n_devices)
         if fault_plan is not None and not fault_plan.is_empty
@@ -289,11 +355,86 @@ def train_multiclass_sharded(
         max_concurrency = 1
         # Final problem ownership: starts at the plan, moves to survivors
         # when a loss forces re-placement (drives the merge payloads).
-        owner = list(plan.assignments)
+        # Cascade-routed pairs land on their reduction-tree root device.
+        owner = [0] * len(problems)
+        for position, index in enumerate(small_indices):
+            owner[index] = plan.assignments[position]
         lost_devices: dict[int, float] = {}  # device -> simulated loss time
 
+        # ----------------------------------------------------------
+        # Cascade phase: the routed pairs train instance-sharded over
+        # the whole pool, one at a time (each cascade already fills
+        # every device), before the per-device pair phase.
+        # ----------------------------------------------------------
+        cascade_entries: list[dict] = []
+        if cascade_indices:
+            from repro.cascade.driver import _cascade_solve
+        for index in sorted(cascade_indices):
+            problem = problems[index]
+            pair_data = mops.take_rows(data, problem.global_indices)
+            penalty_vector = _class_weighted_penalties(
+                config, classes, problem, penalty
+            )
+            result, casc_report = _cascade_solve(
+                config,
+                cascade_cfg,
+                pool,
+                pair_data,
+                problem.labels,
+                kernel,
+                penalty,
+                penalty_vector=penalty_vector,
+                store=store,
+                checkpoint_every=checkpoint_every,
+                member_clocks=member_clocks,
+                tracer=tracer,
+            )
+            root_device = int(casc_report.tree["root_device"])
+            owner[index] = root_device
+            finalize_engine = make_engine(
+                config.device,
+                flop_efficiency=config.flop_efficiency,
+                bandwidth_efficiency=config.bandwidth_efficiency,
+                backend=config.backend,
+                counters=pool.engine(root_device).counters,
+            )
+            record, pool_entry, svm_stats = _finalize_pair(
+                config, finalize_engine, problem, result, data, kernel,
+                penalty, penalty_vector=penalty_vector, pair_data=pair_data,
+            )
+            svm_stats["warm_start"] = False
+            svm_stats["cascade"] = {
+                "n_shards": casc_report.n_shards,
+                "feedback_rounds": casc_report.feedback_rounds,
+                "final_gap": casc_report.final_gap,
+                "gap_budget": casc_report.gap_budget,
+                "budget_met": casc_report.budget_met,
+                "sv_survival": casc_report.sv_survival,
+                "transfer_bytes": dict(casc_report.transfer_bytes),
+                "levels": [
+                    {k: v for k, v in level.items()
+                     if k not in ("merges", "shards")}
+                    for level in casc_report.levels
+                ],
+            }
+            finals[index] = (record, pool_entry, svm_stats)
+            member_clocks[root_device].merge(finalize_engine.clock)
+            stats = device_stats[root_device]
+            stats["iterations"] += result.iterations
+            stats["kernel_rows"] += result.kernel_rows_computed
+            cascade_entries.append(
+                {
+                    "index": index,
+                    "pair": (problem.s, problem.t),
+                    "root_device": root_device,
+                    "report": casc_report.to_dict(),
+                }
+            )
+            if tracer is not None:
+                tracer.bind_clock(None)
+
         for device in range(cluster.n_devices):
-            problem_indices = plan.device_problems[device]
+            problem_indices = device_problems[device]
             master = pool.engine(device)
             if tracer is not None:
                 tracer.bind_clock(master.clock)
@@ -452,7 +593,7 @@ def train_multiclass_sharded(
             lost_indices = sorted(
                 index
                 for device in lost_devices
-                for index in plan.device_problems[device]
+                for index in device_problems[device]
             )
             snapshots: dict[int, SessionSnapshot] = {}
             if store is not None:
@@ -675,7 +816,7 @@ def train_multiclass_sharded(
             per_device.append(
                 {
                     "device": device,
-                    "n_svms": len(plan.device_problems[device]),
+                    "n_svms": len(device_problems[device]),
                     "iterations": int(stats["iterations"]),
                     "kernel_rows_computed": int(stats["kernel_rows"]),
                     "resident_bytes": int(stats["resident_bytes"]),
@@ -722,6 +863,11 @@ def train_multiclass_sharded(
             combined.merge(clock)
         for engine in pool.engines:
             counters.merge(engine.counters)
+        placement_summary = plan.summary()
+        if cascade_indices:
+            placement_summary["cascade_routed"] = sorted(
+                int(index) for index in cascade_indices
+            )
         report = ClusterTrainingReport(
             simulated_seconds=makespan,
             clock=combined,
@@ -739,10 +885,12 @@ def train_multiclass_sharded(
             cluster_speedup=(busy_total / makespan if makespan > 0 else 1.0),
             transfer_bytes_total=pool.total_transfer_bytes,
             merge_bytes=merge_bytes,
-            placement=plan.summary(),
+            placement=placement_summary,
             per_device=per_device,
             per_svm=per_svm_stats,
             faults=faults,
+            cascade=cascade_entries,
+            transfer_tier_bytes=dict(pool.tier_bytes),
         )
         root_span.set(
             simulated_seconds=report.simulated_seconds,

@@ -1,0 +1,130 @@
+"""Property tests for placement planning over hierarchical clusters.
+
+Seeded random workload matrices (widened by nightly CI via
+``REPRO_CHAOS_SEEDS``) pin three properties of :func:`plan_placement`:
+
+- **validity** — every plan is a partition of the problems over valid
+  devices, deterministically reproducible from the same inputs;
+- **flat invariance** — passing a single-node ``ClusterSpec`` changes
+  nothing: the node-level tie-break is a constant there, so the plan
+  (and hence the bitwise-parity guarantee of the pair-sharded trainer)
+  is untouched;
+- **node-locality** — on a hierarchical cluster, the topology-aware
+  tie-break never duplicates class blocks across more node boundaries
+  than the topology-blind plan evaluated on the same node map.
+"""
+
+import itertools
+import os
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.distributed import ClusterSpec, plan_placement
+from repro.exceptions import ValidationError
+from repro.gpusim.device import scaled_tesla_p100
+
+N_SEEDS = int(os.environ.get("REPRO_CHAOS_SEEDS", "8"))
+
+Problem = namedtuple("Problem", "s t n")
+
+
+def _random_workload(seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(3, 7))
+    pairs = list(itertools.combinations(range(k), 2))
+    return [Problem(s, t, int(rng.integers(20, 200))) for s, t in pairs]
+
+
+def _node_residencies(plan) -> int:
+    """Total (class, node) pairs with that class resident on that node."""
+    return sum(len(classes) for classes in plan.node_classes)
+
+
+@pytest.fixture(params=range(N_SEEDS))
+def workload(request):
+    return _random_workload(request.param)
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize("strategy", ["affinity", "round_robin"])
+    @pytest.mark.parametrize("n_devices,n_nodes", [(4, 1), (4, 2), (6, 3)])
+    def test_partition_and_determinism(
+        self, workload, strategy, n_devices, n_nodes
+    ):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=n_devices, n_nodes=n_nodes
+        )
+        plan = plan_placement(
+            workload, n_devices, strategy=strategy, cluster=cluster
+        )
+        assert len(plan.assignments) == len(workload)
+        assert all(0 <= d < n_devices for d in plan.assignments)
+        flattened = sorted(
+            index
+            for group in plan.device_problems
+            for index in group
+        )
+        assert flattened == list(range(len(workload)))
+        again = plan_placement(
+            workload, n_devices, strategy=strategy, cluster=cluster
+        )
+        assert again.assignments == plan.assignments
+        assert plan.n_nodes == n_nodes
+        assert plan.node_map == [
+            cluster.node_of(d) for d in range(n_devices)
+        ]
+
+    def test_summary_carries_topology(self, workload):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        summary = plan_placement(workload, 4, cluster=cluster).summary()
+        assert summary["n_nodes"] == 2
+        assert len(summary["node_classes"]) == 2
+
+    def test_device_count_mismatch_rejected(self, workload):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=4)
+        with pytest.raises(ValidationError, match="devices"):
+            plan_placement(workload, 2, cluster=cluster)
+
+
+class TestFlatInvariance:
+    @pytest.mark.parametrize("strategy", ["affinity", "round_robin"])
+    def test_single_node_cluster_changes_nothing(self, workload, strategy):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=4)
+        bare = plan_placement(workload, 4, strategy=strategy)
+        aware = plan_placement(
+            workload, 4, strategy=strategy, cluster=cluster
+        )
+        assert bare.assignments == aware.assignments
+        assert bare.device_load == aware.device_load
+
+
+class TestNodeLocality:
+    @pytest.mark.parametrize("n_devices,n_nodes", [(4, 2), (6, 2), (6, 3)])
+    def test_no_extra_cross_node_duplication(
+        self, workload, n_devices, n_nodes
+    ):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=n_devices, n_nodes=n_nodes
+        )
+        aware = plan_placement(workload, n_devices, cluster=cluster)
+        blind = plan_placement(workload, n_devices)
+        # Evaluate the topology-blind plan under the same node map.
+        blind.n_nodes = n_nodes
+        blind.node_map = [cluster.node_of(d) for d in range(n_devices)]
+        assert _node_residencies(aware) <= _node_residencies(blind)
+
+    def test_load_balance_not_sacrificed(self, workload):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        aware = plan_placement(workload, 4, cluster=cluster)
+        blind = plan_placement(workload, 4)
+        # The node-aware tie-break only reorders choices inside the
+        # eligibility window, so the makespan estimate stays within one
+        # problem weight of the topology-blind plan.
+        heaviest = max(float(p.n) ** 2 for p in workload)
+        assert max(aware.device_load) <= max(blind.device_load) + heaviest

@@ -1,0 +1,497 @@
+"""Tests for repro.cascade: instance-sharded cascade SMO.
+
+The cascade merge is approximate, so unlike the pair-sharded path there
+is no bitwise-parity guarantee against the sequential solve.  The
+load-bearing contract is the *error budget*: the final full-KKT pass
+must verify a global dual gap at or below the configured ceiling, the
+decision values must track the sequential solve closely, and the sign
+agreement (which drives multiclass voting) must be essentially perfect.
+Routing, on the other hand, must be surgical — pairs below the
+threshold keep the bitwise path, and a config that routes nothing must
+leave the trained model bitwise identical.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cascade import (
+    CascadeConfig,
+    assign_shards,
+    build_reduction_tree,
+    effective_shards,
+    shard_instances,
+    train_cascade,
+)
+from repro.core.trainer import TrainerConfig, train_multiclass
+from repro.data import gaussian_blobs
+from repro.distributed import ClusterSpec, train_multiclass_sharded
+from repro.exceptions import ValidationError
+from repro.gpusim.device import scaled_tesla_p100
+from repro.kernels.functions import kernel_from_name
+from repro.kernels.rows import KernelRowComputer
+from repro.solvers.batch_smo import BatchSMOSolver
+from repro.telemetry.schema import REPORT_SCHEMA_VERSION
+
+
+def _config(**overrides):
+    options = {"device": scaled_tesla_p100(), "working_set_size": 32}
+    options.update(overrides)
+    return TrainerConfig(**options)
+
+
+def _binary_problem(n=400, n_features=5, seed=1):
+    x, y = gaussian_blobs(n=n, n_features=n_features, n_classes=2, seed=seed)
+    labels = np.where(y == 0, 1.0, -1.0)
+    return x, labels
+
+
+def _sequential_solve(config, data, labels, kernel, penalty):
+    """The unsharded batched solve the cascade approximates."""
+    from repro.gpusim.engine import make_engine
+
+    engine = make_engine(
+        config.device,
+        flop_efficiency=config.flop_efficiency,
+        bandwidth_efficiency=config.bandwidth_efficiency,
+        backend=config.backend,
+    )
+    rows = KernelRowComputer(engine, kernel, data)
+    solver = BatchSMOSolver(
+        penalty=penalty,
+        epsilon=config.epsilon,
+        working_set_size=config.working_set_size,
+    )
+    return solver.solve(rows, labels)
+
+
+def _decision(result, labels):
+    """Training-set decision values from the maintained indicators."""
+    return result.f + labels + result.bias
+
+
+class TestCascadeConfig:
+    def test_defaults(self):
+        cfg = CascadeConfig()
+        assert cfg.n_shards == 4
+        assert cfg.threshold == 2048
+        assert cfg.dual_gap_budget is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_shards": 0},
+            {"threshold": 1},
+            {"max_feedback_rounds": -1},
+            {"feedback_chunk": 0},
+            {"dual_gap_budget": 0.0},
+            {"dual_gap_budget": -1e-3},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            CascadeConfig(**kwargs)
+
+    def test_budget_defaults_to_ten_epsilon(self):
+        assert CascadeConfig().resolve_budget(1e-3) == pytest.approx(1e-2)
+
+    def test_budget_below_epsilon_rejected(self):
+        with pytest.raises(ValidationError, match="tighter"):
+            CascadeConfig(dual_gap_budget=1e-4).resolve_budget(1e-3)
+
+    def test_explicit_budget_passes_through(self):
+        assert CascadeConfig(dual_gap_budget=0.05).resolve_budget(1e-3) == 0.05
+
+
+class TestPartitioner:
+    def test_shards_disjointly_cover_all_instances(self):
+        labels = np.where(np.arange(100) % 3 == 0, 1.0, -1.0)
+        shards = shard_instances(labels, 4, seed=0)
+        merged = np.concatenate(shards)
+        assert merged.size == 100
+        assert np.array_equal(np.sort(merged), np.arange(100))
+
+    def test_stratified_and_balanced(self):
+        rng = np.random.default_rng(5)
+        labels = np.where(rng.random(123) < 0.3, 1.0, -1.0)
+        shards = shard_instances(labels, 5, seed=2)
+        pos_counts = [int(np.sum(labels[s] > 0)) for s in shards]
+        neg_counts = [int(np.sum(labels[s] < 0)) for s in shards]
+        assert min(pos_counts) >= 1 and min(neg_counts) >= 1
+        assert max(pos_counts) - min(pos_counts) <= 1
+        assert max(neg_counts) - min(neg_counts) <= 1
+
+    def test_deterministic_in_seed(self):
+        labels = np.where(np.arange(80) % 2 == 0, 1.0, -1.0)
+        a = shard_instances(labels, 4, seed=7)
+        b = shard_instances(labels, 4, seed=7)
+        c = shard_instances(labels, 4, seed=8)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+
+    def test_indices_sorted_int64(self):
+        labels = np.where(np.arange(60) % 2 == 0, 1.0, -1.0)
+        for shard in shard_instances(labels, 3, seed=0):
+            assert shard.dtype == np.int64
+            assert np.array_equal(shard, np.sort(shard))
+
+    def test_too_few_instances_raises(self):
+        labels = np.array([1.0, 1.0, 1.0, -1.0, -1.0])
+        with pytest.raises(ValidationError, match="stratified"):
+            shard_instances(labels, 3, seed=0)
+
+    def test_effective_shards_clamps(self):
+        labels = np.array([1.0, 1.0, -1.0, -1.0, -1.0])
+        assert effective_shards(labels, 8) == 2
+        assert effective_shards(labels, 1) == 1
+        with pytest.raises(ValidationError):
+            effective_shards(labels, 0)
+
+
+class TestReductionTree:
+    def test_assign_shards_identity_when_enough_devices(self):
+        assert assign_shards(4, 4) == [0, 1, 2, 3]
+        assert assign_shards(2, 4) == [0, 1]
+
+    def test_assign_shards_contiguous_blocks(self):
+        assert assign_shards(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert assign_shards(5, 2) == [0, 0, 0, 1, 1]
+
+    def test_flat_cluster_tree_shape(self):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=4)
+        tree = build_reduction_tree([0, 1, 2, 3], cluster)
+        assert [len(level) for level in tree.levels] == [2, 1]
+        assert tree.n_merges == 3
+        assert tree.tier_counts() == {"local": 0, "intra": 3, "inter": 0}
+        assert tree.root == 0
+
+    def test_same_device_merges_are_local(self):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=2)
+        tree = build_reduction_tree([0, 0, 1, 1], cluster)
+        counts = tree.tier_counts()
+        assert counts["local"] == 2
+        assert counts["intra"] == 1
+        assert counts["inter"] == 0
+
+    def test_hierarchical_exhausts_intra_before_inter(self):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        tree = build_reduction_tree([0, 1, 2, 3], cluster)
+        # Devices 0,1 on node 0 and 2,3 on node 1: one intra merge per
+        # node first, then exactly n_nodes - 1 = 1 inter merge.
+        assert tree.tier_counts() == {"local": 0, "intra": 2, "inter": 1}
+        assert all(step.tier == "intra" for step in tree.levels[0])
+        assert [step.tier for step in tree.levels[-1]] == ["inter"]
+
+    @pytest.mark.parametrize(
+        "n_devices,n_nodes,n_shards",
+        [(4, 2, 4), (4, 2, 8), (8, 4, 8), (6, 3, 6), (4, 4, 4)],
+    )
+    def test_inter_merges_always_n_nodes_minus_one(
+        self, n_devices, n_nodes, n_shards
+    ):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=n_devices, n_nodes=n_nodes
+        )
+        devices = assign_shards(n_shards, n_devices)
+        tree = build_reduction_tree(devices, cluster)
+        assert tree.tier_counts()["inter"] == n_nodes - 1
+        assert tree.n_merges == n_shards - 1
+
+    def test_single_slot_is_trivial(self):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=2)
+        tree = build_reduction_tree([1], cluster)
+        assert tree.levels == []
+        assert tree.root == 0
+
+    def test_empty_slots_rejected(self):
+        cluster = ClusterSpec(device=scaled_tesla_p100(), n_devices=2)
+        with pytest.raises(ValidationError):
+            build_reduction_tree([], cluster)
+
+    def test_deterministic(self):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        a = build_reduction_tree([0, 1, 2, 3, 0, 2], cluster)
+        b = build_reduction_tree([0, 1, 2, 3, 0, 2], cluster)
+        assert a.levels == b.levels and a.root == b.root
+
+
+class TestTrainCascade:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        x, labels = _binary_problem()
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        config = _config()
+        sequential = _sequential_solve(config, x, labels, kernel, 1.0)
+        return x, labels, kernel, config, sequential
+
+    def test_budget_met_and_verified_gap(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=4)
+        result, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4),
+        )
+        budget = CascadeConfig().resolve_budget(config.epsilon)
+        assert report.budget_met
+        assert report.final_gap <= budget
+        assert report.gap_budget == pytest.approx(budget)
+        assert result.converged
+        assert result.final_gap == report.final_gap
+
+    def test_solution_is_feasible(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=4)
+        result, _ = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4),
+        )
+        assert result.alpha.shape == labels.shape
+        assert np.all(result.alpha >= -1e-12)
+        assert np.all(result.alpha <= 1.0 + 1e-12)
+        assert abs(np.dot(result.alpha, labels)) < 1e-9
+
+    def test_decision_tracks_sequential_solve(self, problem):
+        x, labels, kernel, config, sequential = problem
+        cluster = ClusterSpec(device=config.device, n_devices=4)
+        result, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4),
+        )
+        d_cascade = _decision(result, labels)
+        d_sequential = _decision(sequential, labels)
+        assert np.max(np.abs(d_cascade - d_sequential)) < 0.05
+        agreement = np.mean(np.sign(d_cascade) == np.sign(d_sequential))
+        assert agreement >= 0.999
+        assert result.objective == pytest.approx(
+            sequential.objective, rel=1e-3
+        )
+
+    # The error-budget gate matrix: every shard count on every cluster
+    # shape (flat and hierarchical) must verify its global dual gap
+    # under the ceiling and stay decision-close to the sequential solve.
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 6])
+    @pytest.mark.parametrize(
+        "n_devices,n_nodes", [(2, 1), (4, 1), (4, 2)]
+    )
+    def test_error_budget_matrix(
+        self, problem, n_shards, n_devices, n_nodes
+    ):
+        x, labels, kernel, config, sequential = problem
+        cluster = ClusterSpec(
+            device=config.device, n_devices=n_devices, n_nodes=n_nodes
+        )
+        result, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=n_shards),
+        )
+        assert report.budget_met
+        assert report.final_gap <= report.gap_budget
+        d_cascade = _decision(result, labels)
+        d_sequential = _decision(sequential, labels)
+        assert np.max(np.abs(d_cascade - d_sequential)) < 0.1
+        assert (
+            np.mean(np.sign(d_cascade) == np.sign(d_sequential)) >= 0.999
+        )
+
+    def test_hierarchical_merges_ride_intra_tier_first(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(
+            device=config.device, n_devices=4, n_nodes=2
+        )
+        _, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4),
+        )
+        assert report.tree["tier_counts"] == {
+            "local": 0, "intra": 2, "inter": 1
+        }
+        # The byte ledger confirms the routing: both tiers moved SV
+        # payloads, and the single inter-node merge moved less than the
+        # two intra-node ones combined plus the KKT broadcasts.
+        assert report.transfer_bytes["intra"] > 0
+        assert report.transfer_bytes["inter"] > 0
+
+    def test_deterministic_across_runs(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        first, rep_a = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=2),
+        )
+        second, rep_b = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=2),
+        )
+        assert np.array_equal(first.alpha, second.alpha)
+        assert first.bias == second.bias
+        assert rep_a.simulated_seconds == rep_b.simulated_seconds
+
+    def test_report_levels_and_json(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=4)
+        _, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4),
+        )
+        kinds = [level["kind"] for level in report.levels]
+        assert kinds[0] == "shard"
+        assert "merge" in kinds
+        assert kinds[-1] == "kkt"
+        payload = json.loads(report.to_json())
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["kind"] == "cascade_report"
+        assert 0.0 < payload["sv_survival"] <= 1.0
+        assert payload["simulated_seconds"] > 0.0
+
+    def test_more_shards_than_devices(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        _, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=6),
+        )
+        assert report.n_shards == 6
+        assert report.budget_met
+        assert report.tree["tier_counts"]["local"] > 0
+
+    def test_shard_count_clamped_to_class_support(self):
+        x, labels = _binary_problem(n=40)
+        kernel = kernel_from_name("gaussian", gamma=0.5)
+        config = _config()
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        _, report = train_cascade(
+            config, cluster, x, labels, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=64),
+        )
+        assert report.requested_shards == 64
+        assert report.n_shards == effective_shards(labels, 64)
+
+    def test_non_batched_solver_rejected(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        bad = _config(solver="classic")
+        with pytest.raises(ValidationError, match="batched"):
+            train_cascade(bad, cluster, x, labels, kernel, 1.0)
+
+    def test_bad_checkpoint_every_rejected(self, problem):
+        x, labels, kernel, config, _ = problem
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        with pytest.raises(ValidationError, match="checkpoint_every"):
+            train_cascade(
+                config, cluster, x, labels, kernel, 1.0, checkpoint_every=0
+            )
+
+
+class TestMulticlassRouting:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        x, y = gaussian_blobs(n=360, n_features=5, n_classes=3, seed=3)
+        kernel = kernel_from_name("gaussian", gamma=0.4)
+        return x, y, kernel
+
+    def test_config_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="CascadeConfig"):
+            _config(cascade={"n_shards": 4})
+
+    def test_config_rejects_non_batched_solver(self):
+        with pytest.raises(ValidationError, match="batched"):
+            _config(solver="classic", cascade=CascadeConfig())
+
+    def test_threshold_routes_large_pairs_only(self, workload):
+        x, y, kernel = workload
+        config = _config(
+            cascade=CascadeConfig(n_shards=4, threshold=150)
+        )
+        model, report = train_multiclass(config, x, y, kernel, 1.0)
+        routed = [s for s in report.per_svm if "cascade" in s]
+        assert len(routed) == 3  # every pair has 240 >= 150 instances
+        for stats in routed:
+            info = stats["cascade"]
+            assert info["budget_met"]
+            assert info["final_gap"] <= info["gap_budget"]
+            assert info["n_shards"] == 4
+            assert stats["warm_start"] is False
+
+    def test_high_threshold_is_bitwise_noop(self, workload):
+        x, y, kernel = workload
+        baseline_model, _ = train_multiclass(
+            _config(), x, y, kernel, 1.0
+        )
+        routed_model, report = train_multiclass(
+            _config(cascade=CascadeConfig(n_shards=4, threshold=100_000)),
+            x, y, kernel, 1.0,
+        )
+        assert not any("cascade" in s for s in report.per_svm)
+        for a, b in zip(baseline_model.records, routed_model.records):
+            assert np.array_equal(a.coefficients, b.coefficients)
+            assert np.array_equal(a.global_sv_indices, b.global_sv_indices)
+            assert a.bias == b.bias
+
+    def test_cascade_predictions_agree_with_baseline(self, workload):
+        x, y, kernel = workload
+        from repro.core.predictor import PredictorConfig, predict_labels_model
+
+        baseline_model, _ = train_multiclass(_config(), x, y, kernel, 1.0)
+        cascade_model, _ = train_multiclass(
+            _config(cascade=CascadeConfig(n_shards=4, threshold=150)),
+            x, y, kernel, 1.0,
+        )
+        pconfig = PredictorConfig(device=scaled_tesla_p100())
+        base_labels, _ = predict_labels_model(pconfig, baseline_model, x)
+        casc_labels, _ = predict_labels_model(pconfig, cascade_model, x)
+        assert np.mean(base_labels == casc_labels) >= 0.999
+
+    def test_sharded_trainer_reports_cascade(self, workload):
+        x, y, kernel = workload
+        config = _config()
+        cluster = ClusterSpec(
+            device=config.device, n_devices=4, n_nodes=2
+        )
+        model, report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4, threshold=150),
+        )
+        assert len(report.cascade) == 3
+        for entry in report.cascade:
+            assert entry["report"]["budget_met"]
+            assert entry["root_device"] == entry["report"]["tree"]["root_device"]
+        assert "cascade_routed" in report.placement
+        assert report.transfer_tier_bytes["intra"] > 0
+        assert report.transfer_tier_bytes["inter"] > 0
+        payload = json.loads(report.to_json())
+        assert payload["cascade"][0]["report"]["kind"] == "cascade_report"
+
+    def test_sharded_no_route_stays_bitwise(self, workload):
+        x, y, kernel = workload
+        config = _config()
+        single_model, _ = train_multiclass(config, x, y, kernel, 1.0)
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        sharded_model, report = train_multiclass_sharded(
+            config, cluster, x, y, kernel, 1.0,
+            cascade=CascadeConfig(n_shards=4, threshold=100_000),
+        )
+        assert report.cascade == []
+        for a, b in zip(single_model.records, sharded_model.records):
+            assert np.array_equal(a.coefficients, b.coefficients)
+            assert a.bias == b.bias
+
+    def test_sharded_rejects_cascade_with_faults(self, workload):
+        x, y, kernel = workload
+        from repro.faults import DeviceLoss, FaultPlan
+
+        config = _config()
+        cluster = ClusterSpec(device=config.device, n_devices=2)
+        with pytest.raises(ValidationError, match="train_cascade"):
+            train_multiclass_sharded(
+                config, cluster, x, y, kernel, 1.0,
+                cascade=CascadeConfig(n_shards=2, threshold=100),
+                fault_plan=FaultPlan(
+                    losses=[DeviceLoss(device=1, at_s=0.0)]
+                ),
+            )

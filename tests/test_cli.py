@@ -72,6 +72,98 @@ class TestTrain:
         assert train_main([str(path)]) == 1
 
 
+class TestCascadeCLI:
+    def test_routes_and_prints_per_level_summary(self, svm_files, capsys):
+        train, _, tmp = svm_files
+        code = train_main([
+            "-c", "10", "-g", "0.4",
+            "--instance-shards", "4", "--cascade-threshold", "80",
+            str(train), str(tmp / "casc.model"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cascade-routed 3 pair(s)" in out
+        assert "level shard" in out
+        assert "level merge" in out
+        assert "(met)" in out
+        assert "MISSED" not in out
+
+    def test_threshold_gates_routing(self, svm_files, capsys):
+        train, _, tmp = svm_files
+        code = train_main([
+            "-c", "10", "-g", "0.4",
+            "--instance-shards", "4", "--cascade-threshold", "100000",
+            str(train), str(tmp / "gated.model"),
+        ])
+        assert code == 0
+        assert "cascade-routed" not in capsys.readouterr().out
+
+    def test_combines_with_devices(self, svm_files, capsys):
+        train, _, tmp = svm_files
+        code = train_main([
+            "-c", "10", "-g", "0.4", "--devices", "2",
+            "--instance-shards", "2", "--cascade-threshold", "80",
+            str(train), str(tmp / "dev.model"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "cascade-routed 3 pair(s)" in out
+
+    def test_report_json_carries_cascade_stats(self, svm_files):
+        train, _, tmp = svm_files
+        report_path = tmp / "cascade_report.json"
+        code = train_main([
+            "-q", "-c", "10", "-g", "0.4",
+            "--instance-shards", "2", "--cascade-threshold", "80",
+            "--report-json", str(report_path),
+            str(train), str(tmp / "rj.model"),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        routed = [s for s in payload["per_svm"] if "cascade" in s]
+        assert len(routed) == 3
+        assert all(s["cascade"]["budget_met"] for s in routed)
+
+    def test_model_predicts(self, svm_files, capsys):
+        train, test, tmp = svm_files
+        model = tmp / "casc_pred.model"
+        assert train_main([
+            "-q", "-c", "10", "-g", "0.4",
+            "--instance-shards", "2", "--cascade-threshold", "80",
+            str(train), str(model),
+        ]) == 0
+        assert predict_main([str(test), str(model)]) == 0
+        err = capsys.readouterr().err
+        accuracy = float(err.split("=")[1].split("%")[0])
+        assert accuracy >= 80.0
+
+    @pytest.mark.parametrize(
+        "argv,message",
+        [
+            (["--instance-shards", "0"], "--instance-shards must be >= 1"),
+            (
+                ["--instance-shards", "2", "--system", "libsvm"],
+                "gmp-svm",
+            ),
+            (
+                ["--instance-shards", "2", "--devices", "2",
+                 "--fault-seed", "3"],
+                "--fault-seed",
+            ),
+            (
+                ["--instance-shards", "2", "--cascade-threshold", "1"],
+                "--cascade-threshold",
+            ),
+        ],
+    )
+    def test_flag_validation(self, svm_files, capsys, argv, message):
+        train, _, tmp = svm_files
+        code = train_main(argv + [str(train), str(tmp / "x.model")])
+        assert code == 1
+        assert message in capsys.readouterr().err
+
+
 class TestPredict:
     @pytest.fixture
     def trained(self, svm_files):

@@ -99,6 +99,72 @@ class TestClusterSpec:
             ClusterSpec(device=xeon_e5_2640v4(), n_devices=2)
 
 
+class TestHierarchicalCluster:
+    def test_node_major_device_spread(self):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=6, n_nodes=2
+        )
+        assert cluster.devices_per_node == 3
+        assert [cluster.node_of(d) for d in range(6)] == [0, 0, 0, 1, 1, 1]
+        assert cluster.same_node(0, 2)
+        assert not cluster.same_node(2, 3)
+
+    def test_name_carries_topology(self):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        assert cluster.name.startswith("2x2 ")
+
+    def test_uneven_spread_rejected(self):
+        with pytest.raises(ValidationError, match="evenly"):
+            ClusterSpec(device=scaled_tesla_p100(), n_devices=4, n_nodes=3)
+        with pytest.raises(ValidationError):
+            ClusterSpec(device=scaled_tesla_p100(), n_devices=2, n_nodes=0)
+
+    def test_inter_node_charge(self):
+        spec = InterconnectSpec(
+            inter_node_latency_s=1e-5, inter_node_bandwidth_gbps=10.0
+        )
+        charge = spec.inter_node_charge(10_000_000_000)
+        assert charge.latency_s == 1e-5
+        assert charge.compute_s == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            InterconnectSpec(inter_node_bandwidth_gbps=0.0)
+
+    def test_pool_link_tiers_and_byte_ledger(self):
+        from repro.distributed.cluster import HOST
+
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        pool = DevicePool(cluster)
+        assert pool.link_tier(HOST, 0) == "host"
+        assert pool.link_tier(0, 1) == "intra"
+        assert pool.link_tier(1, 2) == "inter"
+        pool.host_to_device(0, 100)
+        pool.device_to_device(0, 1, 50)
+        pool.device_to_device(1, 3, 25)
+        assert pool.tier_bytes == {"host": 100, "intra": 50, "inter": 25}
+
+    def test_cross_node_copy_is_slower(self):
+        cluster = ClusterSpec(
+            device=scaled_tesla_p100(), n_devices=4, n_nodes=2
+        )
+        intra_pool = DevicePool(cluster)
+        inter_pool = DevicePool(cluster)
+        intra_pool.device_to_device(0, 1, 1_000_000)
+        inter_pool.device_to_device(0, 2, 1_000_000)
+        assert (
+            inter_pool.engine(0).clock.elapsed_s
+            > intra_pool.engine(0).clock.elapsed_s
+        )
+
+    def test_flat_cluster_has_no_inter_tier(self):
+        pool = DevicePool(ClusterSpec(device=scaled_tesla_p100(), n_devices=4))
+        pool.device_to_device(0, 3, 1_000)
+        assert pool.tier_bytes == {"host": 0, "intra": 1_000, "inter": 0}
+
+
 class TestDevicePool:
     def _pool(self, n=3):
         return DevicePool(ClusterSpec(device=scaled_tesla_p100(), n_devices=n))

@@ -18,6 +18,7 @@ import repro
 PUBLIC_API = [
     "BackendSpec",
     "CSRMatrix",
+    "CascadeConfig",
     "CheckpointError",
     "ClusterSpec",
     "ComputeBackend",
@@ -55,6 +56,7 @@ PUBLIC_API = [
     "load_model",
     "register_backend",
     "save_model",
+    "train_cascade",
     "train_multiclass_sharded",
 ]
 
@@ -197,7 +199,27 @@ class TestSignatures:
             "fault_plan",
             "checkpoint_every",
             "checkpoint_dir",
+            "cascade",
         ]
+
+    def test_cascade_surface(self):
+        assert _params(repro.train_cascade) == [
+            "config",
+            "cluster",
+            "data",
+            "y",
+            "kernel",
+            "penalty",
+            "cascade",
+            "fault_plan",
+            "checkpoint_every",
+            "checkpoint_dir",
+        ]
+        cfg = repro.CascadeConfig()
+        assert cfg.n_shards == 4
+        assert cfg.threshold == 2048
+        with pytest.raises(repro.ValidationError, match="no_such_option"):
+            repro.CascadeConfig(no_such_option=1)
 
     def test_fault_surface(self):
         assert _params(repro.FaultPlan.__init__) == [
@@ -277,6 +299,12 @@ class TestDeepImportShims:
         assert ClusterSpec is repro.ClusterSpec
         assert ShardedInferenceRouter is repro.ShardedInferenceRouter
         assert train_multiclass_sharded is repro.train_multiclass_sharded
+
+    def test_cascade_aliases(self):
+        from repro.cascade import CascadeConfig, train_cascade
+
+        assert CascadeConfig is repro.CascadeConfig
+        assert train_cascade is repro.train_cascade
 
     def test_server_aliases(self):
         from repro.server import ServerApp, TenantPolicy
